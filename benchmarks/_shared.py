@@ -1,0 +1,217 @@
+"""Shared workloads, caching and reporting for the paper's benchmarks.
+
+Every benchmark regenerates one table or figure of Section VI.  Workloads
+are scaled-down versions of the paper's traces so the whole suite runs in
+minutes on a laptop; set ``SPIRE_BENCH_SCALE=paper`` for paper-scale runs
+(hours).  Simulated traces and pipeline runs are memoised per pytest
+session, so benchmarks that share a trace (e.g. Figs. 11(a)–(c)) only pay
+for it once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.baselines.smurf import SmurfParams
+from repro.core.params import InferenceParams
+from repro.experiments.runner import (
+    SmurfRunReport,
+    SpireRunReport,
+    ground_truth_stream,
+    run_smurf,
+    run_spire,
+)
+from repro.metrics.accuracy import ScoringPolicy
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import SimulationResult, WarehouseSimulator
+
+PAPER_SCALE = os.environ.get("SPIRE_BENCH_SCALE", "").lower() == "paper"
+
+_SIM_CACHE: dict = {}
+_SPIRE_CACHE: dict = {}
+_SMURF_CACHE: dict = {}
+_TRUTH_CACHE: dict = {}
+
+
+def accuracy_config(
+    shelf_read_period: int = 60,
+    read_rate: float = 0.85,
+    anomaly_period: int = 0,
+    seed: int = 7,
+) -> SimulationConfig:
+    """The Section VI-B accuracy workload (scaled down by default).
+
+    Paper values: 3 h duration, 6 pallets/hour, 5 cases/pallet, 20
+    items/case, 1 h shelving.  The scaled version keeps the same structure
+    with a ~6x shorter timeline and smaller cases so a full parameter sweep
+    stays laptop-friendly.
+    """
+    if PAPER_SCALE:
+        return SimulationConfig(
+            duration=3 * 3600,
+            pallet_period=600,
+            cases_per_pallet_min=5,
+            cases_per_pallet_max=5,
+            items_per_case=20,
+            read_rate=read_rate,
+            shelf_read_period=shelf_read_period,
+            num_shelves=4,
+            shelving_time_mean=3600,
+            shelving_time_jitter=600,
+            anomaly_period=anomaly_period,
+            seed=seed,
+        )
+    return SimulationConfig(
+        duration=1800,
+        pallet_period=200,
+        cases_per_pallet_min=4,
+        cases_per_pallet_max=4,
+        items_per_case=6,
+        read_rate=read_rate,
+        shelf_read_period=shelf_read_period,
+        num_shelves=3,
+        shelving_time_mean=600,
+        shelving_time_jitter=120,
+        anomaly_period=anomaly_period,
+        seed=seed,
+    )
+
+
+def output_config(read_rate: float, seed: int = 17) -> SimulationConfig:
+    """The Section VI-D output/compression workload (16 h trace, scaled)."""
+    if PAPER_SCALE:
+        return SimulationConfig(
+            duration=16 * 3600,
+            pallet_period=240,
+            cases_per_pallet_min=5,
+            cases_per_pallet_max=8,
+            items_per_case=20,
+            read_rate=read_rate,
+            shelf_read_period=60,
+            num_shelves=4,
+            shelving_time_mean=3600,
+            shelving_time_jitter=600,
+            seed=seed,
+        )
+    return SimulationConfig(
+        duration=2400,
+        pallet_period=150,
+        cases_per_pallet_min=4,
+        cases_per_pallet_max=5,
+        items_per_case=6,
+        read_rate=read_rate,
+        shelf_read_period=30,
+        num_shelves=3,
+        shelving_time_mean=500,
+        shelving_time_jitter=100,
+        seed=seed,
+    )
+
+
+def scale_config(cases_per_pallet: int, duration: int, seed: int = 41) -> SimulationConfig:
+    """High-injection workload for Table III / Fig. 10 graph growth.
+
+    The injection rate is chosen so the receiving belt (one case at a time,
+    one epoch each) keeps up — cases_per_pallet/pallet_period must stay
+    below 1 case/epoch or the dock queue (and the dock reader's quadratic
+    edge-creation cost) grows without bound.
+    """
+    return SimulationConfig(
+        duration=duration,
+        pallet_period=2 * cases_per_pallet,
+        cases_per_pallet_min=cases_per_pallet,
+        cases_per_pallet_max=cases_per_pallet,
+        items_per_case=20,
+        read_rate=0.85,
+        shelf_read_period=60,
+        num_shelves=8,
+        shelving_time_mean=10 * duration,  # nothing leaves: the graph grows
+        shelving_time_jitter=0,
+        belt_dwell=1,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# memoised runs
+# ---------------------------------------------------------------------------
+
+
+def get_sim(config: SimulationConfig) -> SimulationResult:
+    if config not in _SIM_CACHE:
+        _SIM_CACHE[config] = WarehouseSimulator(config).run()
+    return _SIM_CACHE[config]
+
+
+def get_spire(
+    config: SimulationConfig,
+    params: InferenceParams = InferenceParams(),
+    compression_level: int = 2,
+    policies: tuple[ScoringPolicy, ...] = (ScoringPolicy.ALL,),
+    score: bool = True,
+) -> SpireRunReport:
+    key = (config, params, compression_level, policies, score)
+    if key not in _SPIRE_CACHE:
+        _SPIRE_CACHE[key] = run_spire(
+            get_sim(config),
+            params=params,
+            compression_level=compression_level,
+            policies=policies,
+            score=score,
+        )
+    return _SPIRE_CACHE[key]
+
+
+def get_smurf(config: SimulationConfig, score: bool = True) -> SmurfRunReport:
+    key = (config, score)
+    if key not in _SMURF_CACHE:
+        _SMURF_CACHE[key] = run_smurf(get_sim(config), SmurfParams(), score=score)
+    return _SMURF_CACHE[key]
+
+
+def get_truth_stream(config: SimulationConfig) -> list:
+    if config not in _TRUTH_CACHE:
+        _TRUTH_CACHE[config] = ground_truth_stream(get_sim(config))
+    return _TRUTH_CACHE[config]
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table:
+    """Paper-style results table printed beneath each benchmark."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.rows is None:
+            self.rows = []
+
+    def add(self, *row) -> None:
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

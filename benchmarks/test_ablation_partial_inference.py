@@ -1,0 +1,71 @@
+"""Ablation — partial vs. complete inference scheduling (§IV-D).
+
+The paper runs complete inference only every LCM(reader periods) epochs
+and a cheap l-hop partial inference otherwise, arguing that inferring
+"unknown" between slow-reader interrogations is wasted (and misleading)
+work.  This ablation compares:
+
+* the default schedule (partial with l = 1, complete on the LCM grid);
+* a wider partial horizon (l = 2);
+* complete inference every epoch (the expensive upper bound).
+
+Reported: location/containment error and total inference wall-clock.
+Expected shape: the default schedule costs a fraction of complete-every-
+epoch inference at nearly the same accuracy.
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, Spire
+from repro.metrics.accuracy import AccuracyAccumulator, ScoringPolicy
+
+from benchmarks._shared import Table, accuracy_config, get_sim
+
+VARIANTS = [
+    ("default (l=1, LCM grid)", InferenceParams(partial_hops=1), None),
+    ("wider partial (l=2)", InferenceParams(partial_hops=2), None),
+    ("complete every epoch", InferenceParams(partial_hops=1), 1),
+]
+
+
+def run_experiment() -> dict:
+    sim = get_sim(accuracy_config())
+    exclude = frozenset({sim.layout.entry_door.color})
+    results = {}
+    for name, params, complete_period in VARIANTS:
+        deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+        spire = Spire(deployment, params, complete_period=complete_period)
+        accuracy = AccuracyAccumulator(policy=ScoringPolicy.ALL, exclude_colors=exclude)
+        inference_seconds = 0.0
+        for readings, snapshot in zip(sim.stream, sim.truth.snapshots):
+            output = spire.process_epoch(readings)
+            inference_seconds += output.inference_seconds
+            accuracy.score_epoch(spire, snapshot)
+        results[name] = (
+            accuracy.location_error_rate,
+            accuracy.containment_error_rate,
+            inference_seconds,
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-partial")
+def test_ablation_partial_vs_complete(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: inference schedule vs. accuracy and cost",
+        ["schedule", "location error", "containment error", "inference s (total)"],
+    )
+    for name, _, _ in VARIANTS:
+        table.add(name, *results[name])
+    table.show()
+
+    default = results["default (l=1, LCM grid)"]
+    complete = results["complete every epoch"]
+    # the scheduled variant is much cheaper ...
+    assert default[2] < 0.7 * complete[2]
+    # ... at nearly the same accuracy
+    assert default[0] - complete[0] < 0.05
+    assert default[1] - complete[1] < 0.05

@@ -1,0 +1,56 @@
+"""Ablation — edge pruning vs. inference accuracy (§VI-C, Expt 6 note).
+
+The paper reports that pruned edges barely affect location inference
+(<1 % difference) but may cost up to ~8.2 % containment accuracy — the
+price of bounding memory.  This ablation reruns the accuracy workload with
+the pruning thresholds of Fig. 10 and reports both error rates.
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.metrics.accuracy import ScoringPolicy
+
+from benchmarks._shared import Table, accuracy_config, get_spire
+
+THRESHOLDS = [0.0, 0.25, 0.5, 0.75]
+
+
+def run_experiment() -> dict:
+    results = {}
+    for threshold in THRESHOLDS:
+        report = get_spire(
+            accuracy_config(),
+            params=InferenceParams(prune_threshold=threshold),
+            policies=(ScoringPolicy.ALL,),
+        )
+        acc = report.accuracy[ScoringPolicy.ALL]
+        results[threshold] = (
+            acc.location_error_rate,
+            acc.containment_error_rate,
+            report.peak_edges,
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_ablation_pruning_accuracy_cost(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: edge pruning threshold vs. accuracy and graph size",
+        ["threshold", "location error", "containment error", "peak edges"],
+    )
+    for threshold in THRESHOLDS:
+        table.add(threshold, *results[threshold])
+    table.show()
+
+    base_loc, base_cont, base_edges = results[0.0]
+    for threshold in (0.25, 0.5, 0.75):
+        loc, cont, edges = results[threshold]
+        # pruning keeps the graph smaller
+        assert edges <= base_edges
+        # location accuracy is barely affected (paper: < 1 % difference)
+        assert abs(loc - base_loc) < 0.03
+        # containment may degrade, but boundedly (paper: up to ~8.2 %)
+        assert cont - base_cont < 0.15

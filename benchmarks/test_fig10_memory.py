@@ -1,0 +1,81 @@
+"""Fig. 10 — graph memory vs. node count per edge-prune threshold (Expt 6).
+
+Reproduces: graph memory usage as the node count grows, one curve per
+pruning threshold in {0, 0.25, 0.5, 0.75}.  Expected shape: without
+pruning memory grows fastest (candidate edges accumulate); higher
+thresholds flatten the growth to ~linear in the node count.  The paper
+also notes pruning barely hurts location accuracy (<1 %) but may cost up
+to ~8 % containment accuracy — checked by the ablation benchmark
+(test_ablation_pruning.py).
+
+Memory is the deterministic `Graph.memory_bytes()` accounting (DESIGN.md
+§3 explains the substitution for the paper's JVM heap measurements).
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, Spire
+
+from benchmarks._shared import PAPER_SCALE, Table, get_sim, scale_config
+
+THRESHOLDS = [0.0, 0.25, 0.5, 0.75]
+MILESTONES = (
+    [25_000, 75_000, 125_000, 175_000] if PAPER_SCALE else [1_500, 3_000, 6_000, 9_000]
+)
+CASES_PER_PALLET = 5
+GROWTH_PER_EPOCH = (1 + CASES_PER_PALLET * 21) / (2 * CASES_PER_PALLET)
+DURATION = int(MILESTONES[-1] / GROWTH_PER_EPOCH) + 200
+
+
+def run_experiment() -> dict:
+    sim = get_sim(scale_config(CASES_PER_PALLET, DURATION))
+    curves: dict = {}
+    for threshold in THRESHOLDS:
+        deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+        spire = Spire(
+            deployment,
+            InferenceParams(prune_threshold=threshold),
+            compression_level=2,
+        )
+        samples: dict[int, tuple[int, int]] = {}
+        pending = list(MILESTONES)
+        for readings in sim.stream:
+            spire.process_epoch(readings)
+            if not pending:
+                break
+            nodes = spire.graph.node_count
+            if nodes >= pending[0]:
+                samples[pending.pop(0)] = (nodes, spire.graph.memory_bytes())
+        curves[threshold] = samples
+    return curves
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_memory_vs_node_count(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 10: graph memory (MB) vs. node count, per prune threshold",
+        ["nodes"] + [f"thr={t}" for t in THRESHOLDS],
+    )
+    for milestone in MILESTONES:
+        row = [milestone]
+        for threshold in THRESHOLDS:
+            sample = curves[threshold].get(milestone)
+            row.append(sample[1] / 1e6 if sample else float("nan"))
+        table.add(*row)
+    table.show()
+
+    last = MILESTONES[-1]
+    assert all(last in curves[t] for t in THRESHOLDS), "runs did not reach the last milestone"
+    # pruning reduces memory, monotonically in the threshold (1 % noise
+    # tolerance: different thresholds perturb inference trajectories)
+    memories = [curves[t][last][1] for t in THRESHOLDS]
+    assert memories[0] > 2 * memories[2], "pruning at 0.5 should beat no pruning"
+    assert memories[1] >= 0.99 * memories[2]
+    assert memories[2] >= 0.99 * memories[3]
+    # with strong pruning the growth is ~linear: bytes/node roughly constant
+    strong = curves[0.5]
+    per_node = [strong[m][1] / strong[m][0] for m in MILESTONES]
+    assert max(per_node) < 1.5 * min(per_node)

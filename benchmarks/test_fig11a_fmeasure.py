@@ -1,0 +1,78 @@
+"""Fig. 11(a) — F-measure of location events: SPIRE vs. SMURF (Expt 7).
+
+Reproduces: event-level precision/recall/F-measure (vs. the level-1
+compressed ground-truth stream) for location events, as the read rate
+sweeps 0.5 -> 1.0.
+
+Measured shape (see EXPERIMENTS.md): SPIRE dominates on *recall* at every
+read rate — containment propagation and the fading-color model recover
+state changes SMURF misses outright — while our SMURF implementation
+(π-estimator window growth with a conservative 2σ transition test, a
+stronger baseline than the paper describes) holds slightly better
+precision, yielding rough F-measure parity on this steady-flow workload
+instead of the paper's clear SPIRE win.  On transition-rich workloads
+(shorter shelving, faster reader cadence) SPIRE wins the F-measure
+outright — asserted in tests/test_integration.py.
+"""
+
+import pytest
+
+from repro.metrics.events import match_events
+from repro.metrics.sizing import location_only
+
+from benchmarks._shared import (
+    Table,
+    get_smurf,
+    get_spire,
+    get_truth_stream,
+    output_config,
+)
+
+READ_RATES = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def run_experiment() -> dict:
+    results = {}
+    for rate in READ_RATES:
+        config = output_config(rate)
+        reference = location_only(get_truth_stream(config))
+        tolerance = 2 * config.shelf_read_period
+        spire = match_events(
+            location_only(get_spire(config, compression_level=1, score=False).messages),
+            reference,
+            tolerance,
+        )
+        smurf = match_events(
+            location_only(get_smurf(config, score=False).messages), reference, tolerance
+        )
+        results[rate] = (spire, smurf)
+    return results
+
+
+@pytest.mark.benchmark(group="fig11a")
+def test_fig11a_fmeasure_spire_vs_smurf(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 11(a): location-event accuracy vs. read rate",
+        ["read rate", "SPIRE F", "SPIRE P", "SPIRE R", "SMURF F", "SMURF P", "SMURF R"],
+    )
+    for rate in READ_RATES:
+        spire, smurf = results[rate]
+        table.add(
+            rate,
+            spire.f_measure, spire.precision, spire.recall,
+            smurf.f_measure, smurf.precision, smurf.recall,
+        )
+    table.show()
+
+    for rate in READ_RATES:
+        spire, smurf = results[rate]
+        # SPIRE recovers more of the true state changes at every read rate
+        assert spire.recall >= smurf.recall - 1e-9, f"recall lost at rate {rate}"
+        # and stays F-competitive with a strong smoothing baseline
+        assert spire.f_measure >= smurf.f_measure - 0.05, f"F gap too large at {rate}"
+    # the recall advantage widens as readings get lossier
+    recall_gap_low = results[0.5][0].recall - results[0.5][1].recall
+    recall_gap_high = results[1.0][0].recall - results[1.0][1].recall
+    assert recall_gap_low >= recall_gap_high - 1e-9

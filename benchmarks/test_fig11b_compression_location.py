@@ -1,0 +1,61 @@
+"""Fig. 11(b) — compression ratio, location events only (Expt 8).
+
+Reproduces: output size over raw input size considering only location
+events, for SMURF, SPIRE level-1 and SPIRE level-2, as the read rate
+sweeps 0.5 -> 1.0.  Expected shape: level-2 beats level-1 above a
+crossover read rate (paper: ~0.65) because stable containment suppresses
+contained objects' location updates; below the crossover containment
+estimates fluctuate and level-2 loses its edge.  SMURF tracks level-1 at
+high read rates and degrades at low rates (premature away/return event
+churn).
+"""
+
+import pytest
+
+from repro.metrics.sizing import compression_ratio, location_only
+
+from benchmarks._shared import Table, get_smurf, get_spire, output_config
+
+READ_RATES = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def run_experiment() -> dict:
+    results = {}
+    for rate in READ_RATES:
+        config = output_config(rate)
+        spire1 = get_spire(config, compression_level=1, score=False)
+        spire2 = get_spire(config, compression_level=2, score=False)
+        smurf = get_smurf(config, score=False)
+        raw = spire1.raw_bytes
+        results[rate] = (
+            compression_ratio(location_only(smurf.messages), raw),
+            compression_ratio(location_only(spire1.messages), raw),
+            compression_ratio(location_only(spire2.messages), raw),
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_location_compression_ratio(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 11(b): compression ratio (location events only) vs. read rate",
+        ["read rate", "SMURF", "SPIRE level-1", "SPIRE level-2"],
+    )
+    for rate in READ_RATES:
+        table.add(rate, *results[rate])
+    table.show()
+
+    # level-2 suppression wins at high read rates ...
+    for rate in (0.8, 0.9, 1.0):
+        smurf_r, l1, l2 = results[rate]
+        assert l2 < l1, f"level-2 {l2:.4f} not below level-1 {l1:.4f} at {rate}"
+    # ... and loses at the bottom of the range: the paper's crossover
+    assert results[0.5][2] > results[0.5][1], "no level-1/level-2 crossover"
+    # SMURF's output is comparable to SPIRE level-1 at high read rates
+    for rate in (0.9, 1.0):
+        assert abs(results[rate][0] - results[rate][1]) < 0.1 * results[rate][1] + 0.01
+    # everything is a substantial reduction of the raw stream
+    for rate in READ_RATES:
+        assert max(results[rate]) < 0.8

@@ -1,0 +1,62 @@
+"""Fig. 9(a) — containment inference error vs. beta (Expt 1).
+
+Reproduces: containment error rate as beta sweeps 0 -> 1, one curve per
+shelf-reader frequency, plus the adaptive-beta heuristic.  Expected shape:
+high beta hurts when shelf readings are frequent (noisy co-location
+history); low and adaptive beta are robust across frequencies.
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.metrics.accuracy import ScoringPolicy
+
+from benchmarks._shared import Table, accuracy_config, get_spire
+
+BETAS = [0.0, 0.2, 0.4, 0.6, 0.85, 1.0]
+SHELF_PERIODS = [1, 10, 60]
+
+
+def containment_error(shelf_period: int, params: InferenceParams) -> float:
+    report = get_spire(
+        accuracy_config(shelf_read_period=shelf_period),
+        params=params,
+        policies=(ScoringPolicy.ALL,),
+    )
+    return report.accuracy[ScoringPolicy.ALL].containment_error_rate
+
+
+def run_experiment() -> dict:
+    curves: dict = {}
+    for period in SHELF_PERIODS:
+        curves[period] = {
+            beta: containment_error(period, InferenceParams(beta=beta))
+            for beta in BETAS
+        }
+        curves[period]["adaptive"] = containment_error(
+            period, InferenceParams(adaptive_beta=True)
+        )
+    return curves
+
+
+@pytest.mark.benchmark(group="fig9a")
+def test_fig9a_containment_error_vs_beta(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 9(a): containment error rate vs. beta",
+        ["shelf period (s)"] + [f"beta={b}" for b in BETAS] + ["adaptive"],
+    )
+    for period in SHELF_PERIODS:
+        table.add(period, *(curves[period][b] for b in BETAS), curves[period]["adaptive"])
+    table.show()
+
+    # Shape: with the noisiest co-location history (shelf reads every
+    # second), leaning fully on recent history must not beat leaning on
+    # confirmations.
+    noisy = curves[SHELF_PERIODS[0]]
+    assert noisy[1.0] >= noisy[0.2] - 0.02
+    # The adaptive heuristic tracks the low-beta regime (Expt 1 finding).
+    for period in SHELF_PERIODS:
+        low = min(curves[period][b] for b in (0.0, 0.2, 0.4))
+        assert curves[period]["adaptive"] <= low + 0.05

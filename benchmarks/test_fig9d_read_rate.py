@@ -1,0 +1,58 @@
+"""Fig. 9(d) — inference error vs. read rate (Expt 3).
+
+Reproduces: location and containment error rates as the read rate of every
+reader sweeps 0.5 -> 1.0 (shelf readers at 1/min).  Expected shape: both
+errors below ~10 % for read rates >= 0.8; as the read rate drops, location
+inference stays comparatively accurate (it exploits the last reported
+location) while containment inference degrades faster (it loses belt
+confirmations and consistent co-location history).
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.metrics.accuracy import ScoringPolicy
+
+from benchmarks._shared import Table, accuracy_config, get_spire
+
+READ_RATES = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def run_experiment() -> dict:
+    results = {}
+    for rate in READ_RATES:
+        report = get_spire(
+            accuracy_config(read_rate=rate, shelf_read_period=60),
+            params=InferenceParams(),
+            policies=(ScoringPolicy.ALL,),
+        )
+        acc = report.accuracy[ScoringPolicy.ALL]
+        results[rate] = (acc.location_error_rate, acc.containment_error_rate)
+    return results
+
+
+@pytest.mark.benchmark(group="fig9d")
+def test_fig9d_error_vs_read_rate(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 9(d): inference error rate vs. read rate",
+        ["read rate", "location error", "containment error"],
+    )
+    for rate in READ_RATES:
+        table.add(rate, *results[rate])
+    table.show()
+
+    # Paper headline: both error rates stay below ~10 % for rates >= 0.8.
+    for rate in (0.8, 0.9, 1.0):
+        location, containment = results[rate]
+        assert location < 0.12, f"location error {location:.3f} at rate {rate}"
+        assert containment < 0.12, f"containment error {containment:.3f} at rate {rate}"
+
+    # Degradation toward low read rates, with containment degrading more
+    # steeply than location (relative to their high-rate baselines).
+    assert results[0.5][1] > results[1.0][1]
+    containment_degradation = results[0.5][1] - results[0.9][1]
+    location_degradation = results[0.5][0] - results[0.9][0]
+    assert containment_degradation > 0
+    assert containment_degradation >= location_degradation - 0.02

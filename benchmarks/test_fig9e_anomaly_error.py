@@ -1,0 +1,60 @@
+"""Fig. 9(e) — inference error vs. theta under anomalies (Expt 4).
+
+Reproduces: location error rate as theta varies, on a trace with
+unexpected removals (theft/misplacement) injected every 100 s.  Expected
+shape: same trends as Fig. 9(c) — steep decline from the theta -> 0
+maximum, favourable plateau for theta in [1, 2] — confirming those theta
+values also serve anomaly detection.
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.metrics.accuracy import ScoringPolicy
+
+from benchmarks._shared import PAPER_SCALE, Table, accuracy_config, get_spire
+
+THETAS = [0.05, 0.5, 1.0, 1.25, 1.5, 2.0, 3.0]
+SHELF_PERIODS = [10, 60]
+ANOMALY_PERIOD = 100
+POLICIES = (ScoringPolicy.ALL, ScoringPolicy.HARD_ONLY)
+
+
+def run_experiment() -> dict:
+    curves: dict = {}
+    for period in SHELF_PERIODS:
+        config = accuracy_config(
+            shelf_read_period=period, anomaly_period=ANOMALY_PERIOD
+        )
+        curves[period] = {}
+        for theta in THETAS:
+            report = get_spire(
+                config, params=InferenceParams(theta=theta), policies=POLICIES
+            )
+            curves[period][theta] = {
+                policy: report.accuracy[policy].location_error_rate
+                for policy in POLICIES
+            }
+    return curves
+
+
+@pytest.mark.benchmark(group="fig9e")
+def test_fig9e_anomaly_error_vs_theta(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for policy in POLICIES:
+        table = Table(
+            f"Fig. 9(e): location error vs. theta, removals every "
+            f"{ANOMALY_PERIOD}s  [{policy.value} population]",
+            ["shelf period (s)"] + [f"t={t}" for t in THETAS],
+        )
+        for period in SHELF_PERIODS:
+            table.add(period, *(curves[period][t][policy] for t in THETAS))
+        table.show()
+
+    # Same qualitative trends as Fig. 9(c)
+    for period in SHELF_PERIODS:
+        hard = {t: curves[period][t][ScoringPolicy.HARD_ONLY] for t in THETAS}
+        assert hard[0.05] > hard[1.25]
+        mid_best = min(hard[t] for t in (1.0, 1.25, 1.5, 2.0))
+        assert mid_best <= hard[0.05]

@@ -1,0 +1,75 @@
+"""Fig. 9(f) — anomaly detection delay vs. theta (Expt 4).
+
+Reproduces: mean delay between an unexpected removal and the first Missing
+event reporting it, as theta varies, per shelf-reader frequency.  Expected
+shape: higher theta decays the continued-presence belief faster and so
+detects sooner; slow shelf readers need larger theta for a given delay
+target, and their delays are quantised by the complete-inference cadence.
+
+Detection is measured on level-1 output (level-2 deliberately suppresses
+contained objects' Missing events; they reappear on decompression).
+"""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.metrics.accuracy import ScoringPolicy
+from repro.metrics.delay import detection_delays
+
+from benchmarks._shared import Table, accuracy_config, get_sim, get_spire
+
+THETAS = [0.35, 0.75, 1.0, 1.5, 2.0, 3.0]
+SHELF_PERIODS = [10, 60]
+ANOMALY_PERIOD = 100
+
+
+def run_experiment() -> dict:
+    curves: dict = {}
+    for period in SHELF_PERIODS:
+        config = accuracy_config(
+            shelf_read_period=period, anomaly_period=ANOMALY_PERIOD
+        )
+        sim = get_sim(config)
+        curves[period] = {}
+        for theta in THETAS:
+            report = get_spire(
+                config,
+                params=InferenceParams(theta=theta),
+                compression_level=1,
+                policies=(ScoringPolicy.ALL,),
+                score=False,
+            )
+            detection = detection_delays(report.messages, sim.truth.vanished)
+            curves[period][theta] = (
+                detection.mean_delay,
+                detection.detection_rate,
+            )
+    return curves
+
+
+@pytest.mark.benchmark(group="fig9f")
+def test_fig9f_detection_delay_vs_theta(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Fig. 9(f): anomaly detection delay (s) vs. theta",
+        ["shelf period (s)"] + [f"t={t}" for t in THETAS] + ["detection rate @t=1.5"],
+    )
+    for period in SHELF_PERIODS:
+        table.add(
+            period,
+            *(curves[period][t][0] for t in THETAS),
+            curves[period][1.5][1],
+        )
+    table.show()
+
+    for period in SHELF_PERIODS:
+        delays = {t: curves[period][t][0] for t in THETAS}
+        rates = {t: curves[period][t][1] for t in THETAS}
+        # anomalies must actually be detected in the favourable theta range
+        assert rates[1.5] > 0.6
+        # higher theta detects at least as fast as the lowest theta
+        assert delays[3.0] <= delays[0.35] + 1e-9
+    # slower shelf readers wait much longer for the evidence to arrive when
+    # the decay is slow (at high theta both converge to the reading cadence)
+    assert curves[60][0.35][0] >= curves[10][0.35][0]

@@ -1,0 +1,83 @@
+"""Compression pipeline: level-1 vs. level-2 vs. SMURF, and decompression.
+
+Runs the same trace through three output pipelines and compares the data
+reduction each achieves, then decompresses the level-2 stream back to its
+level-1 equivalent on demand — the front-end a query processor would use
+(§V-C).
+
+Usage:  python examples/compression_pipeline.py
+"""
+
+from repro import (
+    Deployment,
+    SimulationConfig,
+    SmurfPipeline,
+    Spire,
+    WarehouseSimulator,
+    decompress_stream,
+)
+from repro.events.messages import EVENT_MESSAGE_BYTES
+from repro.metrics.sizing import compression_ratio, containment_only, location_only
+
+
+def main() -> None:
+    config = SimulationConfig(
+        duration=1200,
+        pallet_period=150,
+        cases_per_pallet_min=4,
+        cases_per_pallet_max=4,
+        items_per_case=6,
+        read_rate=0.9,
+        shelf_read_period=30,
+        num_shelves=2,
+        shelving_time_mean=300,
+        shelving_time_jitter=60,
+        seed=7,
+    )
+    sim = WarehouseSimulator(config).run()
+    raw = sim.stream.raw_bytes
+    print(f"raw input: {sim.stream.total_readings} readings, {raw / 1e3:.0f} kB")
+
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+
+    streams = {}
+    for label, level in (("SPIRE level-1", 1), ("SPIRE level-2", 2)):
+        spire = Spire(deployment, compression_level=level)
+        messages = []
+        for epoch_readings in sim.stream:
+            messages.extend(spire.process_epoch(epoch_readings).messages)
+        streams[label] = messages
+
+    smurf = SmurfPipeline(deployment)
+    streams["SMURF + level-1"] = smurf.run(sim.stream)
+
+    print(f"\n{'pipeline':18s} {'messages':>9s} {'kB':>7s} {'ratio':>7s} "
+          f"{'location':>9s} {'containment':>12s}")
+    for label, messages in streams.items():
+        size = len(messages) * EVENT_MESSAGE_BYTES
+        print(
+            f"{label:18s} {len(messages):9d} {size / 1e3:7.1f} "
+            f"{compression_ratio(messages, raw):7.1%} "
+            f"{len(location_only(messages)):9d} {len(containment_only(messages)):12d}"
+        )
+
+    # On-demand decompression: expand the level-2 stream so every object's
+    # location history is explicit again (what an event query processor
+    # would consume).
+    level2 = streams["SPIRE level-2"]
+    expanded = decompress_stream(level2)
+    print(f"\ndecompressed level-2: {len(level2)} -> {len(expanded)} messages "
+          f"(contained objects' location histories restored)")
+
+    # show one contained object's reconstructed history
+    items = sorted({m.obj for m in expanded if m.obj.level == 1})
+    if items:
+        target = items[0]
+        print(f"\nreconstructed history of {target}:")
+        for message in expanded:
+            if message.obj == target:
+                print(f"  {message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Containment audit: answering "what is packed inside what?" live.
+
+The paper's introductory motivation: raw RFID streams do not reveal
+whether flammable items are in a fire-proof container, or whether foods
+with and without peanuts share a case.  SPIRE's containment inference makes
+such audits possible over a live stream.
+
+This example tags a subset of items as "peanut" items, streams the
+warehouse trace through SPIRE, and continuously audits a policy: peanut
+items and peanut-free items must never be estimated inside the same case.
+Because the simulator packs cases homogeneously, every reported violation
+is an inference error — so the audit doubles as a precision check.
+
+Usage:  python examples/containment_audit.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    Deployment,
+    InferenceParams,
+    SimulationConfig,
+    Spire,
+    WarehouseSimulator,
+)
+from repro.model.objects import PackagingLevel
+
+
+def main() -> None:
+    config = SimulationConfig(
+        duration=1200,
+        pallet_period=200,
+        cases_per_pallet_min=4,
+        cases_per_pallet_max=4,
+        items_per_case=6,
+        read_rate=0.85,
+        shelf_read_period=20,
+        num_shelves=2,
+        shelving_time_mean=300,
+        shelving_time_jitter=60,
+        seed=13,
+    )
+    sim = WarehouseSimulator(config).run()
+
+    # domain knowledge: even item serials carry peanuts (the simulator
+    # packs each case from a contiguous serial range, so real cases are
+    # homogeneous only per-case -- here we make the label per-case instead)
+    case_of_item = {}
+    for snapshot in sim.truth.snapshots:
+        for tag, container in snapshot.containers.items():
+            if tag.level == PackagingLevel.ITEM:
+                case_of_item.setdefault(tag, container)
+    peanut_cases = {case for case in set(case_of_item.values()) if case.serial % 2 == 0}
+    peanut_items = {t for t, c in case_of_item.items() if c in peanut_cases}
+    print(f"{len(peanut_items)} peanut items in {len(peanut_cases)} peanut cases "
+          f"(of {len(set(case_of_item.values()))} cases total)")
+
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    spire = Spire(deployment, InferenceParams(beta=0.4))
+
+    audits = violations = 0
+    first_violations = []
+    for epoch_readings in sim.stream:
+        spire.process_epoch(epoch_readings)
+        if epoch_readings.epoch % 60 != 0:
+            continue
+        # audit: group current item estimates by estimated case
+        contents = defaultdict(set)
+        for tag in spire.estimates:
+            if tag.level != PackagingLevel.ITEM:
+                continue
+            container = spire.container_of(tag)
+            if container is not None and container.level == PackagingLevel.CASE:
+                contents[container].add(tag)
+        for case, items in contents.items():
+            labels = {item in peanut_items for item in items}
+            audits += 1
+            if len(labels) > 1:
+                violations += 1
+                if len(first_violations) < 5:
+                    first_violations.append((epoch_readings.epoch, case, sorted(items)[:4]))
+
+    print(f"\naudited {audits} (case, minute) combinations")
+    print(f"mixed-content alarms: {violations} "
+          f"({violations / audits:.2%} — every alarm is an inference error here)")
+    for epoch, case, items in first_violations:
+        print(f"  t={epoch}: {case} estimated to hold a mixed set, e.g. {items}")
+    if violations == 0:
+        print("  no alarms: containment inference kept all cases homogeneous")
+
+
+if __name__ == "__main__":
+    main()

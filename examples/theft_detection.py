@@ -1,0 +1,75 @@
+"""Theft detection: finding objects that left the warehouse improperly.
+
+The paper's motivating anomaly (§VI-B Expt 4): objects removed without an
+exit reading — theft or misplacement.  SPIRE discovers them through decayed
+belief: once an object misses enough expected readings, the "unknown"
+location wins and a Missing event is emitted.
+
+This example injects one removal every 2 minutes, runs SPIRE with level-1
+compression (so Missing events of contained objects are visible directly),
+and prints the per-object detection delay.
+
+Usage:  python examples/theft_detection.py
+"""
+
+from repro import (
+    Deployment,
+    InferenceParams,
+    SimulationConfig,
+    Spire,
+    WarehouseSimulator,
+)
+from repro.metrics.delay import detection_delays
+
+
+def main() -> None:
+    config = SimulationConfig(
+        duration=1200,
+        pallet_period=200,
+        cases_per_pallet_min=3,
+        cases_per_pallet_max=3,
+        items_per_case=5,
+        read_rate=0.9,
+        shelf_read_period=15,
+        num_shelves=2,
+        shelving_time_mean=240,
+        shelving_time_jitter=60,
+        anomaly_period=120,      # one removal every 2 minutes
+        seed=99,
+    )
+    sim = WarehouseSimulator(config).run()
+    print(f"simulated {len(sim.stream)} epochs with {len(sim.removals)} removal events "
+          f"({len(sim.truth.vanished)} objects vanished, contents included)")
+
+    # theta controls how quickly the belief in continued presence decays;
+    # the paper finds theta in [1, 2] a good balance of error vs. delay
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    spire = Spire(deployment, InferenceParams(theta=1.5), compression_level=1)
+
+    messages = []
+    for epoch_readings in sim.stream:
+        messages.extend(spire.process_epoch(epoch_readings).messages)
+
+    report = detection_delays(messages, sim.truth.vanished)
+    print(f"\ndetected {len(report.delays)}/{len(sim.truth.vanished)} vanished objects "
+          f"({report.detection_rate:.0%}); mean delay {report.mean_delay:.0f}s, "
+          f"max {report.max_delay}s")
+
+    print("\nper-event detail (first 10):")
+    registry = sim.layout.registry
+    for event in sim.removals[:10]:
+        for tag in event.affected:
+            vanish_epoch = sim.truth.vanished[tag]
+            delay = report.delays.get(tag)
+            status = f"detected after {delay}s" if delay is not None else "NOT detected"
+            print(f"  t={vanish_epoch:5d}  {str(tag):10s} stolen -> {status}")
+
+    if report.undetected:
+        print(f"\nundetected: {sorted(str(t) for t in report.undetected)}")
+        print("(objects stolen right before the simulation ended, or items whose")
+        print(" confirmed containment keeps them pinned to a still-visible case —")
+        print(" the adaptive-beta heuristic of §IV-A erodes such stale confirmations)")
+
+
+if __name__ == "__main__":
+    main()

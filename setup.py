@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines whose setuptools
+cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""SPIRE: efficient data interpretation and compression over RFID streams.
+
+A faithful Python reproduction of Cocci, Nie, Diao, Shenoy (ICDE 2008).
+The substrate turns raw ``<tag, reader, timestamp>`` streams into a
+compressed event stream carrying inferred object locations and containment:
+
+>>> from repro import SimulationConfig, WarehouseSimulator, Spire, Deployment
+>>> sim = WarehouseSimulator(SimulationConfig(duration=120, pallet_period=60,
+...                                           shelving_time_mean=30,
+...                                           shelf_read_period=10)).run()
+>>> spire = Spire(Deployment.from_readers(sim.layout.readers, sim.layout.registry))
+>>> outputs = spire.run(sim.stream)
+>>> any(o.messages for o in outputs)
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines.smurf import SmurfParams, SmurfPipeline
+from repro.compression.decompress import Level2Decompressor, decompress_stream
+from repro.compression.level1 import RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.core.capture import GraphUpdater, ReaderInfo
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.explain import Explanation, explain_object
+from repro.core.graph import UNKNOWN_COLOR, Graph
+from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, EpochOutput, Spire
+from repro.events.messages import EventKind, EventMessage
+from repro.events.wellformed import check_well_formed
+from repro.metrics.accuracy import AccuracyAccumulator, ScoringPolicy
+from repro.metrics.delay import detection_delays
+from repro.metrics.events import match_events
+from repro.metrics.sizing import compression_ratio, containment_only, location_only
+from repro.model.locations import Location, LocationKind, UNKNOWN_LOCATION
+from repro.model.objects import PackagingLevel, TagId
+from repro.model.world import PhysicalWorld
+from repro.query.index import EventStreamIndex, Interval
+from repro.readers.reader import Reader, ReaderKind
+from repro.readers.stream import EpochReadings, Reading, ReadingStream
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import SimulationResult, WarehouseSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core substrate
+    "Spire",
+    "Deployment",
+    "EpochOutput",
+    "InferenceParams",
+    "Graph",
+    "GraphUpdater",
+    "ReaderInfo",
+    "InterpretationResult",
+    "Estimate",
+    "LocationSource",
+    "UNKNOWN_COLOR",
+    # events and compression
+    "EventKind",
+    "EventMessage",
+    "check_well_formed",
+    "RangeCompressor",
+    "ContainmentCompressor",
+    "Level2Decompressor",
+    "decompress_stream",
+    # world model and readers
+    "PackagingLevel",
+    "TagId",
+    "Location",
+    "LocationKind",
+    "UNKNOWN_LOCATION",
+    "PhysicalWorld",
+    "Reader",
+    "ReaderKind",
+    "Reading",
+    "EpochReadings",
+    "ReadingStream",
+    # simulator
+    "SimulationConfig",
+    "WarehouseSimulator",
+    "SimulationResult",
+    # baselines and metrics
+    "SmurfPipeline",
+    "SmurfParams",
+    "AccuracyAccumulator",
+    "ScoringPolicy",
+    "match_events",
+    "compression_ratio",
+    "location_only",
+    "containment_only",
+    "detection_delays",
+    # operational layer
+    "EventStreamIndex",
+    "Interval",
+    "explain_object",
+    "Explanation",
+    "save_checkpoint",
+    "load_checkpoint",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Baselines SPIRE is compared against in Section VI-D.
+
+:mod:`repro.baselines.smurf` re-implements SMURF (Jeffery, Garofalakis,
+Franklin — "Adaptive cleaning for RFID data streams", VLDB 2006), the
+state-of-the-art per-tag adaptive smoothing cleaner, extended exactly as
+the paper describes: static reader locations turn smoothed readings into
+object-location estimates, and a level-1 range compressor turns those into
+a compressed event stream.  SMURF has no notion of containment.
+"""
+
+from repro.baselines.smurf import SmurfParams, SmurfPipeline, SmurfTagState
+
+__all__ = ["SmurfParams", "SmurfPipeline", "SmurfTagState"]

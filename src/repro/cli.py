@@ -1,0 +1,300 @@
+"""Command-line interface for the SPIRE substrate.
+
+Four subcommands cover the trace lifecycle:
+
+* ``simulate`` — generate a synthetic warehouse trace and persist it (raw
+  binary readings + a JSON sidecar with the configuration);
+* ``interpret`` — run SPIRE over a persisted trace, writing the compressed
+  event stream and printing summary statistics;
+* ``evaluate`` — simulate + interpret + score in one go (accuracy,
+  compression ratio, optional SMURF comparison);
+* ``query`` — answer point/path queries over a persisted event stream.
+
+Examples::
+
+    repro-spire simulate --duration 1200 --read-rate 0.85 -o trace.bin
+    repro-spire interpret trace.bin -o events.bin --compression 2
+    repro-spire evaluate --duration 1800 --read-rate 0.7 --smurf
+    repro-spire query events.bin --object case:3 --at 500
+    repro-spire query events.bin --object case:3 --path
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.baselines.smurf import SmurfPipeline
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, Spire
+from repro.events import codec as event_codec
+from repro.metrics.accuracy import AccuracyAccumulator, ScoringPolicy
+from repro.metrics.sizing import compression_ratio
+from repro.model.objects import PackagingLevel, TagId
+from repro.query.index import EventStreamIndex
+from repro.readers import codec as reading_codec
+from repro.simulator.config import SimulationConfig
+from repro.simulator.layout import WarehouseLayout
+from repro.simulator.warehouse import WarehouseSimulator
+
+
+def _sidecar_path(trace_path: Path) -> Path:
+    return trace_path.with_suffix(trace_path.suffix + ".json")
+
+
+def parse_tag(text: str) -> TagId:
+    """Parse a ``level:serial`` tag spec, e.g. ``case:3``."""
+    try:
+        level_name, serial_text = text.split(":")
+        level = PackagingLevel[level_name.upper()]
+        return TagId(level, int(serial_text))
+    except (ValueError, KeyError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"invalid tag {text!r}; expected e.g. 'item:5', 'case:3', 'pallet:1'"
+        ) from exc
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = SimulationConfig()
+    parser.add_argument("--duration", type=int, default=1800, help="epochs to simulate")
+    parser.add_argument("--pallet-period", type=int, default=300)
+    parser.add_argument("--cases-per-pallet", type=int, default=defaults.cases_per_pallet_min)
+    parser.add_argument("--items-per-case", type=int, default=8)
+    parser.add_argument("--read-rate", type=float, default=defaults.read_rate)
+    parser.add_argument("--shelf-period", type=int, default=defaults.shelf_read_period)
+    parser.add_argument("--num-shelves", type=int, default=defaults.num_shelves)
+    parser.add_argument("--shelving-time", type=int, default=600)
+    parser.add_argument("--anomaly-period", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        duration=args.duration,
+        pallet_period=args.pallet_period,
+        cases_per_pallet_min=args.cases_per_pallet,
+        cases_per_pallet_max=args.cases_per_pallet,
+        items_per_case=args.items_per_case,
+        read_rate=args.read_rate,
+        shelf_read_period=args.shelf_period,
+        num_shelves=args.num_shelves,
+        shelving_time_mean=args.shelving_time,
+        shelving_time_jitter=max(1, args.shelving_time // 5),
+        anomaly_period=args.anomaly_period,
+        seed=args.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Generate a synthetic trace and persist it with its config sidecar."""
+    config = _config_from_args(args)
+    sim = WarehouseSimulator(config).run()
+    trace_path = Path(args.output)
+    with trace_path.open("wb") as fp:
+        written = reading_codec.write_trace(sim.stream, fp)
+    with _sidecar_path(trace_path).open("w") as fp:
+        json.dump(dataclasses.asdict(config), fp, indent=2)
+    print(
+        f"wrote {sim.stream.total_readings} readings ({written} bytes) over "
+        f"{len(sim.stream)} epochs to {trace_path}"
+    )
+    print(
+        f"pallets: {sim.pallets_arrived} in / {sim.pallets_assembled} assembled; "
+        f"peak objects {sim.peak_objects}; removals {len(sim.removals)}"
+    )
+    return 0
+
+
+def cmd_interpret(args: argparse.Namespace) -> int:
+    """Run SPIRE over a persisted trace and write the event stream."""
+    trace_path = Path(args.trace)
+    sidecar = _sidecar_path(trace_path)
+    if not sidecar.exists():
+        print(f"error: missing deployment sidecar {sidecar}", file=sys.stderr)
+        return 2
+    config = SimulationConfig(**json.loads(sidecar.read_text()))
+    layout = WarehouseLayout.build(config)
+    with trace_path.open("rb") as fp:
+        stream = reading_codec.read_trace(fp)
+
+    deployment = Deployment.from_readers(layout.readers, layout.registry)
+    spire = Spire(
+        deployment,
+        InferenceParams(),
+        compression_level=args.compression,
+    )
+    messages = []
+    for epoch_readings in stream:
+        messages.extend(spire.process_epoch(epoch_readings).messages)
+
+    with Path(args.output).open("wb") as fp:
+        written = event_codec.write_stream(messages, fp)
+    ratio = compression_ratio(messages, stream.raw_bytes)
+    print(
+        f"interpreted {stream.total_readings} readings -> {len(messages)} events "
+        f"({written} bytes, {ratio:.1%} of raw) to {args.output}"
+    )
+    print(f"objects tracked at end: {spire.tracked_objects}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Simulate, interpret and score in one go (optionally vs. SMURF)."""
+    config = _config_from_args(args)
+    sim = WarehouseSimulator(config).run()
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    exclude = frozenset({sim.layout.entry_door.color})
+
+    spire = Spire(deployment, InferenceParams(), compression_level=args.compression)
+    accuracy = AccuracyAccumulator(policy=ScoringPolicy.ALL, exclude_colors=exclude)
+    messages = []
+    for epoch_readings, snapshot in zip(sim.stream, sim.truth.snapshots):
+        messages.extend(spire.process_epoch(epoch_readings).messages)
+        accuracy.score_epoch(spire, snapshot)
+
+    print(f"trace: {sim.stream.total_readings} readings, {len(sim.stream)} epochs, "
+          f"read rate {config.read_rate}")
+    print(f"SPIRE (level {args.compression}):")
+    print(f"  location error     {accuracy.location_error_rate:8.3%}")
+    print(f"  containment error  {accuracy.containment_error_rate:8.3%}")
+    print(f"  compression ratio  {compression_ratio(messages, sim.stream.raw_bytes):8.3%}")
+    print(f"  output events      {len(messages):8d}")
+
+    if args.smurf:
+        smurf = SmurfPipeline(deployment)
+        smurf_messages = []
+        errors = total = 0
+        for epoch_readings, snapshot in zip(sim.stream, sim.truth.snapshots):
+            smurf_messages.extend(smurf.process_epoch(epoch_readings))
+            for tag, location in snapshot.locations.items():
+                if location.color in exclude:
+                    continue
+                total += 1
+                if smurf.location_of(tag) != location.color:
+                    errors += 1
+        print("SMURF baseline (location only):")
+        print(f"  location error     {errors / total if total else 0.0:8.3%}")
+        print(f"  compression ratio  {compression_ratio(smurf_messages, sim.stream.raw_bytes):8.3%}")
+        print(f"  output events      {len(smurf_messages):8d}")
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    """Expand a level-2 event stream file to its level-1 equivalent."""
+    from repro.compression.decompress import decompress_stream
+
+    with Path(args.events).open("rb") as fp:
+        messages = list(event_codec.read_stream(fp))
+    expanded = decompress_stream(messages)
+    with Path(args.output).open("wb") as fp:
+        written = event_codec.write_stream(expanded, fp)
+    print(
+        f"decompressed {len(messages)} -> {len(expanded)} messages "
+        f"({written} bytes) to {args.output}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer point/path/tree queries over a persisted event stream."""
+    with Path(args.events).open("rb") as fp:
+        messages = list(event_codec.read_stream(fp))
+    index = EventStreamIndex(messages, decompress=args.decompress)
+
+    if args.path:
+        for interval in index.path(args.object):
+            ve = "now" if interval.ve == float("inf") else int(interval.ve)
+            print(f"L{interval.value}: [{interval.vs}, {ve})")
+        for report in index.missing_reports(args.object):
+            print(f"reported missing at {report}")
+        return 0
+
+    if args.at is None:
+        print("error: provide --at EPOCH or --path", file=sys.stderr)
+        return 2
+    place = index.location_of(args.object, args.at)
+    container = index.container_of(args.object, args.at)
+    top = index.top_level_container(args.object, args.at)
+    print(f"object     {args.object}")
+    print(f"location   {'L' + str(place) if place is not None else 'unknown'}")
+    print(f"container  {container if container is not None else '-'}")
+    if top != args.object:
+        print(f"top-level  {top}")
+    if index.is_missing(args.object, args.at):
+        print("status     reported missing")
+    if args.tree:
+        print("containment tree:")
+        print(index.render_tree(top, args.at))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-spire argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spire",
+        description="SPIRE: RFID stream interpretation and compression",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="generate a synthetic trace")
+    _add_config_arguments(simulate)
+    simulate.add_argument("-o", "--output", required=True, help="trace output path")
+    simulate.set_defaults(func=cmd_simulate)
+
+    interpret = subparsers.add_parser("interpret", help="run SPIRE over a trace")
+    interpret.add_argument("trace", help="trace file written by 'simulate'")
+    interpret.add_argument("-o", "--output", required=True, help="event stream output path")
+    interpret.add_argument("--compression", type=int, choices=(1, 2), default=2)
+    interpret.set_defaults(func=cmd_interpret)
+
+    evaluate = subparsers.add_parser("evaluate", help="simulate + interpret + score")
+    _add_config_arguments(evaluate)
+    evaluate.add_argument("--compression", type=int, choices=(1, 2), default=2)
+    evaluate.add_argument("--smurf", action="store_true", help="also run the SMURF baseline")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    decompress = subparsers.add_parser(
+        "decompress", help="expand a level-2 event stream to level-1 (§V-C)"
+    )
+    decompress.add_argument("events", help="level-2 event stream file")
+    decompress.add_argument("-o", "--output", required=True, help="level-1 output path")
+    decompress.set_defaults(func=cmd_decompress)
+
+    query = subparsers.add_parser("query", help="query a persisted event stream")
+    query.add_argument("events", help="event stream file written by 'interpret'")
+    query.add_argument("--object", type=parse_tag, required=True, help="e.g. case:3")
+    query.add_argument("--at", type=int, help="epoch to query")
+    query.add_argument("--path", action="store_true", help="print the full trajectory")
+    query.add_argument(
+        "--tree",
+        action="store_true",
+        help="with --at: print the containment tree of the object's top-level container",
+    )
+    query.add_argument(
+        "--decompress",
+        action="store_true",
+        help="treat the input as a level-2 stream and decompress first",
+    )
+    query.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Online stream compression (Section V).
+
+Two lossless compressors turn per-epoch interpretation results into the
+compressed event stream of §V-A:
+
+* :class:`~repro.compression.level1.RangeCompressor` (level-1 / range
+  compression, §V-B) emits messages only on state changes;
+* :class:`~repro.compression.level2.ContainmentCompressor` (level-2, §V-C)
+  additionally suppresses location updates of contained objects, since
+  their location is recoverable from the container's.
+
+:class:`~repro.compression.decompress.Level2Decompressor` (§V-C) turns a
+level-2 stream back into its level-1 equivalent on demand, for query
+processors that need explicit per-object locations.
+"""
+
+from repro.compression.level1 import RangeCompressor, ObjectState
+from repro.compression.level2 import ContainmentCompressor
+from repro.compression.decompress import Level2Decompressor, decompress_stream
+
+__all__ = [
+    "RangeCompressor",
+    "ObjectState",
+    "ContainmentCompressor",
+    "Level2Decompressor",
+    "decompress_stream",
+]

@@ -1,0 +1,200 @@
+"""On-demand decompression of a level-2 stream into level-1 (Section V-C).
+
+The routine replays the level-2 stream in time order, maintaining the
+current containment hierarchy and each object's current reported location.
+Location updates of a container are copied to every (transitively)
+contained object, and duplicate events — e.g. the catch-up
+``StartLocation`` a level-2 compressor emits at containment end when
+propagation has already placed the object there — are suppressed, exactly
+as the paper's subtlety paragraph describes.
+
+End-message validity intervals are normalised to the decompressed stream's
+own open intervals (the compressor's view of a child's interval start can
+be stale, since the child's moves were suppressed while contained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.events.messages import (
+    EventKind,
+    EventMessage,
+    end_location,
+    missing,
+    start_location,
+)
+from repro.model.objects import TagId
+
+
+@dataclass
+class _DecompState:
+    open_location: tuple[int, int] | None = None  # (place, vs)
+    last_place: int | None = None
+    is_missing: bool = False
+
+
+class Level2Decompressor:
+    """Streaming level-2 → level-1 transformer.
+
+    Feed messages in stream (time) order through :meth:`process`; each call
+    returns the level-1 messages that input message expands to (possibly
+    none, when the message is a suppressed duplicate).
+    """
+
+    def __init__(self) -> None:
+        self._children: dict[TagId, set[TagId]] = {}
+        self._parent: dict[TagId, TagId] = {}
+        self._state: dict[TagId, _DecompState] = {}
+
+    # ------------------------------------------------------------------
+
+    def process(self, msg: EventMessage) -> list[EventMessage]:
+        """Decompress one input message."""
+        if msg.kind is EventKind.START_CONTAINMENT:
+            return self._start_containment(msg)
+        if msg.kind is EventKind.END_CONTAINMENT:
+            return self._end_containment(msg)
+        if msg.kind is EventKind.START_LOCATION:
+            return self._apply_start(msg.obj, msg.place, msg.vs)  # type: ignore[arg-type]
+        if msg.kind is EventKind.END_LOCATION:
+            return self._apply_end(msg.obj, int(msg.ve))
+        if msg.kind is EventKind.MISSING:
+            return self._apply_missing(msg.obj, msg.vs)
+        raise ValueError(f"unexpected message kind {msg.kind}")
+
+    # ------------------------------------------------------------------
+    # containment bookkeeping
+    # ------------------------------------------------------------------
+
+    def _start_containment(self, msg: EventMessage) -> list[EventMessage]:
+        # the compressor aligns the child's location explicitly at
+        # containment start (ContainmentCompressor._align_with), so only
+        # the hierarchy needs recording here
+        child, parent = msg.obj, msg.container
+        assert parent is not None
+        self._parent[child] = parent
+        self._children.setdefault(parent, set()).add(child)
+        return [msg]
+
+    def _end_containment(self, msg: EventMessage) -> list[EventMessage]:
+        child, parent = msg.obj, msg.container
+        if self._parent.get(child) == parent:
+            del self._parent[child]
+            self._children.get(parent, set()).discard(child)  # type: ignore[arg-type]
+        return [msg]
+
+    # ------------------------------------------------------------------
+    # location propagation
+    # ------------------------------------------------------------------
+
+    def _descendants(self, obj: TagId) -> Iterator[TagId]:
+        stack = sorted(self._children.get(obj, ()), reverse=True)
+        while stack:
+            child = stack.pop()
+            yield child
+            stack.extend(sorted(self._children.get(child, ()), reverse=True))
+
+    def _apply_start(self, obj: TagId, place: int, vs: int) -> list[EventMessage]:
+        out = self._start_one(obj, place, vs)
+        for child in self._descendants(obj):
+            out.extend(self._start_one(child, place, vs))
+        return out
+
+    def _apply_end(self, obj: TagId, ve: int) -> list[EventMessage]:
+        out = self._end_one(obj, ve)
+        for child in self._descendants(obj):
+            out.extend(self._end_one(child, ve))
+        return out
+
+    def _apply_missing(self, obj: TagId, vs: int) -> list[EventMessage]:
+        out = self._missing_one(obj, vs)
+        for child in self._descendants(obj):
+            out.extend(self._missing_one(child, vs))
+        return out
+
+    def _start_one(self, obj: TagId, place: int, vs: int) -> list[EventMessage]:
+        state = self._state.setdefault(obj, _DecompState())
+        out: list[EventMessage] = []
+        if state.open_location is not None:
+            open_place, open_vs = state.open_location
+            if open_place == place:
+                return []  # duplicate — already reported here
+            out.append(end_location(obj, open_place, open_vs, vs))
+        out.append(start_location(obj, place, vs))
+        state.open_location = (place, vs)
+        state.last_place = place
+        state.is_missing = False
+        return out
+
+    def _end_one(self, obj: TagId, ve: int) -> list[EventMessage]:
+        state = self._state.setdefault(obj, _DecompState())
+        if state.open_location is None:
+            return []  # duplicate — interval already closed
+        place, vs = state.open_location
+        state.open_location = None
+        return [end_location(obj, place, vs, ve)]
+
+    def _missing_one(self, obj: TagId, vs: int) -> list[EventMessage]:
+        state = self._state.setdefault(obj, _DecompState())
+        if state.is_missing:
+            return []  # duplicate — already reported missing
+        out: list[EventMessage] = []
+        if state.open_location is not None:
+            place, open_vs = state.open_location
+            out.append(end_location(obj, place, open_vs, vs))
+            state.open_location = None
+        place = state.last_place
+        if place is None:
+            return out  # never located; nothing to report missing from
+        out.append(missing(obj, place, vs))
+        state.is_missing = True
+        return out
+
+
+# Within one time step, containment updates are applied before location
+# updates (the paper's processing order); the *relative* order within each
+# group is preserved — compressors already emit e.g. End before Start for a
+# move, and reordering across start/end kinds would break same-epoch pairs.
+_KIND_ORDER = {
+    EventKind.END_CONTAINMENT: 0,
+    EventKind.START_CONTAINMENT: 0,
+    EventKind.END_LOCATION: 1,
+    EventKind.MISSING: 1,
+    EventKind.START_LOCATION: 1,
+}
+
+
+def decompress_stream(messages: Iterable[EventMessage]) -> list[EventMessage]:
+    """Decompress a complete level-2 stream into its level-1 equivalent.
+
+    Messages are grouped by time step and, within each step, containment
+    updates are applied before location updates — the processing order of
+    the paper's decompression routine.  (For end messages the grouping key
+    is ``Ve``, the time the state change happened.)
+    """
+    decompressor = Level2Decompressor()
+    out: list[EventMessage] = []
+    pending: list[EventMessage] = []
+    pending_step: int | None = None
+
+    def step_of(msg: EventMessage) -> int:
+        if msg.kind in (EventKind.END_LOCATION, EventKind.END_CONTAINMENT):
+            return int(msg.ve)
+        return msg.vs
+
+    def flush() -> None:
+        pending.sort(key=lambda m: _KIND_ORDER[m.kind])
+        for msg in pending:
+            out.extend(decompressor.process(msg))
+        pending.clear()
+
+    for msg in messages:
+        step = step_of(msg)
+        if pending_step is not None and step != pending_step:
+            flush()
+        pending_step = step
+        pending.append(msg)
+    flush()
+    return out

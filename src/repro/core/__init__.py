@@ -1,0 +1,40 @@
+"""SPIRE core: graph model, data capture, probabilistic inference, pipeline.
+
+The three key techniques of the paper live here:
+
+* :mod:`repro.core.graph` — the time-varying colored graph model (§III-A);
+* :mod:`repro.core.capture` — stream-driven graph construction (§III-B,
+  Fig. 4);
+* :mod:`repro.core.edge_inference` / :mod:`repro.core.node_inference` /
+  :mod:`repro.core.iterative` — the probabilistic interpretation algorithm
+  (§IV), with partial/complete scheduling (§IV-D);
+* :mod:`repro.core.conflicts` — conflict resolution between location and
+  containment inference (§IV-E, Table I);
+* :mod:`repro.core.pipeline` — the end-to-end substrate of Fig. 2
+  (dedup → capture → inference → conflict resolution → compression).
+"""
+
+from repro.core.graph import Graph, GraphNode, GraphEdge, UNKNOWN_COLOR
+from repro.core.params import InferenceParams
+from repro.core.capture import GraphUpdater, ReaderInfo
+from repro.core.interpretation import Estimate, InterpretationResult
+from repro.core.iterative import IterativeInference
+from repro.core.conflicts import resolve_conflicts
+from repro.core.pipeline import Spire, EpochOutput, Deployment
+
+__all__ = [
+    "Graph",
+    "GraphNode",
+    "GraphEdge",
+    "UNKNOWN_COLOR",
+    "InferenceParams",
+    "GraphUpdater",
+    "ReaderInfo",
+    "Estimate",
+    "InterpretationResult",
+    "IterativeInference",
+    "resolve_conflicts",
+    "Spire",
+    "EpochOutput",
+    "Deployment",
+]

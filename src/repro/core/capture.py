@@ -1,0 +1,268 @@
+"""Stream-driven graph construction (Section III-B, Fig. 4).
+
+:class:`GraphUpdater` applies one reader's epoch reading set at a time,
+exactly as the paper's ``graph_update`` procedure: (1) create and color
+nodes, (2) add candidate containment edges for nodes that gained a *new*
+color, (3) remove outdated edges (different colors, or contradicted by a
+special-reader confirmation), (4) update per-edge co-location statistics and
+per-node confirmations.  Processing is incremental per reader and leaves the
+graph consistent after each reading set, so coarsely synchronised readers
+are handled naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import Graph, GraphNode
+from repro.core.params import InferenceParams
+from repro.model.objects import PackagingLevel, TagId
+from repro.readers.reader import Reader
+from repro.readers.stream import EpochReadings
+
+
+@dataclass(frozen=True)
+class ReaderInfo:
+    """The deployment knowledge SPIRE holds about one reader.
+
+    Attributes:
+        reader_id: Reader id appearing in the raw stream.
+        color: Color (location) the reader's readings imply.
+        is_special: Whether readings from this reader confirm containment.
+        singulation_level: For special readers, the container level the
+            reader scans one at a time.
+        is_exit: Whether the reader marks a proper exit channel — objects it
+            observes leave the monitored world, and their nodes are removed
+            after inference.
+        period: Interrogation period in epochs (drives the partial/complete
+            inference schedule, §IV-D).
+    """
+
+    reader_id: int
+    color: int
+    is_special: bool = False
+    singulation_level: PackagingLevel | None = None
+    is_exit: bool = False
+    period: int = 1
+
+    @classmethod
+    def from_reader(cls, reader: Reader) -> "ReaderInfo":
+        return cls(
+            reader_id=reader.reader_id,
+            color=reader.location.color,
+            is_special=reader.is_special,
+            singulation_level=reader.singulation_level,
+            is_exit=reader.is_exit,
+            period=reader.period,
+        )
+
+
+@dataclass(frozen=True)
+class Confirmation:
+    """What one special-reader reading set confirms (§II, §III-B step 3).
+
+    A special reader scans containers at ``singulation_level`` one at a
+    time, so when exactly one tag at that level appears in the reading set:
+
+    * that container is confirmed to be a *top-level* container (any parent
+      edge of it can be dropped), and
+    * it is confirmed to be the parent of every co-read tag one packaging
+      level below it.
+    """
+
+    top_container: TagId | None
+    parent_of: dict[TagId, TagId]
+
+    @classmethod
+    def from_readings(
+        cls, tags: list[TagId], singulation_level: PackagingLevel | None
+    ) -> "Confirmation":
+        if singulation_level is None:
+            return cls(top_container=None, parent_of={})
+        containers = [t for t in tags if t.level == singulation_level]
+        if len(containers) != 1:
+            # Nothing (or several containers — impossible under proper
+            # singulation, but the stream is untrusted) at the singulated
+            # level: no confirmation can be drawn this epoch.
+            return cls(top_container=None, parent_of={})
+        container = containers[0]
+        child_level = singulation_level - 1
+        parent_of = {t: container for t in tags if t.level == child_level}
+        return cls(top_container=container, parent_of=parent_of)
+
+
+NO_CONFIRMATION = Confirmation(top_container=None, parent_of={})
+
+
+class GraphUpdater:
+    """Applies epoch reading sets to a :class:`Graph` (the data-capture module)."""
+
+    def __init__(self, graph: Graph, params: InferenceParams) -> None:
+        self.graph = graph
+        self.params = params
+        #: tags observed by an exit reader in the current epoch; the
+        #: pipeline removes their nodes after inference (§IV-C pruning).
+        self.exiting: set[TagId] = set()
+
+    # ------------------------------------------------------------------
+
+    def begin_epoch(self) -> None:
+        """Start a new epoch: uncolor all nodes, reset per-epoch state."""
+        self.graph.begin_epoch()
+        self.exiting = set()
+
+    def apply_epoch(
+        self,
+        readings: EpochReadings,
+        readers: dict[int, ReaderInfo],
+        now: int,
+    ) -> None:
+        """Apply a full (deduplicated) epoch of readings, one reader at a time."""
+        self.begin_epoch()
+        for reader_id in sorted(readings.by_reader):
+            info = readers.get(reader_id)
+            if info is None:
+                raise KeyError(f"reading from unknown reader id {reader_id}")
+            self.apply_reader(readings.by_reader[reader_id], info, now)
+
+    def apply_reader(self, tags: list[TagId], info: ReaderInfo, now: int) -> None:
+        """The ``graph_update(G, R_k)`` procedure of Fig. 4 for one reader."""
+        graph = self.graph
+        color = info.color
+
+        # Step 1: create and color nodes (Fig. 4 lines 2-6).
+        newly_colored: list[GraphNode] = []
+        colored: list[GraphNode] = []
+        for tag in tags:
+            node = graph.get_or_create(tag, now)
+            is_new_color = graph.set_color(node, color, now)
+            colored.append(node)
+            if is_new_color:
+                newly_colored.append(node)
+
+        if info.is_exit:
+            self.exiting.update(tag for tag in tags)
+
+        confirmation = (
+            Confirmation.from_readings(tags, info.singulation_level)
+            if info.is_special
+            else NO_CONFIRMATION
+        )
+
+        # Step 2: add candidate edges for nodes with a new color
+        # (Fig. 4 lines 9-13, with the §III-B "newly colored only"
+        # optimisation).  Process levels bottom-up as in the paper.
+        for node in sorted(newly_colored, key=lambda n: n.level):
+            self._add_candidate_edges(node, color, now)
+
+        # Steps 3+4: remove outdated edges and update statistics
+        # (Fig. 4 lines 14-31) for every colored node.
+        for node in colored:
+            self._refresh_edges(node, confirmation, now)
+
+        # Confirmation effects that do not hinge on a visited edge: record
+        # the confirmed parent even if the corresponding edge was only just
+        # created, and drop edges contradicted by the confirmation.
+        self._apply_confirmation(confirmation, now)
+
+    # ------------------------------------------------------------------
+    # step 2
+    # ------------------------------------------------------------------
+
+    def _add_candidate_edges(self, node: GraphNode, color: int, now: int) -> None:
+        """Connect ``node`` to same-colored nodes in the closest layers.
+
+        If the adjacent layer has no node of this color, the edge is drawn
+        to the next higher/lower layer that does (§III-B step 2), so e.g. an
+        item whose case was missed can still be tied to a co-located pallet.
+        """
+        graph = self.graph
+        above = graph.closest_colored_level(node.level, color, direction=+1)
+        if above is not None:
+            for parent in list(graph.colored_at(above, color)):
+                graph.add_edge(parent, node, now)
+        below = graph.closest_colored_level(node.level, color, direction=-1)
+        if below is not None:
+            for child in list(graph.colored_at(below, color)):
+                graph.add_edge(node, child, now)
+
+    # ------------------------------------------------------------------
+    # steps 3 + 4
+    # ------------------------------------------------------------------
+
+    def _refresh_edges(self, node: GraphNode, confirmation: Confirmation, now: int) -> None:
+        """Drop outdated edges of ``node`` and update edge statistics."""
+        graph = self.graph
+        size = self.params.history_size
+        for edge in list(node.edges()):
+            other = edge.other(node)
+
+            # §III-B cost analysis: an edge whose two endpoints share this
+            # epoch's color is visited only once, from the higher packaging
+            # level (the parent endpoint).  Both endpoints of a same-colored
+            # edge are colored by the same reader (one reader per location),
+            # so the parent-side visit within this call does the full work.
+            if (
+                other.is_colored
+                and other.color == node.color
+                and edge.parent is not node
+            ):
+                continue
+
+            # Step 3 (lines 15-20): removal applies to pre-existing edges.
+            if edge.created_at < now:
+                if other.is_colored and other.color != node.color:
+                    graph.remove_edge(edge)
+                    continue
+                child = edge.child
+                if confirmation.top_container == child.tag:
+                    # the child is confirmed to be a top-level container
+                    graph.remove_edge(edge)
+                    continue
+                confirmed = confirmation.parent_of.get(child.tag)
+                if confirmed is not None and confirmed != edge.parent.tag:
+                    # the child has a different confirmed parent this epoch
+                    graph.remove_edge(edge)
+                    continue
+
+            # Step 4 (lines 21-31): update statistics once per epoch.
+            if edge.update_time < now:
+                co_located = (
+                    edge.parent.is_colored
+                    and edge.child.is_colored
+                    and edge.parent.color == edge.child.color
+                )
+                edge.push_history(co_located, size)
+                if co_located:
+                    if confirmation.parent_of.get(edge.child.tag) == edge.parent.tag:
+                        edge.child.set_confirmed_parent(edge.parent.tag, now)
+                else:
+                    if edge.child.confirmed_parent == edge.parent.tag:
+                        edge.child.record_conflict()
+                edge.update_time = now
+
+    def _apply_confirmation(self, confirmation: Confirmation, now: int) -> None:
+        """Apply confirmation effects beyond the per-edge pass.
+
+        Fig. 4 folds confirmation handling into the edge loop; when a
+        confirmed pair's edge was created only this epoch (so step 3 skipped
+        it) the child must still learn its confirmed parent, and parent
+        edges of a confirmed top-level container must still be dropped even
+        if the container itself was the unvisited endpoint.
+        """
+        graph = self.graph
+        if confirmation.top_container is not None:
+            top = graph.get(confirmation.top_container)
+            if top is not None:
+                for edge in list(top.parents.values()):
+                    graph.remove_edge(edge)
+        for child_tag, parent_tag in confirmation.parent_of.items():
+            child = graph.get(child_tag)
+            if child is None:
+                continue
+            if child.confirmed_parent != parent_tag:
+                child.set_confirmed_parent(parent_tag, now)
+            # drop alternative parent edges contradicted by the confirmation
+            for edge in list(child.parents.values()):
+                if edge.parent.tag != parent_tag and edge.created_at < now:
+                    graph.remove_edge(edge)

@@ -1,0 +1,72 @@
+"""Checkpoint and restore of a running substrate.
+
+A production SPIRE instance runs for days; crashing must not lose the graph
+statistics, confirmations and compressor state that took hours to
+accumulate.  :func:`save_checkpoint` / :func:`load_checkpoint` persist a
+:class:`~repro.core.pipeline.Spire` instance so processing can resume at
+the next epoch.
+
+Pickle is used deliberately: every state object is plain Python data owned
+by this library, checkpoints are operator-written local files (the same
+trust domain as the process itself), and the format version guards against
+silently loading a checkpoint from an incompatible library version.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.core.pipeline import Spire
+
+#: bump when the pickled object graph changes shape
+CHECKPOINT_VERSION = 1
+
+_MAGIC = b"SPIREckpt"
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint cannot be written or restored."""
+
+
+def save_checkpoint(spire: Spire, destination: str | Path | BinaryIO) -> None:
+    """Persist ``spire`` (graph, estimates, compressor, dedup state)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "spire": spire,
+    }
+    if hasattr(destination, "write"):
+        destination.write(_MAGIC)  # type: ignore[union-attr]
+        pickle.dump(payload, destination, protocol=pickle.HIGHEST_PROTOCOL)  # type: ignore[arg-type]
+        return
+    with Path(destination).open("wb") as fp:
+        fp.write(_MAGIC)
+        pickle.dump(payload, fp, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_checkpoint(source: str | Path | BinaryIO) -> Spire:
+    """Restore a substrate saved by :func:`save_checkpoint`."""
+    if hasattr(source, "read"):
+        return _read(source)  # type: ignore[arg-type]
+    with Path(source).open("rb") as fp:
+        return _read(fp)
+
+
+def _read(fp: BinaryIO) -> Spire:
+    magic = fp.read(len(_MAGIC))
+    if magic != _MAGIC:
+        raise CheckpointError("not a SPIRE checkpoint (bad magic)")
+    try:
+        payload = pickle.load(fp)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version} incompatible with {CHECKPOINT_VERSION}"
+        )
+    spire = payload.get("spire")
+    if not isinstance(spire, Spire):
+        raise CheckpointError("checkpoint does not contain a Spire instance")
+    return spire

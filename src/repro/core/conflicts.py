@@ -1,0 +1,99 @@
+"""Conflict resolution between location and containment inference (§IV-E).
+
+Iterative inference settles node colors layer by layer, so the two ends of
+a chosen containment edge can end up with different locations.  Conflicts
+are resolved in a post-processing pass that gives priority to containment
+(usually backed by a special-reader confirmation), per Table I:
+
+* **Rule I** — parent observed, child inferred: override the child's
+  location with the parent's.
+* **Rule II / III** — parent inferred: poll the parent's children; with a
+  strict majority, move the parent to the consensus location.  Then, for
+  each child still in conflict: an *observed* child keeps its location and
+  its containment is ended (Rule II); an *inferred* child is overridden to
+  the parent's location (Rule III).
+
+Because the polling step needs all of a parent's children, this cannot run
+inside the iterative sweep; the pipeline calls it once per epoch on the
+fresh inference results, processing packaging levels top-down so a case
+whose location was just corrected by its pallet resolves consistently
+against its items.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.core.graph import UNKNOWN_COLOR
+from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
+from repro.model.objects import TagId
+
+
+def resolve_conflicts(result: InterpretationResult) -> int:
+    """Resolve location/containment conflicts in ``result`` in place.
+
+    Returns the number of estimates modified.  Only estimates present in
+    this epoch's result participate; a chosen container without an estimate
+    this epoch (possible under partial inference) leaves its children
+    untouched — the carried-forward output state handles them.
+    """
+    changed = 0
+
+    # group children by chosen parent
+    children_by_parent: dict[TagId, list[Estimate]] = defaultdict(list)
+    for estimate in result:
+        if estimate.container is not None:
+            children_by_parent[estimate.container].append(estimate)
+
+    parents = [tag for tag in children_by_parent if tag in result.estimates]
+
+    # Phase 1 — bottom-up child polling (Rules II/III preamble).  Ascending
+    # level order lets a consensus that settles a case's location feed the
+    # pallet's poll in the same pass, so upward corrections converge in one
+    # call instead of creeping one level per invocation.
+    for parent_tag in sorted(parents, key=lambda tag: (tag.level, tag)):
+        parent = result.estimates[parent_tag]
+        if parent.observed:
+            continue
+        children = children_by_parent[parent_tag]
+        votes = Counter(
+            child.location for child in children if child.location != UNKNOWN_COLOR
+        )
+        if votes:
+            consensus, count = votes.most_common(1)[0]
+            if count * 2 > len(children) and parent.location != consensus:
+                parent.location = consensus
+                parent.source = LocationSource.INFERRED
+                changed += 1
+
+    # Phase 2 — top-down containment-priority overrides (Rules I/II/III).
+    # A pinned estimate's location is containment-derived from an observed
+    # (or itself pinned) ancestor and is authoritative for its own children;
+    # without pinning, a child poll could undo a correction that cascaded
+    # down from an observed grandparent.
+    pinned: set[TagId] = set()
+    for parent_tag in sorted(parents, key=lambda tag: (-tag.level, tag)):
+        parent = result.estimates[parent_tag]
+        parent_authoritative = parent.observed or parent_tag in pinned
+        for child in children_by_parent[parent_tag]:
+            if parent_authoritative and not child.observed:
+                pinned.add(child.tag)
+            if child.location == parent.location:
+                continue
+            if child.observed:
+                # Rule II: trust the observation; end the containment.
+                child.container = None
+                child.container_prob = 0.0
+                changed += 1
+            else:
+                # Rules I/III: containment wins over the inferred location.
+                child.location = parent.location
+                child.location_prob = parent.location_prob
+                child.source = (
+                    LocationSource.INFERRED
+                    if parent.location != UNKNOWN_COLOR or result.complete
+                    else LocationSource.WITHHELD
+                )
+                pinned.add(child.tag)
+                changed += 1
+    return changed

@@ -1,0 +1,84 @@
+"""Interpretation result types shared by the inference modules.
+
+An :class:`InterpretationResult` is what one inference pass (§IV) produces
+for one epoch: for each object considered, the most likely location (a
+color, or :data:`~repro.core.graph.UNKNOWN_COLOR`) and the most likely
+container (a tag, or ``None`` for a top-level/uncontained object), together
+with whether the location was directly observed or inferred — the
+distinction that drives conflict resolution (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.graph import UNKNOWN_COLOR
+from repro.model.objects import TagId
+
+
+class LocationSource(Enum):
+    """How an object's location estimate was established this epoch."""
+
+    OBSERVED = "observed"   # read by a reader this epoch
+    INFERRED = "inferred"   # produced by node inference
+    WITHHELD = "withheld"   # partial inference declined to report (§IV-D)
+
+
+@dataclass
+class Estimate:
+    """Location and containment estimate for one object at one epoch.
+
+    Attributes:
+        tag: The object.
+        location: Most likely location color, or ``UNKNOWN_COLOR``.
+        location_prob: Probability mass behind the chosen location (1.0 for
+            observed locations).
+        source: Whether the location is observed, inferred, or withheld.
+        container: Most likely container tag, or ``None``.
+        container_prob: Eq. 2 probability of the chosen parent edge.
+        exiting: True when the object was read at a proper exit channel
+            this epoch (its node is removed after output).
+    """
+
+    tag: TagId
+    location: int
+    location_prob: float
+    source: LocationSource
+    container: TagId | None = None
+    container_prob: float = 0.0
+    exiting: bool = False
+
+    @property
+    def is_missing(self) -> bool:
+        """True when the object is estimated absent from any known location."""
+        return self.location == UNKNOWN_COLOR
+
+    @property
+    def observed(self) -> bool:
+        return self.source is LocationSource.OBSERVED
+
+
+@dataclass
+class InterpretationResult:
+    """All estimates of one inference pass, keyed by object tag."""
+
+    epoch: int
+    complete: bool
+    estimates: dict[TagId, Estimate] = field(default_factory=dict)
+
+    def add(self, estimate: Estimate) -> None:
+        self.estimates[estimate.tag] = estimate
+
+    def get(self, tag: TagId) -> Estimate | None:
+        return self.estimates.get(tag)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __iter__(self):
+        return iter(self.estimates.values())
+
+    def children_of(self, parent: TagId) -> list[Estimate]:
+        """Estimates whose chosen container is ``parent`` (for Table I polling)."""
+        return [e for e in self.estimates.values() if e.container == parent]

@@ -1,0 +1,69 @@
+"""Inference parameters of Sections IV-A and IV-B.
+
+Defaults follow Section VI-B: after the sensitivity study the paper fixes
+``S = 32``, ``alpha = 0``, ``beta = 0.4``, ``gamma = 0.4``, ``theta = 1.25``.
+The edge-pruning threshold defaults to 0.25 (§IV-C) and partial inference
+restricts itself to the 1-hop subgraph (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class InferenceParams:
+    """Tunable knobs of SPIRE's probabilistic interpretation.
+
+    Attributes:
+        history_size: ``S`` — number of epochs of co-location history kept
+            per edge (Eq. 1).
+        alpha: Zipf exponent weighting the co-location history (Eq. 1);
+            ``alpha = 0`` weighs all remembered epochs equally, larger
+            values emphasise recent epochs.
+        beta: Partition of belief between recent co-location history
+            (``beta``) and the last special-reader confirmation
+            (``1 - beta``) in edge inference (Eq. 2).
+        adaptive_beta: When true, ``beta`` is re-derived per node as the
+            ratio of one-sided observations (only one of object/confirmed
+            container seen) to all observations since the last confirmation
+            — the simple adaptive heuristic evaluated in Expt 1.
+        gamma: Weight of colors propagated through containment edges versus
+            the node's own fading color in node inference (Eq. 3).
+        theta: Decay exponent of the belief that an unobserved object is
+            still at its last seen location (Eqs. 3–4).
+        prune_threshold: Parent edges whose *unnormalised* Eq. 2 confidence
+            falls below this are pruned during inference (§IV-C / Expt 6);
+            ``0`` disables pruning.
+        partial_hops: ``l`` — partial inference only visits nodes within
+            this many hops of a colored node (§IV-D).
+    """
+
+    history_size: int = 32
+    alpha: float = 0.0
+    beta: float = 0.4
+    adaptive_beta: bool = False
+    gamma: float = 0.4
+    theta: float = 1.25
+    prune_threshold: float = 0.25
+    partial_hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.history_size < 1:
+            raise ValueError(f"history_size must be >= 1, got {self.history_size}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {self.beta}")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        if self.theta < 0:
+            raise ValueError(f"theta must be >= 0, got {self.theta}")
+        if self.prune_threshold < 0:
+            raise ValueError(f"prune_threshold must be >= 0, got {self.prune_threshold}")
+        if self.partial_hops < 1:
+            raise ValueError(f"partial_hops must be >= 1, got {self.partial_hops}")
+
+    def with_overrides(self, **kwargs) -> "InferenceParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

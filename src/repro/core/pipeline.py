@@ -1,0 +1,290 @@
+"""The end-to-end SPIRE substrate (Fig. 2).
+
+:class:`Spire` wires the full per-epoch path together:
+
+    raw readings → deduplication → graph update (capture) →
+    partial/complete iterative inference → conflict resolution →
+    carried-forward estimate store → level-1/level-2 compression →
+    compressed event stream (+ node removal for properly exited objects).
+
+The *estimate store* is the substrate's current best answer to the §II
+interpretation queries ("the most likely location / container of object o
+now"): estimates produced by an inference pass overwrite it; objects the
+pass did not visit (or whose result partial inference withheld) keep their
+previous state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.compression.level1 import RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.core.capture import GraphUpdater, ReaderInfo
+from repro.core.conflicts import resolve_conflicts
+from repro.core.graph import UNKNOWN_COLOR, Graph
+from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
+from repro.core.iterative import IterativeInference
+from repro.core.params import InferenceParams
+from repro.events.messages import EventMessage
+from repro.model.locations import LocationRegistry
+from repro.model.objects import TagId
+from repro.readers.dedup import Deduplicator
+from repro.readers.reader import Reader
+from repro.readers.stream import EpochReadings, ReadingStream
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """The site knowledge SPIRE is configured with.
+
+    Attributes:
+        readers: Per-reader metadata (location color, specialness, period).
+        registry: Location registry for rendering/validation (optional for
+            headless use, but required by examples and reports).
+    """
+
+    readers: dict[int, ReaderInfo]
+    registry: LocationRegistry | None = None
+
+    @classmethod
+    def from_readers(
+        cls, readers: Iterable[Reader], registry: LocationRegistry | None = None
+    ) -> "Deployment":
+        infos = {r.reader_id: ReaderInfo.from_reader(r) for r in readers}
+        return cls(readers=infos, registry=registry)
+
+    @property
+    def complete_inference_period(self) -> int:
+        """LCM of reader periods — the complete-inference cadence (§IV-D)."""
+        lcm = 1
+        for info in self.readers.values():
+            lcm = int(np.lcm(lcm, info.period))
+        return lcm
+
+    def color_periods(self) -> dict[int, int]:
+        """Fastest interrogation period per location color."""
+        periods: dict[int, int] = {}
+        for info in self.readers.values():
+            current = periods.get(info.color)
+            if current is None or info.period < current:
+                periods[info.color] = info.period
+        return periods
+
+
+@dataclass
+class CurrentEstimate:
+    """Carried-forward state of one object in the estimate store."""
+
+    location: int
+    container: TagId | None
+    observed: bool
+    updated_at: int
+
+
+@dataclass
+class EpochOutput:
+    """Everything one epoch of processing produced.
+
+    Attributes:
+        epoch: The epoch processed.
+        complete: Whether complete (vs partial) inference ran.
+        result: The raw (conflict-resolved) inference result.
+        messages: Compressed event messages emitted this epoch.
+        departed: Objects whose nodes were removed after an exit reading.
+    """
+
+    epoch: int
+    complete: bool
+    result: InterpretationResult
+    messages: list[EventMessage]
+    departed: list[TagId] = field(default_factory=list)
+    #: wall-clock cost of the graph-update (capture) step this epoch
+    update_seconds: float = 0.0
+    #: wall-clock cost of inference + conflict resolution this epoch
+    inference_seconds: float = 0.0
+
+
+class Spire:
+    """The interpretation and compression substrate over RFID streams."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        params: InferenceParams | None = None,
+        compression_level: int = 2,
+        complete_period: int | None = None,
+    ) -> None:
+        """Build a substrate for ``deployment``.
+
+        ``complete_period`` overrides the complete-inference cadence, which
+        defaults to the LCM of the reader periods (§IV-D); ``1`` forces
+        complete inference every epoch (used by ablation benchmarks).
+        """
+        if compression_level not in (1, 2):
+            raise ValueError(f"compression_level must be 1 or 2, got {compression_level}")
+        if complete_period is not None and complete_period < 1:
+            raise ValueError(f"complete_period must be >= 1, got {complete_period}")
+        self.deployment = deployment
+        self.params = params or InferenceParams()
+        self.graph = Graph()
+        self.dedup = Deduplicator()
+        self.updater = GraphUpdater(self.graph, self.params)
+        self.inference = IterativeInference(
+            self.graph, self.params, deployment.color_periods()
+        )
+        self.compressor = (
+            ContainmentCompressor() if compression_level == 2 else RangeCompressor()
+        )
+        self.compression_level = compression_level
+        self.estimates: dict[TagId, CurrentEstimate] = {}
+        self._complete_period = (
+            complete_period
+            if complete_period is not None
+            else deployment.complete_inference_period
+        )
+        self._epochs_processed = 0
+
+    # ------------------------------------------------------------------
+
+    def process_epoch(self, readings: EpochReadings) -> EpochOutput:
+        """Run the full substrate over one epoch of raw readings."""
+        now = readings.epoch
+        clean = self.dedup.process(readings)
+
+        t0 = perf_counter()
+        self.updater.apply_epoch(clean, self.deployment.readers, now)
+        t1 = perf_counter()
+
+        complete = now % self._complete_period == 0
+        result = self.inference.run(now, complete)
+        resolve_conflicts(result)
+        t2 = perf_counter()
+
+        messages = self._apply_result(result, now)
+        departed = self._retire_exited(now, messages)
+        self._epochs_processed += 1
+        return EpochOutput(
+            epoch=now,
+            complete=complete,
+            result=result,
+            messages=messages,
+            departed=departed,
+            update_seconds=t1 - t0,
+            inference_seconds=t2 - t1,
+        )
+
+    def run(self, stream: ReadingStream | Iterable[EpochReadings]) -> list[EpochOutput]:
+        """Process a whole stream; returns the per-epoch outputs."""
+        return [self.process_epoch(readings) for readings in stream]
+
+    # ------------------------------------------------------------------
+
+    def location_of(self, tag: TagId) -> int:
+        """Most likely location color of ``tag`` (the §II query); UNKNOWN_COLOR
+        when the object is estimated absent or has never been seen."""
+        current = self.estimates.get(tag)
+        return current.location if current is not None else UNKNOWN_COLOR
+
+    def container_of(self, tag: TagId) -> TagId | None:
+        """Most likely container of ``tag`` (the §II query)."""
+        current = self.estimates.get(tag)
+        return current.container if current is not None else None
+
+    @property
+    def tracked_objects(self) -> int:
+        return len(self.estimates)
+
+    # ------------------------------------------------------------------
+
+    def _apply_result(self, result: InterpretationResult, now: int) -> list[EventMessage]:
+        """Merge inference results into the store and compress the deltas."""
+        messages: list[EventMessage] = []
+        exiting = self.updater.exiting
+        for estimate in sorted(result, key=lambda e: e.tag):
+            estimate.exiting = estimate.tag in exiting
+            current = self.estimates.get(estimate.tag)
+            if estimate.source is LocationSource.WITHHELD:
+                # §IV-D: unknown results of partial inference are withheld;
+                # only the containment estimate is taken
+                location = current.location if current is not None else UNKNOWN_COLOR
+            else:
+                location = estimate.location
+            self.estimates[estimate.tag] = CurrentEstimate(
+                location=location,
+                container=estimate.container,
+                observed=estimate.observed,
+                updated_at=now,
+            )
+            if estimate.source is LocationSource.WITHHELD and current is None:
+                # a brand-new object with a withheld location has nothing to
+                # report yet
+                continue
+            messages.extend(
+                self.compressor.observe(estimate.tag, location, estimate.container, now)
+            )
+        return messages
+
+    # ------------------------------------------------------------------
+    # zone handoff primitives (used by repro.distributed)
+    # ------------------------------------------------------------------
+
+    def release(self, tag: TagId, now: int) -> tuple[dict, list[EventMessage]]:
+        """Stop tracking ``tag`` and export its portable knowledge.
+
+        Returns ``(record, messages)``: the record carries the observation
+        memory and the last confirmation so an adopting substrate does not
+        start from zero; the messages close the object's open intervals in
+        this substrate's output stream.  Used when an object migrates to a
+        different zone (see :mod:`repro.distributed`).
+        """
+        node = self.graph.get(tag)
+        record = {
+            "tag": tag,
+            "recent_color": node.recent_color if node is not None else None,
+            "seen_at": node.seen_at if node is not None else now,
+            "confirmed_parent": node.confirmed_parent if node is not None else None,
+            "confirmed_at": node.confirmed_at if node is not None else -1,
+            "confirmed_conflicts": node.confirmed_conflicts if node is not None else 0,
+        }
+        messages = self.compressor.depart(tag, now)
+        if node is not None:
+            self.graph.remove_node(tag)
+        self.estimates.pop(tag, None)
+        self.dedup.forget(tag)
+        return record, messages
+
+    def adopt(self, record: dict, now: int) -> None:
+        """Import an object released by another substrate.
+
+        Creates (or updates) the node with the exported observation memory
+        and confirmation, so edge inference in this zone starts with the
+        containment knowledge the previous zone accumulated.
+        """
+        tag: TagId = record["tag"]
+        node = self.graph.get_or_create(tag, now)
+        if record.get("recent_color") is not None and node.recent_color is None:
+            node.recent_color = record["recent_color"]
+            node.seen_at = record["seen_at"]
+        confirmed = record.get("confirmed_parent")
+        if confirmed is not None and node.confirmed_parent is None:
+            node.confirmed_parent = confirmed
+            node.confirmed_at = record.get("confirmed_at", now)
+            node.confirmed_conflicts = record.get("confirmed_conflicts", 0)
+
+    def _retire_exited(self, now: int, messages: list[EventMessage]) -> list[TagId]:
+        """Remove nodes of objects read at a proper exit channel (§IV-C)."""
+        departed: list[TagId] = []
+        for tag in sorted(self.updater.exiting):
+            if tag not in self.graph:
+                continue
+            messages.extend(self.compressor.depart(tag, now))
+            self.graph.remove_node(tag)
+            self.estimates.pop(tag, None)
+            self.dedup.forget(tag)
+            departed.append(tag)
+        return departed

@@ -1,0 +1,15 @@
+"""Distributed operation: zone-partitioned substrates with object handoff.
+
+The paper's future work (§VIII) calls for running the interpretation and
+compression substrate "in distributed environments".  This package
+implements the natural partitioning for a large site: readers are grouped
+into *zones* (a building, a floor, a yard), each zone runs its own
+:class:`~repro.core.pipeline.Spire` over its own readers, and a
+:class:`~repro.distributed.coordinator.Coordinator` routes readings,
+hands objects off between zones as they migrate, and merges the zones'
+compressed outputs into one well-formed stream.
+"""
+
+from repro.distributed.coordinator import Coordinator, HandoffRecord, Zone
+
+__all__ = ["Coordinator", "Zone", "HandoffRecord"]

@@ -1,0 +1,203 @@
+"""Zone coordinator: routing, handoff, and output merging.
+
+A :class:`Zone` owns a disjoint subset of the site's readers and runs its
+own substrate; the :class:`Coordinator` is the only component that sees
+the whole site:
+
+* **routing** — each epoch's (globally deduplicated) readings are split by
+  reader ownership and fed to the owning zones;
+* **ownership & handoff** — every tag is owned by the zone that observed
+  it most recently; when a tag shows up in a different zone, the old owner
+  *releases* it (closing its output intervals and exporting its
+  observation memory and confirmations) and the new owner *adopts* it, so
+  containment knowledge survives the migration;
+* **merging** — the release messages and the zones' per-epoch outputs are
+  concatenated (releases first) into one stream that stays well-formed per
+  object, because an object's messages always come from its current owner
+  and the old owner's intervals are closed before the new owner opens any.
+
+Zones are plain in-process objects here; the coordinator's contract (pure
+message passing: readings in, handoff records and event messages out) is
+what a networked deployment would serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, Spire
+from repro.events.messages import EventMessage
+from repro.model.locations import LocationRegistry
+from repro.model.objects import TagId
+from repro.readers.dedup import Deduplicator
+from repro.readers.reader import Reader
+from repro.readers.stream import EpochReadings
+
+#: portable knowledge exported at handoff (see ``Spire.release``)
+HandoffRecord = dict
+
+
+@dataclass
+class Zone:
+    """One partition of the site: a named substrate over some readers."""
+
+    zone_id: str
+    spire: Spire
+    reader_ids: frozenset[int]
+
+    @classmethod
+    def build(
+        cls,
+        zone_id: str,
+        readers: Iterable[Reader],
+        registry: LocationRegistry | None = None,
+        params: InferenceParams | None = None,
+        compression_level: int = 2,
+    ) -> "Zone":
+        readers = list(readers)
+        deployment = Deployment.from_readers(readers, registry)
+        return cls(
+            zone_id=zone_id,
+            spire=Spire(deployment, params, compression_level=compression_level),
+            reader_ids=frozenset(r.reader_id for r in readers),
+        )
+
+
+@dataclass
+class EpochResult:
+    """What one coordinated epoch produced."""
+
+    epoch: int
+    messages: list[EventMessage]
+    handoffs: list[tuple[TagId, str, str]] = field(default_factory=list)  # (tag, from, to)
+
+
+class Coordinator:
+    """Routes readings to zones and keeps the global view consistent."""
+
+    def __init__(self, zones: Iterable[Zone]) -> None:
+        self.zones: dict[str, Zone] = {}
+        self._zone_of_reader: dict[int, str] = {}
+        for zone in zones:
+            if zone.zone_id in self.zones:
+                raise ValueError(f"duplicate zone id {zone.zone_id!r}")
+            self.zones[zone.zone_id] = zone
+            for reader_id in zone.reader_ids:
+                if reader_id in self._zone_of_reader:
+                    raise ValueError(
+                        f"reader {reader_id} assigned to both "
+                        f"{self._zone_of_reader[reader_id]!r} and {zone.zone_id!r}"
+                    )
+                self._zone_of_reader[reader_id] = zone.zone_id
+        if not self.zones:
+            raise ValueError("a coordinator needs at least one zone")
+        self._owner: dict[TagId, str] = {}
+        self._dedup = Deduplicator()
+
+    # ------------------------------------------------------------------
+
+    def process_epoch(self, readings: EpochReadings) -> EpochResult:
+        """Coordinate one epoch across all zones."""
+        now = readings.epoch
+        clean = self._dedup.process(readings)
+
+        # split by owning zone
+        per_zone: dict[str, EpochReadings] = {
+            zone_id: EpochReadings(epoch=now) for zone_id in self.zones
+        }
+        for reader_id, tags in clean.by_reader.items():
+            zone_id = self._zone_of_reader.get(reader_id)
+            if zone_id is None:
+                raise KeyError(f"reading from reader {reader_id} owned by no zone")
+            per_zone[zone_id].add(reader_id, tags)
+
+        # migrations: a tag observed in a zone that does not own it
+        result = EpochResult(epoch=now, messages=[])
+        for zone_id, zone_readings in per_zone.items():
+            for tag in zone_readings.tags_seen():
+                owner = self._owner.get(tag)
+                if owner is None:
+                    self._owner[tag] = zone_id
+                elif owner != zone_id:
+                    record, closing = self.zones[owner].spire.release(tag, now)
+                    result.messages.extend(closing)
+                    self.zones[zone_id].spire.adopt(record, now)
+                    self._owner[tag] = zone_id
+                    result.handoffs.append((tag, owner, zone_id))
+
+        # each zone processes its share; outputs are concatenated in zone
+        # order after the handoff closures
+        for zone_id in sorted(per_zone):
+            output = self.zones[zone_id].spire.process_epoch(per_zone[zone_id])
+            result.messages.extend(output.messages)
+            for tag in output.departed:
+                self._owner.pop(tag, None)
+        return result
+
+    def run(self, stream: Iterable[EpochReadings]) -> list[EpochResult]:
+        """Coordinate a whole stream."""
+        return [self.process_epoch(readings) for readings in stream]
+
+    # ------------------------------------------------------------------
+    # global queries
+    # ------------------------------------------------------------------
+
+    def owner_of(self, tag: TagId) -> str | None:
+        """Zone currently owning ``tag`` (``None`` if never observed)."""
+        return self._owner.get(tag)
+
+    def location_of(self, tag: TagId) -> int:
+        """Site-wide location query: delegated to the owning zone."""
+        owner = self._owner.get(tag)
+        if owner is None:
+            from repro.model.locations import UNKNOWN_COLOR
+
+            return UNKNOWN_COLOR
+        return self.zones[owner].spire.location_of(tag)
+
+    def container_of(self, tag: TagId) -> TagId | None:
+        """Site-wide containment query: delegated to the owning zone."""
+        owner = self._owner.get(tag)
+        if owner is None:
+            return None
+        return self.zones[owner].spire.container_of(tag)
+
+    @property
+    def tracked_objects(self) -> int:
+        return len(self._owner)
+
+
+def partition_by_location(
+    readers: Iterable[Reader],
+    assignment: Mapping[str, Iterable[str]],
+    registry: LocationRegistry | None = None,
+    params: InferenceParams | None = None,
+    compression_level: int = 2,
+) -> list[Zone]:
+    """Build zones from a ``zone id -> location names`` assignment.
+
+    Every reader must land in exactly one zone; raises ``ValueError`` for
+    unassigned or doubly-assigned locations.
+    """
+    readers = list(readers)
+    location_to_zone: dict[str, str] = {}
+    for zone_id, names in assignment.items():
+        for name in names:
+            if name in location_to_zone:
+                raise ValueError(f"location {name!r} assigned to two zones")
+            location_to_zone[name] = zone_id
+
+    by_zone: dict[str, list[Reader]] = {zone_id: [] for zone_id in assignment}
+    for reader in readers:
+        zone_id = location_to_zone.get(reader.location.name)
+        if zone_id is None:
+            raise ValueError(f"reader at {reader.location.name!r} assigned to no zone")
+        by_zone[zone_id].append(reader)
+
+    return [
+        Zone.build(zone_id, zone_readers, registry, params, compression_level)
+        for zone_id, zone_readers in by_zone.items()
+        if zone_readers
+    ]

@@ -1,0 +1,36 @@
+"""Compressed event-stream format (Section V-A).
+
+Five message kinds encode location and containment events with validity
+intervals: StartLocation / EndLocation, StartContainment / EndContainment,
+and singleton Missing messages.  :mod:`repro.events.wellformed` checks the
+well-formedness guarantee the paper's output module provides.
+"""
+
+from repro.events.messages import (
+    EVENT_MESSAGE_BYTES,
+    INFINITY,
+    EventKind,
+    EventMessage,
+    end_containment,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+    stream_bytes,
+)
+from repro.events.wellformed import WellFormednessError, check_well_formed
+
+__all__ = [
+    "EventKind",
+    "EventMessage",
+    "INFINITY",
+    "EVENT_MESSAGE_BYTES",
+    "start_location",
+    "end_location",
+    "start_containment",
+    "end_containment",
+    "missing",
+    "stream_bytes",
+    "check_well_formed",
+    "WellFormednessError",
+]

@@ -1,0 +1,155 @@
+"""Binary codec for event messages.
+
+The compression-ratio accounting charges a fixed
+:data:`~repro.events.messages.EVENT_MESSAGE_BYTES` per message; this module
+provides the actual wire format backing that number, so streams can be
+persisted or shipped between processes:
+
+``kind(1) | obj level(1) | obj serial(6) | place/container(8) | Vs(4) | Ve(4)``
+
+25 bytes per message, little-endian.  ``Ve = ∞`` is encoded as the
+all-ones unsigned 32-bit value; the place/container field holds a signed
+location color for location messages (``-1`` = unknown) or a packed
+(level, serial) tag for containment messages.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.events.messages import (
+    EVENT_MESSAGE_BYTES,
+    INFINITY,
+    EventKind,
+    EventMessage,
+)
+from repro.model.objects import PackagingLevel, TagId
+
+#: canonical on-wire layout; its size equals EVENT_MESSAGE_BYTES so the
+#: sizing metrics reflect the real encoding:
+#: B kind | B levels (obj in low nibble, partner in high nibble)
+#: I+H obj serial (48 bit) | I+H partner serial/place (48 bit)
+#: L Vs | L Ve | 3 reserved bytes
+WIRE_FORMAT = struct.Struct("<BBIHIHLL3x")
+
+_KIND_CODES = {kind: i for i, kind in enumerate(EventKind)}
+_KIND_FROM_CODE = {i: kind for kind, i in _KIND_CODES.items()}
+
+_VE_INFINITY = 0xFFFFFFFF
+_SERIAL_MAX = (1 << 48) - 1
+
+
+class CodecError(ValueError):
+    """Raised when a message cannot be encoded or bytes cannot be decoded."""
+
+
+def _split48(value: int) -> tuple[int, int]:
+    return value & 0xFFFFFFFF, (value >> 32) & 0xFFFF
+
+
+def _join48(low: int, high: int) -> int:
+    return (high << 32) | low
+
+
+def encode_message(msg: EventMessage) -> bytes:
+    """Encode one message to its 25-byte wire form."""
+    if msg.obj.serial > _SERIAL_MAX or msg.obj.serial < 0:
+        raise CodecError(f"object serial {msg.obj.serial} out of 48-bit range")
+    obj_level = msg.obj.level.value
+    if msg.kind.is_containment:
+        partner_level = msg.container.level.value  # type: ignore[union-attr]
+        partner_value = msg.container.serial  # type: ignore[union-attr]
+        if partner_value > _SERIAL_MAX:
+            raise CodecError(f"container serial {partner_value} out of 48-bit range")
+    else:
+        partner_level = 0
+        place = msg.place if msg.place is not None else -1
+        # location colors are small; store as unsigned with +1 bias so the
+        # unknown location (-1) encodes as 0
+        partner_value = place + 1
+        if partner_value < 0 or partner_value > _SERIAL_MAX:
+            raise CodecError(f"location color {place} out of encodable range")
+    ve = _VE_INFINITY if msg.ve == INFINITY else int(msg.ve)
+    if not 0 <= msg.vs < _VE_INFINITY or (ve != _VE_INFINITY and ve >= _VE_INFINITY):
+        raise CodecError(f"timestamps out of 32-bit range: [{msg.vs}, {msg.ve}]")
+    obj_low, obj_high = _split48(msg.obj.serial)
+    partner_low, partner_high = _split48(partner_value)
+    return WIRE_FORMAT.pack(
+        _KIND_CODES[msg.kind],
+        obj_level | (partner_level << 4),
+        obj_low,
+        obj_high,
+        partner_low,
+        partner_high,
+        msg.vs,
+        ve,
+    )
+
+
+def decode_message(data: bytes) -> EventMessage:
+    """Decode one 25-byte wire-form message."""
+    if len(data) != WIRE_FORMAT.size:
+        raise CodecError(f"expected {WIRE_FORMAT.size} bytes, got {len(data)}")
+    (
+        kind_code,
+        levels,
+        obj_low,
+        obj_high,
+        partner_low,
+        partner_high,
+        vs,
+        ve_raw,
+    ) = WIRE_FORMAT.unpack(data)
+    kind = _KIND_FROM_CODE.get(kind_code)
+    if kind is None:
+        raise CodecError(f"unknown message kind code {kind_code}")
+    try:
+        obj = TagId(PackagingLevel(levels & 0x0F), _join48(obj_low, obj_high))
+    except ValueError as exc:
+        raise CodecError(f"invalid packaging level in {data!r}") from exc
+    partner_value = _join48(partner_low, partner_high)
+    ve: float = INFINITY if ve_raw == _VE_INFINITY else float(ve_raw)
+    if kind.is_containment:
+        try:
+            container = TagId(PackagingLevel((levels >> 4) & 0x0F), partner_value)
+        except ValueError as exc:
+            raise CodecError(f"invalid container level in {data!r}") from exc
+        return EventMessage(kind, obj, vs, ve, container=container)
+    return EventMessage(kind, obj, vs, ve, place=partner_value - 1)
+
+
+def encode_stream(messages: Iterable[EventMessage]) -> bytes:
+    """Encode a whole stream into a contiguous byte string."""
+    return b"".join(encode_message(msg) for msg in messages)
+
+
+def decode_stream(data: bytes) -> Iterator[EventMessage]:
+    """Decode a contiguous byte string back into messages."""
+    size = WIRE_FORMAT.size
+    if len(data) % size:
+        raise CodecError(
+            f"stream length {len(data)} is not a multiple of the {size}-byte record"
+        )
+    for offset in range(0, len(data), size):
+        yield decode_message(data[offset : offset + size])
+
+
+def write_stream(messages: Iterable[EventMessage], fp: BinaryIO) -> int:
+    """Write messages to a binary file object; returns bytes written."""
+    written = 0
+    for msg in messages:
+        written += fp.write(encode_message(msg))
+    return written
+
+
+def read_stream(fp: BinaryIO) -> Iterator[EventMessage]:
+    """Read messages from a binary file object until EOF."""
+    size = WIRE_FORMAT.size
+    while True:
+        chunk = fp.read(size)
+        if not chunk:
+            return
+        if len(chunk) != size:
+            raise CodecError("truncated stream: partial record at EOF")
+        yield decode_message(chunk)

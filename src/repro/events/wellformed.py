@@ -1,0 +1,120 @@
+"""Well-formedness checking of compressed event streams (Section V-A).
+
+A stream is *well-formed* when, per object:
+
+* every StartLocation is matched by an EndLocation with the same location
+  and start timestamp before another location interval opens;
+* likewise for containment intervals (which nest freely with location
+  intervals — a containment pair may span several location pairs and vice
+  versa);
+* Missing messages appear only outside any open location interval.
+
+The output of both compression levels must satisfy this; tests and the
+property-based suite drive arbitrary world histories through the pipeline
+and assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.events.messages import INFINITY, EventKind, EventMessage
+from repro.model.objects import TagId
+
+
+class WellFormednessError(AssertionError):
+    """A compressed stream violated the §V-A well-formedness guarantee."""
+
+
+@dataclass
+class _ObjectStreamState:
+    open_location: tuple[int, int] | None = None        # (place, vs)
+    open_containments: dict[TagId, int] = field(default_factory=dict)  # container -> vs
+
+
+def check_well_formed(messages: Iterable[EventMessage]) -> None:
+    """Validate a whole stream; raises :class:`WellFormednessError` on violation.
+
+    The stream may end with intervals still open (the run simply stopped);
+    only improper nesting/matching is an error.
+    """
+    states: dict[TagId, _ObjectStreamState] = {}
+    last_occurrence = -1
+    for i, msg in enumerate(messages):
+        # emission (occurrence) time: Ve for end messages, Vs otherwise
+        occurred = int(msg.ve) if msg.kind in (EventKind.END_LOCATION, EventKind.END_CONTAINMENT) else msg.vs
+        if occurred < last_occurrence:
+            raise WellFormednessError(
+                f"message {i} ({msg}) goes back in time: "
+                f"occurred {occurred} after {last_occurrence}"
+            )
+        last_occurrence = occurred
+        state = states.setdefault(msg.obj, _ObjectStreamState())
+
+        if msg.kind is EventKind.START_LOCATION:
+            if msg.ve != INFINITY:
+                raise WellFormednessError(f"message {i} ({msg}): start message with finite Ve")
+            if state.open_location is not None:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): location interval already open at "
+                    f"L{state.open_location[0]}"
+                )
+            state.open_location = (msg.place, msg.vs)  # type: ignore[arg-type]
+
+        elif msg.kind is EventKind.END_LOCATION:
+            if state.open_location is None:
+                raise WellFormednessError(f"message {i} ({msg}): no open location interval")
+            place, vs = state.open_location
+            if place != msg.place or vs != msg.vs:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): does not match open interval (L{place}, Vs={vs})"
+                )
+            state.open_location = None
+
+        elif msg.kind is EventKind.MISSING:
+            if state.open_location is not None:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): Missing inside an open location interval"
+                )
+
+        elif msg.kind is EventKind.START_CONTAINMENT:
+            if msg.ve != INFINITY:
+                raise WellFormednessError(f"message {i} ({msg}): start message with finite Ve")
+            if msg.container in state.open_containments:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): containment in {msg.container} already open"
+                )
+            if state.open_containments:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): object already inside another container "
+                    f"({next(iter(state.open_containments))})"
+                )
+            state.open_containments[msg.container] = msg.vs  # type: ignore[index]
+
+        elif msg.kind is EventKind.END_CONTAINMENT:
+            vs = state.open_containments.pop(msg.container, None)  # type: ignore[arg-type]
+            if vs is None:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): no open containment in {msg.container}"
+                )
+            if vs != msg.vs:
+                raise WellFormednessError(
+                    f"message {i} ({msg}): Vs does not match open containment (Vs={vs})"
+                )
+
+
+def open_intervals(messages: Iterable[EventMessage]) -> dict[TagId, _ObjectStreamState]:
+    """Replay a (well-formed) stream and return the still-open intervals."""
+    states: dict[TagId, _ObjectStreamState] = {}
+    for msg in messages:
+        state = states.setdefault(msg.obj, _ObjectStreamState())
+        if msg.kind is EventKind.START_LOCATION:
+            state.open_location = (msg.place, msg.vs)  # type: ignore[arg-type]
+        elif msg.kind is EventKind.END_LOCATION:
+            state.open_location = None
+        elif msg.kind is EventKind.START_CONTAINMENT:
+            state.open_containments[msg.container] = msg.vs  # type: ignore[index]
+        elif msg.kind is EventKind.END_CONTAINMENT:
+            state.open_containments.pop(msg.container, None)  # type: ignore[arg-type]
+    return states

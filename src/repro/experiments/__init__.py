@@ -1,0 +1,22 @@
+"""Shared experiment harness used by the benchmarks and examples.
+
+:mod:`repro.experiments.runner` drives a simulated trace through SPIRE (or
+SMURF), scoring accuracy online and collecting the output stream, timings
+and sizes — everything the Section VI experiments report.
+"""
+
+from repro.experiments.runner import (
+    SpireRunReport,
+    SmurfRunReport,
+    ground_truth_stream,
+    run_smurf,
+    run_spire,
+)
+
+__all__ = [
+    "SpireRunReport",
+    "SmurfRunReport",
+    "ground_truth_stream",
+    "run_spire",
+    "run_smurf",
+]

@@ -1,0 +1,28 @@
+"""Evaluation metrics for the Section VI experiments.
+
+* :mod:`repro.metrics.accuracy` — per-epoch location/containment error
+  rates against ground truth (Expts 1–4), with the scoring policies
+  described in DESIGN.md;
+* :mod:`repro.metrics.events` — event-stream precision/recall/F-measure
+  against the compressed ground-truth stream (Expt 7);
+* :mod:`repro.metrics.sizing` — compression ratios (Expt 8);
+* :mod:`repro.metrics.delay` — anomaly-detection delay (Expt 4).
+"""
+
+from repro.metrics.accuracy import AccuracyAccumulator, ScoringPolicy
+from repro.metrics.events import EventMatch, f_measure, match_events
+from repro.metrics.sizing import compression_ratio, location_only, containment_only
+from repro.metrics.delay import DetectionReport, detection_delays
+
+__all__ = [
+    "AccuracyAccumulator",
+    "ScoringPolicy",
+    "EventMatch",
+    "match_events",
+    "f_measure",
+    "compression_ratio",
+    "location_only",
+    "containment_only",
+    "DetectionReport",
+    "detection_delays",
+]

@@ -1,0 +1,71 @@
+"""Anomaly-detection delay (Expt 4, Fig. 9(f)).
+
+A vanished object counts as detected the first time the output stream
+reports it missing at or after its removal epoch; the delay is the gap in
+epochs.  Objects whose removal is never reported count against the
+detection rate but not the mean delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.events.messages import EventKind, EventMessage
+from repro.model.objects import TagId
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Detection outcomes over a set of injected removals.
+
+    Attributes:
+        delays: Per-object detection delay in epochs (detected objects only).
+        undetected: Objects never reported missing after their removal.
+    """
+
+    delays: dict[TagId, int]
+    undetected: frozenset[TagId]
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of removals eventually reported missing."""
+        total = len(self.delays) + len(self.undetected)
+        return len(self.delays) / total if total else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean detection delay in epochs over detected removals."""
+        if not self.delays:
+            return float("nan")
+        return sum(self.delays.values()) / len(self.delays)
+
+    @property
+    def max_delay(self) -> int:
+        """Largest detection delay observed (0 when nothing detected)."""
+        return max(self.delays.values(), default=0)
+
+
+def detection_delays(
+    messages: Iterable[EventMessage],
+    vanished: Mapping[TagId, int],
+) -> DetectionReport:
+    """Compute detection delays for ``vanished`` (tag -> removal epoch).
+
+    ``messages`` is the full compressed output stream; only ``Missing``
+    events participate.
+    """
+    first_missing: dict[TagId, int] = {}
+    for msg in messages:
+        if msg.kind is not EventKind.MISSING:
+            continue
+        tag = msg.obj
+        removal = vanished.get(tag)
+        if removal is None or msg.vs < removal:
+            continue
+        if tag not in first_missing or msg.vs < first_missing[tag]:
+            first_missing[tag] = msg.vs
+
+    delays = {tag: first_missing[tag] - epoch for tag, epoch in vanished.items() if tag in first_missing}
+    undetected = frozenset(tag for tag in vanished if tag not in first_missing)
+    return DetectionReport(delays=delays, undetected=undetected)

@@ -1,0 +1,36 @@
+"""Compression-ratio accounting (Expt 8).
+
+The compression ratio is the encoded size of the compressed event output
+divided by the encoded size of the raw input readings.  Both sides use
+fixed per-record encodings (:data:`repro.readers.stream.RAW_READING_BYTES`
+and :data:`repro.events.messages.EVENT_MESSAGE_BYTES`) so the ratios are
+deterministic and implementation-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.events.messages import EVENT_MESSAGE_BYTES, EventMessage
+
+
+def location_only(messages: Iterable[EventMessage]) -> list[EventMessage]:
+    """Filter a stream down to location events (incl. Missing)."""
+    return [m for m in messages if m.kind.is_location]
+
+
+def containment_only(messages: Iterable[EventMessage]) -> list[EventMessage]:
+    """Filter a stream down to containment events."""
+    return [m for m in messages if m.kind.is_containment]
+
+
+def output_bytes(messages: Sequence[EventMessage]) -> int:
+    """Encoded size of an event stream."""
+    return len(messages) * EVENT_MESSAGE_BYTES
+
+
+def compression_ratio(messages: Sequence[EventMessage], raw_bytes: int) -> float:
+    """Output size over raw input size (smaller is better, 1.0 = no gain)."""
+    if raw_bytes <= 0:
+        raise ValueError("raw input size must be positive")
+    return output_bytes(messages) / raw_bytes

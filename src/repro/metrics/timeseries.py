@@ -1,0 +1,130 @@
+"""Windowed time-series metrics.
+
+Aggregate error rates hide dynamics — a warm-up transient, a degradation
+after an anomaly burst, periodic error spikes on the complete-inference
+grid.  :class:`WindowedSeries` accumulates per-epoch counts into fixed
+windows and exposes the resulting series, feeding operator dashboards and
+the reproduction report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class WindowedSeries:
+    """Ratio series aggregated over fixed-width epoch windows.
+
+    Attributes:
+        window: Window width in epochs.
+        label: What the ratio measures (for rendering).
+    """
+
+    window: int
+    label: str = ""
+    _hits: dict[int, int] = field(default_factory=dict)
+    _totals: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1 epoch, got {self.window}")
+
+    def record(self, epoch: int, hits: int, total: int) -> None:
+        """Add ``hits`` out of ``total`` observations at ``epoch``."""
+        if total < 0 or hits < 0 or hits > total:
+            raise ValueError(f"invalid counts: {hits}/{total}")
+        bucket = epoch // self.window
+        self._hits[bucket] = self._hits.get(bucket, 0) + hits
+        self._totals[bucket] = self._totals.get(bucket, 0) + total
+
+    def ratios(self) -> list[tuple[int, float]]:
+        """(window start epoch, ratio) for every non-empty window, in order."""
+        out = []
+        for bucket in sorted(self._totals):
+            total = self._totals[bucket]
+            if total == 0:
+                continue
+            out.append((bucket * self.window, self._hits[bucket] / total))
+        return out
+
+    def values(self) -> list[float]:
+        """Just the ratio values, window order."""
+        return [ratio for _, ratio in self.ratios()]
+
+    @property
+    def overall(self) -> float:
+        """Ratio across all windows combined."""
+        total = sum(self._totals.values())
+        return sum(self._hits.values()) / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+
+def sparkline(values: Iterable[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render values as a unicode sparkline (▁▂▃▄▅▆▇█).
+
+    ``lo``/``hi`` pin the scale; by default the data's own range is used
+    (a flat series renders as all-middle blocks).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return blocks[3] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(blocks) - 1))
+        out.append(blocks[max(0, min(len(blocks) - 1, index))])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render one or more (x, y) series as an ASCII line chart.
+
+    Each series gets a marker character; axes are annotated with the data
+    ranges.  Intended for terminal reports (benchmarks, examples) where a
+    plotting library would be overkill.
+    """
+    markers = "*o+x#@%&"
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        prefix = f"{y_hi:8.3f} |" if row_index == 0 else (
+            f"{y_lo:8.3f} |" if row_index == height - 1 else " " * 9 + "|"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<10.4g}{'':{max(0, width - 20)}}{x_hi:>10.4g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Physical-world model: objects, locations, and ground-truth state.
+
+This package implements Section II of the paper: the *physical world* is a
+set of RFID-tagged objects ``O``, a set of fixed locations ``L`` (plus the
+special ``unknown`` location), and a discrete time domain.  The state of the
+world at time ``t`` is captured by the boolean functions ``resides(o, l, t)``
+and ``contained(o_i, o_j, l, t)``, which this package tracks exactly (the
+*ground truth* against which SPIRE's probabilistic estimates are scored).
+"""
+
+from repro.model.objects import PackagingLevel, TagId, allocate_tags
+from repro.model.locations import Location, LocationKind, UNKNOWN_LOCATION
+from repro.model.world import PhysicalWorld, WorldError
+from repro.model.truth import GroundTruthRecorder, TruthSnapshot
+
+__all__ = [
+    "PackagingLevel",
+    "TagId",
+    "allocate_tags",
+    "Location",
+    "LocationKind",
+    "UNKNOWN_LOCATION",
+    "PhysicalWorld",
+    "WorldError",
+    "GroundTruthRecorder",
+    "TruthSnapshot",
+]

@@ -1,0 +1,126 @@
+"""Locations of the physical world.
+
+Locations are the pre-defined fixed areas of Section II: entry door, belts,
+shelves, packaging area, exit door.  Each location doubles as a *color* in
+the time-varying colored graph model (Section III-A), so locations carry a
+small integer ``color`` that graph nodes reference.  The special ``unknown``
+location (color ``None`` in the graph) is represented by the singleton
+:data:`UNKNOWN_LOCATION`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+
+class LocationKind(Enum):
+    """Functional role of a location inside a deployment.
+
+    The kind drives simulator behaviour (what happens to objects there) and
+    reader semantics (belt readers are *special readers* that confirm
+    containment; exit doors are *proper exit channels* that remove objects
+    from the monitored world).
+    """
+
+    ENTRY_DOOR = "entry_door"
+    BELT = "belt"
+    SHELF = "shelf"
+    PACKAGING = "packaging"
+    EXIT_DOOR = "exit_door"
+    UNKNOWN = "unknown"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class Location:
+    """A fixed, named location; equality/hash by ``color``.
+
+    Attributes:
+        color: Small non-negative integer unique within a deployment; used
+            as the node color in the graph model.  The unknown location uses
+            color ``-1`` and must never be assigned to a reader.
+        name: Human-readable name, e.g. ``"shelf-3"``.
+        kind: Functional role (see :class:`LocationKind`).
+    """
+
+    color: int
+    name: str
+    kind: LocationKind = LocationKind.GENERIC
+
+    def __post_init__(self) -> None:
+        if self.kind is LocationKind.UNKNOWN and self.color != -1:
+            raise ValueError("the unknown location must use color -1")
+        if self.kind is not LocationKind.UNKNOWN and self.color < 0:
+            raise ValueError(f"location color must be non-negative, got {self.color}")
+
+    @property
+    def is_exit(self) -> bool:
+        """True for proper exit channels (objects leave the world here)."""
+        return self.kind is LocationKind.EXIT_DOOR
+
+    def __str__(self) -> str:
+        return self.name
+
+
+UNKNOWN_LOCATION = Location(color=-1, name="unknown", kind=LocationKind.UNKNOWN)
+"""The special "unknown" location of Section II.
+
+An object resides here when it is in transit between monitored locations or
+has left the world improperly (e.g. was stolen).
+"""
+
+UNKNOWN_COLOR = UNKNOWN_LOCATION.color
+"""Color used throughout the library for the unknown location (§III-A)."""
+
+
+class LocationRegistry:
+    """Deployment-wide registry mapping colors to locations.
+
+    A registry is built once per deployment (by the simulator or by user
+    code describing a real site) and shared by readers, the graph model and
+    the output formatter.  The unknown location is always registered.
+    """
+
+    def __init__(self, locations: Iterable[Location] = ()) -> None:
+        self._by_color: dict[int, Location] = {UNKNOWN_LOCATION.color: UNKNOWN_LOCATION}
+        self._by_name: dict[str, Location] = {UNKNOWN_LOCATION.name: UNKNOWN_LOCATION}
+        for loc in locations:
+            self.add(loc)
+
+    def add(self, location: Location) -> Location:
+        """Register a location; colors and names must be unique."""
+        if location.color in self._by_color:
+            raise ValueError(f"duplicate location color {location.color}")
+        if location.name in self._by_name:
+            raise ValueError(f"duplicate location name {location.name!r}")
+        self._by_color[location.color] = location
+        self._by_name[location.name] = location
+        return location
+
+    def create(self, name: str, kind: LocationKind = LocationKind.GENERIC) -> Location:
+        """Create and register a location with the next free color."""
+        color = max((c for c in self._by_color if c >= 0), default=-1) + 1
+        return self.add(Location(color=color, name=name, kind=kind))
+
+    def by_color(self, color: int) -> Location:
+        """Look up a location by its color; raises ``KeyError`` if absent."""
+        return self._by_color[color]
+
+    def by_name(self, name: str) -> Location:
+        """Look up a location by name; raises ``KeyError`` if absent."""
+        return self._by_name[name]
+
+    def known_locations(self) -> list[Location]:
+        """All registered locations except the unknown location."""
+        return [loc for c, loc in sorted(self._by_color.items()) if c >= 0]
+
+    def __contains__(self, location: Location) -> bool:
+        return self._by_color.get(location.color) == location
+
+    def __len__(self) -> int:
+        return len(self._by_color) - 1  # exclude "unknown"
+
+    def __iter__(self):
+        return iter(self.known_locations())

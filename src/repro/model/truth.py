@@ -1,0 +1,116 @@
+"""Ground-truth history recording.
+
+SPIRE's evaluation needs the ground truth in two forms:
+
+* **per-epoch snapshots** of every object's location and container, used to
+  score inference error rates (Expts 1–4); and
+* a **compressed ground-truth event stream** — the ground truth pushed
+  through the same level-1 range compressor SPIRE uses — used as the
+  reference for event precision/recall/F-measure (Expt 7, Section VI-D).
+
+:class:`GroundTruthRecorder` captures snapshots cheaply (it stores compact
+dicts, not world copies) and can replay them into any compressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.model.locations import Location, UNKNOWN_LOCATION
+from repro.model.objects import TagId
+from repro.model.world import PhysicalWorld
+
+
+@dataclass(frozen=True)
+class TruthSnapshot:
+    """Ground truth at one epoch.
+
+    Attributes:
+        epoch: The epoch this snapshot was taken at.
+        locations: Location of every object present in the world (objects at
+            the unknown location — e.g. stolen ones — map to
+            :data:`~repro.model.locations.UNKNOWN_LOCATION`).
+        containers: Direct container of every contained object; objects with
+            no container are absent from this mapping.
+    """
+
+    epoch: int
+    locations: dict[TagId, Location]
+    containers: dict[TagId, TagId]
+
+    def location_of(self, tag: TagId) -> Location:
+        """Location of ``tag``; unknown location if not in the world."""
+        return self.locations.get(tag, UNKNOWN_LOCATION)
+
+    def container_of(self, tag: TagId) -> TagId | None:
+        """Direct container of ``tag`` at this epoch, if any."""
+        return self.containers.get(tag)
+
+    def tags(self) -> Iterable[TagId]:
+        """All objects present in the world at this epoch."""
+        return self.locations.keys()
+
+
+class GroundTruthRecorder:
+    """Accumulates per-epoch :class:`TruthSnapshot` records from a world.
+
+    The simulator calls :meth:`capture` once per epoch after all world
+    mutations for that epoch have been applied.  Departed objects (proper
+    exits) simply stop appearing in later snapshots; vanished objects appear
+    with the unknown location until the simulator disposes of them.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: list[TruthSnapshot] = []
+        self._vanished_at: dict[TagId, int] = {}
+        self._exited_at: dict[TagId, int] = {}
+
+    def capture(self, world: PhysicalWorld, epoch: int) -> TruthSnapshot:
+        """Record and return the ground truth of ``world`` at ``epoch``."""
+        locations: dict[TagId, Location] = {}
+        containers: dict[TagId, TagId] = {}
+        for tag in world:
+            locations[tag] = world.location_of(tag)
+            parent = world.container_of(tag)
+            if parent is not None:
+                containers[tag] = parent
+        snapshot = TruthSnapshot(epoch=epoch, locations=locations, containers=containers)
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def note_vanished(self, tag: TagId, epoch: int) -> None:
+        """Record that ``tag`` improperly disappeared at ``epoch`` (anomaly)."""
+        self._vanished_at.setdefault(tag, epoch)
+
+    def note_exited(self, tag: TagId, epoch: int) -> None:
+        """Record that ``tag`` left through a proper exit at ``epoch``."""
+        self._exited_at.setdefault(tag, epoch)
+
+    @property
+    def snapshots(self) -> list[TruthSnapshot]:
+        """All captured snapshots, in epoch order."""
+        return self._snapshots
+
+    @property
+    def vanished(self) -> dict[TagId, int]:
+        """Tags that vanished improperly, mapped to their vanish epoch."""
+        return dict(self._vanished_at)
+
+    @property
+    def exited(self) -> dict[TagId, int]:
+        """Tags that exited properly, mapped to their exit epoch."""
+        return dict(self._exited_at)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[TruthSnapshot]:
+        return iter(self._snapshots)
+
+    def at_epoch(self, epoch: int) -> TruthSnapshot:
+        """Snapshot taken at exactly ``epoch``; raises ``KeyError`` if absent."""
+        for snap in self._snapshots:
+            if snap.epoch == epoch:
+                return snap
+        raise KeyError(f"no ground-truth snapshot for epoch {epoch}")

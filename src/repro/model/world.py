@@ -1,0 +1,254 @@
+"""Ground-truth state of the physical world.
+
+:class:`PhysicalWorld` is the authoritative record of where every object is
+and what contains what, i.e. the functions ``resides`` and ``contained`` of
+Section II.  The simulator mutates a world as pallets flow through the
+warehouse; the metrics package reads it to score SPIRE's estimates.
+
+The world enforces the physical invariants the paper assumes:
+
+* an object resides in exactly one location at a time (possibly *unknown*);
+* containment is a forest: every object has at most one container;
+* a container and its contents are always co-located — moving a container
+  moves everything (transitively) inside it;
+* containment respects packaging levels: the container's level must be
+  strictly higher than the contained object's level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.model.locations import Location, UNKNOWN_LOCATION
+from repro.model.objects import TagId
+
+
+class WorldError(Exception):
+    """Raised when a mutation would violate a physical-world invariant."""
+
+
+@dataclass
+class _ObjectState:
+    """Mutable per-object record inside a :class:`PhysicalWorld`."""
+
+    tag: TagId
+    location: Location
+    container: TagId | None = None
+    children: set[TagId] = field(default_factory=set)
+    entered_at: int = 0
+
+
+class PhysicalWorld:
+    """The set of monitored objects with their true locations and containment.
+
+    All mutation methods take the current time ``now`` so the world can keep
+    consistent entry timestamps; the world itself is otherwise timeless —
+    history is recorded externally by
+    :class:`repro.model.truth.GroundTruthRecorder`.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[TagId, _ObjectState] = {}
+        # location color -> tags residing there; kept in sync by mutations so
+        # per-epoch reader simulation is O(objects at the reader's location),
+        # not O(all objects) (Table III runs reach ~175k live objects).
+        self._by_location: dict[int, set[TagId]] = {}
+
+    # ------------------------------------------------------------------
+    # queries (the ground-truth functions of Section II)
+    # ------------------------------------------------------------------
+
+    def __contains__(self, tag: TagId) -> bool:
+        return tag in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[TagId]:
+        return iter(self._objects)
+
+    def resides(self, tag: TagId, location: Location) -> bool:
+        """Ground-truth ``resides(o, l)``: is ``tag`` currently at ``location``?"""
+        state = self._objects.get(tag)
+        return state is not None and state.location == location
+
+    def contained(self, child: TagId, parent: TagId) -> bool:
+        """Ground-truth ``contained(o_i, o_j)``: is ``child`` inside ``parent``?"""
+        state = self._objects.get(child)
+        return state is not None and state.container == parent
+
+    def location_of(self, tag: TagId) -> Location:
+        """Current location of ``tag``; raises ``KeyError`` for unknown tags."""
+        return self._objects[tag].location
+
+    def container_of(self, tag: TagId) -> TagId | None:
+        """Direct container of ``tag`` (``None`` if not contained)."""
+        return self._objects[tag].container
+
+    def children_of(self, tag: TagId) -> frozenset[TagId]:
+        """Direct contents of ``tag``."""
+        return frozenset(self._objects[tag].children)
+
+    def descendants_of(self, tag: TagId) -> list[TagId]:
+        """All objects transitively contained in ``tag`` (pre-order)."""
+        out: list[TagId] = []
+        stack = sorted(self._objects[tag].children, reverse=True)
+        while stack:
+            child = stack.pop()
+            out.append(child)
+            stack.extend(sorted(self._objects[child].children, reverse=True))
+        return out
+
+    def top_level_container(self, tag: TagId) -> TagId:
+        """Outermost container of ``tag`` (``tag`` itself if uncontained)."""
+        current = tag
+        while (parent := self._objects[current].container) is not None:
+            current = parent
+        return current
+
+    def objects_at(self, location: Location) -> list[TagId]:
+        """All objects currently residing at ``location`` (sorted for determinism)."""
+        return sorted(self._by_location.get(location.color, ()))
+
+    def tags(self) -> list[TagId]:
+        """All objects currently in the world."""
+        return list(self._objects)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def add_object(self, tag: TagId, location: Location, now: int = 0) -> None:
+        """An object enters the world at ``location``."""
+        if tag in self._objects:
+            raise WorldError(f"object {tag} already exists")
+        self._objects[tag] = _ObjectState(tag=tag, location=location, entered_at=now)
+        self._by_location.setdefault(location.color, set()).add(tag)
+
+    def remove_object(self, tag: TagId) -> None:
+        """An object leaves the world (proper exit or final disposal).
+
+        Contained objects are *not* removed implicitly: callers that remove
+        a container with contents must decide what happens to the contents
+        first (the simulator removes whole subtrees on proper exit).
+        """
+        state = self._require(tag)
+        if state.children:
+            raise WorldError(f"cannot remove {tag}: it still contains {len(state.children)} object(s)")
+        if state.container is not None:
+            self._objects[state.container].children.discard(tag)
+        self._by_location[state.location.color].discard(tag)
+        del self._objects[tag]
+
+    def remove_subtree(self, tag: TagId) -> list[TagId]:
+        """Remove ``tag`` and everything inside it; returns removed tags."""
+        removed = self.descendants_of(tag)
+        for child in reversed(removed):
+            self.remove_object(child)
+        self.remove_object(tag)
+        removed.append(tag)
+        return removed
+
+    def move(self, tag: TagId, location: Location) -> list[TagId]:
+        """Move ``tag`` — and transitively everything it contains — to ``location``.
+
+        Returns the list of all objects moved (``tag`` first).  Moving an
+        object that is still inside a container is a modelling error
+        (containers and contents are always co-located); detach it with
+        :meth:`uncontain` first.
+        """
+        state = self._require(tag)
+        if state.container is not None:
+            raise WorldError(
+                f"cannot move contained object {tag}; call uncontain() first"
+            )
+        moved = [tag] + self.descendants_of(tag)
+        dest = self._by_location.setdefault(location.color, set())
+        for t in moved:
+            t_state = self._objects[t]
+            self._by_location[t_state.location.color].discard(t)
+            t_state.location = location
+            dest.add(t)
+        return moved
+
+    def vanish(self, tag: TagId) -> list[TagId]:
+        """An object improperly disappears (theft/misplacement).
+
+        The object and its contents move to the unknown location and the
+        object is detached from its container (the thief takes the case out
+        of the pallet).  Returns all affected tags.
+        """
+        state = self._require(tag)
+        if state.container is not None:
+            self.uncontain(tag)
+        return self.move(tag, UNKNOWN_LOCATION)
+
+    def contain(self, child: TagId, parent: TagId) -> None:
+        """Put ``child`` inside ``parent`` (both must be co-located)."""
+        child_state = self._require(child)
+        parent_state = self._require(parent)
+        if child_state.container == parent:
+            return
+        if child_state.container is not None:
+            raise WorldError(f"{child} is already contained in {child_state.container}")
+        if child.level >= parent.level:
+            raise WorldError(
+                f"containment must go down packaging levels: "
+                f"{parent} (level {parent.level}) cannot contain {child} (level {child.level})"
+            )
+        if child_state.location != parent_state.location:
+            raise WorldError(
+                f"cannot contain {child}@{child_state.location} in {parent}@{parent_state.location}: "
+                "objects must be co-located"
+            )
+        child_state.container = parent
+        parent_state.children.add(child)
+
+    def uncontain(self, child: TagId) -> TagId:
+        """Take ``child`` out of its container; returns the former container."""
+        state = self._require(child)
+        if state.container is None:
+            raise WorldError(f"{child} has no container")
+        parent = state.container
+        self._objects[parent].children.discard(child)
+        state.container = None
+        return parent
+
+    # ------------------------------------------------------------------
+
+    def _require(self, tag: TagId) -> _ObjectState:
+        state = self._objects.get(tag)
+        if state is None:
+            raise WorldError(f"unknown object {tag}")
+        return state
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency; used by property-based tests."""
+        for tag, state in self._objects.items():
+            if state.container is not None:
+                parent = self._objects.get(state.container)
+                assert parent is not None, f"{tag} contained in missing {state.container}"
+                assert tag in parent.children, f"{tag} missing from parent children set"
+                assert parent.location == state.location, (
+                    f"{tag}@{state.location} not co-located with container "
+                    f"{state.container}@{parent.location}"
+                )
+                assert tag.level < state.container.level, "level ordering violated"
+            for child in state.children:
+                assert self._objects[child].container == tag, "dangling child link"
+        # the location index must mirror per-object state exactly
+        indexed = {t for tags in self._by_location.values() for t in tags}
+        assert indexed == set(self._objects), "location index out of sync"
+        for color, tags in self._by_location.items():
+            for t in tags:
+                assert self._objects[t].location.color == color, "stale index entry"
+        # containment must be acyclic (levels strictly decrease, so a cycle
+        # is impossible if the level assertion held; re-walk to be safe)
+        for tag in self._objects:
+            seen = {tag}
+            current = self._objects[tag].container
+            while current is not None:
+                assert current not in seen, f"containment cycle through {tag}"
+                seen.add(current)
+                current = self._objects[current].container

@@ -1,0 +1,13 @@
+"""Query processing over compressed event streams.
+
+Section V-B calls the range-compressed output *directly queriable* by event
+processors; this package provides that front-end: an interval index built
+from a level-1 stream (level-2 streams are decompressed on demand, §V-C)
+answering the tracking and path queries RFID applications ask — where was
+an object at time t, what did a container hold, which objects passed
+through a location, an object's full path.
+"""
+
+from repro.query.index import EventStreamIndex, Interval
+
+__all__ = ["EventStreamIndex", "Interval"]

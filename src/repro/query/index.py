@@ -1,0 +1,268 @@
+"""Interval index over compressed event streams.
+
+:class:`EventStreamIndex` replays a well-formed level-1 stream (or a
+level-2 stream, decompressed on demand) into per-object interval histories
+and answers point and range queries:
+
+* ``location_of(obj, t)`` / ``container_of(obj, t)`` — state at a time;
+* ``contents_of(container, t)`` / ``objects_at(place, t)`` — inverses;
+* ``top_level_container(obj, t)`` — containment-chain walk;
+* ``path(obj)`` — the object's full location trajectory (tracking/path
+  queries in the sense of the RFID-database literature);
+* ``visitors(place, t1, t2)`` — every object present during a window;
+* ``missing_reports(obj)`` — when the object was reported missing.
+
+The index is static: build it from a finished stream, or rebuild
+incrementally by calling :meth:`extend` as more messages arrive (messages
+must keep arriving in stream order).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
+
+from repro.compression.decompress import decompress_stream
+from repro.events.messages import INFINITY, EventKind, EventMessage
+from repro.model.objects import TagId
+
+
+class Interval(NamedTuple):
+    """A value holding over ``[vs, ve)``; ``ve`` is ``inf`` while open."""
+
+    value: object
+    vs: int
+    ve: float
+
+    def contains(self, t: int) -> bool:
+        """Does this interval cover time ``t``?"""
+        return self.vs <= t < self.ve
+
+
+@dataclass
+class _ObjectHistory:
+    locations: list[Interval]
+    containers: list[Interval]
+    missing_at: list[int]
+
+    @staticmethod
+    def empty() -> "_ObjectHistory":
+        """A fresh, empty per-object history."""
+        return _ObjectHistory(locations=[], containers=[], missing_at=[])
+
+
+def _at(intervals: list[Interval], t: int):
+    """Value of the interval covering ``t``, or ``None``."""
+    index = bisect_right(intervals, t, key=lambda iv: iv.vs) - 1
+    if index >= 0 and intervals[index].contains(t):
+        return intervals[index].value
+    return None
+
+
+class EventStreamIndex:
+    """Queryable index over a compressed event stream."""
+
+    def __init__(
+        self,
+        messages: Iterable[EventMessage] = (),
+        decompress: bool = False,
+    ) -> None:
+        """Build an index.
+
+        Set ``decompress=True`` when ``messages`` is a level-2 stream: the
+        level-2 decompression routine (§V-C) runs first so contained
+        objects' location histories are explicit.
+        """
+        self._objects: dict[TagId, _ObjectHistory] = defaultdict(_ObjectHistory.empty)
+        if decompress:
+            messages = decompress_stream(list(messages))
+        self.extend(messages)
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+
+    def extend(self, messages: Iterable[EventMessage]) -> None:
+        """Apply more messages (in stream order)."""
+        for msg in messages:
+            history = self._objects[msg.obj]
+            if msg.kind is EventKind.START_LOCATION:
+                history.locations.append(Interval(msg.place, msg.vs, INFINITY))
+            elif msg.kind is EventKind.END_LOCATION:
+                self._close(history.locations, msg.place, msg.vs, int(msg.ve), msg)
+            elif msg.kind is EventKind.START_CONTAINMENT:
+                history.containers.append(Interval(msg.container, msg.vs, INFINITY))
+            elif msg.kind is EventKind.END_CONTAINMENT:
+                self._close(history.containers, msg.container, msg.vs, int(msg.ve), msg)
+            elif msg.kind is EventKind.MISSING:
+                history.missing_at.append(msg.vs)
+
+    @staticmethod
+    def _close(intervals: list[Interval], value, vs: int, ve: int, msg: EventMessage) -> None:
+        if not intervals:
+            raise ValueError(f"end message without a matching start: {msg}")
+        last = intervals[-1]
+        if last.ve != INFINITY or last.value != value or last.vs != vs:
+            raise ValueError(f"end message does not match the open interval: {msg}")
+        intervals[-1] = Interval(value, vs, ve)
+
+    # ------------------------------------------------------------------
+    # point queries
+    # ------------------------------------------------------------------
+
+    def objects(self) -> list[TagId]:
+        """Every object the stream ever mentioned."""
+        return sorted(self._objects)
+
+    def location_of(self, obj: TagId, t: int) -> int | None:
+        """Location color of ``obj`` at time ``t`` (``None`` if unreported)."""
+        history = self._objects.get(obj)
+        if history is None:
+            return None
+        return _at(history.locations, t)
+
+    def container_of(self, obj: TagId, t: int) -> TagId | None:
+        """Direct container of ``obj`` at time ``t``."""
+        history = self._objects.get(obj)
+        if history is None:
+            return None
+        return _at(history.containers, t)
+
+    def top_level_container(self, obj: TagId, t: int) -> TagId:
+        """Outermost container of ``obj`` at time ``t`` (``obj`` if none)."""
+        current = obj
+        seen = {obj}
+        while True:
+            parent = self.container_of(current, t)
+            if parent is None or parent in seen:
+                return current
+            seen.add(parent)
+            current = parent
+
+    def is_missing(self, obj: TagId, t: int) -> bool:
+        """Was ``obj`` in reported-missing state at time ``t``?
+
+        True when a Missing report precedes ``t`` and no location interval
+        covers ``t``.
+        """
+        history = self._objects.get(obj)
+        if history is None:
+            return False
+        if _at(history.locations, t) is not None:
+            return False
+        index = bisect_right(history.missing_at, t) - 1
+        if index < 0:
+            return False
+        # missing from the report until the next location interval starts
+        report = history.missing_at[index]
+        for interval in history.locations:
+            if report < interval.vs <= t:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # inverse and range queries
+    # ------------------------------------------------------------------
+
+    def contents_of(self, container: TagId, t: int) -> list[TagId]:
+        """Objects directly contained in ``container`` at time ``t``."""
+        return sorted(
+            obj
+            for obj, history in self._objects.items()
+            if _at(history.containers, t) == container
+        )
+
+    def objects_at(self, place: int, t: int) -> list[TagId]:
+        """Objects reported at location ``place`` at time ``t``."""
+        return sorted(
+            obj
+            for obj, history in self._objects.items()
+            if _at(history.locations, t) == place
+        )
+
+    def visitors(self, place: int, t1: int, t2: int) -> list[TagId]:
+        """Objects with any location interval at ``place`` overlapping [t1, t2]."""
+        out = []
+        for obj, history in self._objects.items():
+            for interval in history.locations:
+                if interval.value == place and interval.vs <= t2 and interval.ve > t1:
+                    out.append(obj)
+                    break
+        return sorted(out)
+
+    def path(self, obj: TagId) -> list[Interval]:
+        """The object's full location trajectory, in time order."""
+        history = self._objects.get(obj)
+        return list(history.locations) if history else []
+
+    def containment_history(self, obj: TagId) -> list[Interval]:
+        """All containment intervals of ``obj``, in time order."""
+        history = self._objects.get(obj)
+        return list(history.containers) if history else []
+
+    def missing_reports(self, obj: TagId) -> list[int]:
+        """Epochs at which ``obj`` was reported missing."""
+        history = self._objects.get(obj)
+        return list(history.missing_at) if history else []
+
+    def containment_tree(self, root: TagId, t: int) -> dict:
+        """The containment tree under ``root`` at time ``t``.
+
+        Returns ``{"tag": root, "children": [subtrees...]}``, children in
+        tag order.  Use :meth:`top_level_container` first to find the root
+        of an arbitrary object's tree.
+        """
+        children = [
+            self.containment_tree(child, t) for child in self.contents_of(root, t)
+        ]
+        return {"tag": root, "children": children}
+
+    def render_tree(self, root: TagId, t: int, registry=None) -> str:
+        """ASCII rendering of the containment tree under ``root`` at ``t``."""
+
+        def place(tag: TagId) -> str:
+            color = self.location_of(tag, t)
+            if color is None:
+                return ""
+            name = registry.by_color(color).name if registry is not None else f"L{color}"
+            return f"  @ {name}"
+
+        lines: list[str] = []
+
+        def walk(node: dict, prefix: str, is_last: bool, is_root: bool) -> None:
+            tag = node["tag"]
+            if is_root:
+                lines.append(f"{tag}{place(tag)}")
+                child_prefix = ""
+            else:
+                connector = "`-- " if is_last else "|-- "
+                lines.append(f"{prefix}{connector}{tag}{place(tag)}")
+                child_prefix = prefix + ("    " if is_last else "|   ")
+            children = node["children"]
+            for index, child in enumerate(children):
+                walk(child, child_prefix, index == len(children) - 1, False)
+
+        walk(self.containment_tree(root, t), "", True, True)
+        return "\n".join(lines)
+
+    def dwell_time(self, obj: TagId, place: int, horizon: int | None = None) -> int:
+        """Total epochs ``obj`` was reported at ``place``.
+
+        Open intervals are truncated at ``horizon`` (required if any
+        interval at ``place`` is still open).
+        """
+        total = 0
+        for interval in self.path(obj):
+            if interval.value != place:
+                continue
+            ve = interval.ve
+            if ve == INFINITY:
+                if horizon is None:
+                    raise ValueError(
+                        f"open interval at place {place}; pass a horizon to truncate"
+                    )
+                ve = horizon
+            total += max(0, int(ve) - interval.vs)
+        return total

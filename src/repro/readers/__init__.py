@@ -1,0 +1,20 @@
+"""RFID readers and the raw reading stream.
+
+This package models the observation side of Section II: fixed readers with
+imperfect read rates and configurable interrogation frequencies, the raw
+``<tag id, reader id, timestamp>`` stream they produce, and the low-level
+deduplication module SPIRE assumes beneath it (Section II, last paragraph).
+"""
+
+from repro.readers.reader import Reader, ReaderKind
+from repro.readers.stream import Reading, EpochReadings, ReadingStream
+from repro.readers.dedup import Deduplicator
+
+__all__ = [
+    "Reader",
+    "ReaderKind",
+    "Reading",
+    "EpochReadings",
+    "ReadingStream",
+    "Deduplicator",
+]

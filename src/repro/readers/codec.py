@@ -1,0 +1,101 @@
+"""Binary codec for raw readings.
+
+Backs the :data:`~repro.readers.stream.RAW_READING_BYTES` accounting with a
+real wire format, so recorded traces can be persisted and replayed:
+
+``level(1) | serial low(4) | serial high(2) | reader(2) | timestamp(4) |
+seq(2) | 1 reserved byte`` — 16 bytes per reading, little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.model.objects import PackagingLevel, TagId
+from repro.readers.stream import RAW_READING_BYTES, EpochReadings, Reading, ReadingStream
+
+WIRE_FORMAT = struct.Struct("<BIHHLHx")
+
+_SERIAL_MAX = (1 << 48) - 1
+
+
+class ReadingCodecError(ValueError):
+    """Raised when a reading cannot be encoded or bytes cannot be decoded."""
+
+
+def encode_reading(reading: Reading) -> bytes:
+    """Encode one raw reading to its 16-byte wire form."""
+    if not 0 <= reading.tag.serial <= _SERIAL_MAX:
+        raise ReadingCodecError(f"serial {reading.tag.serial} out of 48-bit range")
+    if not 0 <= reading.reader_id < (1 << 16):
+        raise ReadingCodecError(f"reader id {reading.reader_id} out of 16-bit range")
+    if not 0 <= reading.timestamp < (1 << 32):
+        raise ReadingCodecError(f"timestamp {reading.timestamp} out of 32-bit range")
+    seq = min(reading.seq, (1 << 16) - 1)
+    return WIRE_FORMAT.pack(
+        reading.tag.level.value,
+        reading.tag.serial & 0xFFFFFFFF,
+        (reading.tag.serial >> 32) & 0xFFFF,
+        reading.reader_id,
+        reading.timestamp,
+        seq,
+    )
+
+
+def decode_reading(data: bytes) -> Reading:
+    """Decode one 16-byte wire-form reading."""
+    if len(data) != WIRE_FORMAT.size:
+        raise ReadingCodecError(f"expected {WIRE_FORMAT.size} bytes, got {len(data)}")
+    level, low, high, reader_id, timestamp, seq = WIRE_FORMAT.unpack(data)
+    try:
+        tag = TagId(PackagingLevel(level), (high << 32) | low)
+    except ValueError as exc:
+        raise ReadingCodecError(f"invalid packaging level {level}") from exc
+    return Reading(tag=tag, reader_id=reader_id, timestamp=timestamp, seq=seq)
+
+
+def encode_epoch(readings: EpochReadings) -> bytes:
+    """Encode all readings of one epoch."""
+    return b"".join(encode_reading(r) for r in readings.readings())
+
+
+def write_trace(stream: ReadingStream | Iterable[EpochReadings], fp: BinaryIO) -> int:
+    """Persist a whole trace; returns bytes written."""
+    written = 0
+    for epoch_readings in stream:
+        written += fp.write(encode_epoch(epoch_readings))
+    return written
+
+
+def read_trace(fp: BinaryIO) -> ReadingStream:
+    """Load a trace persisted by :func:`write_trace`.
+
+    Epoch grouping is reconstructed from the reading timestamps; epochs
+    with no readings at all are restored as empty entries between the
+    observed timestamps so replay semantics (one entry per epoch) hold.
+    """
+    size = WIRE_FORMAT.size
+    readings: list[Reading] = []
+    while True:
+        chunk = fp.read(size)
+        if not chunk:
+            break
+        if len(chunk) != size:
+            raise ReadingCodecError("truncated trace: partial record at EOF")
+        readings.append(decode_reading(chunk))
+
+    stream = ReadingStream()
+    if not readings:
+        return stream
+    last_epoch = readings[-1].timestamp
+    by_epoch: dict[int, EpochReadings] = {}
+    for reading in readings:
+        epoch = by_epoch.setdefault(reading.timestamp, EpochReadings(epoch=reading.timestamp))
+        epoch.add(reading.reader_id, [reading.tag])
+    for epoch_number in range(readings[0].timestamp, last_epoch + 1):
+        stream.append(by_epoch.get(epoch_number, EpochReadings(epoch=epoch_number)))
+    return stream
+
+
+assert WIRE_FORMAT.size == RAW_READING_BYTES, "wire format must match the sizing constant"

@@ -1,0 +1,68 @@
+"""Low-level deduplication of overlapping reader reports.
+
+SPIRE runs on top of a device-level cleaning layer whose only required
+functionality is *deduplication* (Section II, final paragraph): when nearby
+readers both report a tag in the same epoch, the tag is assigned to the
+reader that read it most recently.
+
+Within an epoch, "most recently" is resolved by sub-epoch arrival order
+(:attr:`repro.readers.stream.Reading.seq`); across epochs the deduplicator
+remembers each tag's last assignment so ties (identical seq, e.g. when a
+caller builds readings without seq info) fall back to the sticky previous
+assignment, then to the highest reader id for determinism.
+"""
+
+from __future__ import annotations
+
+from repro.model.objects import TagId
+from repro.readers.stream import EpochReadings
+
+
+class Deduplicator:
+    """Stateful per-tag deduplication across epochs.
+
+    Usage::
+
+        dedup = Deduplicator()
+        clean = dedup.process(epoch_readings)   # one call per epoch
+    """
+
+    def __init__(self) -> None:
+        self._last_reader: dict[TagId, int] = {}
+
+    def process(self, epoch_readings: EpochReadings) -> EpochReadings:
+        """Return a copy of ``epoch_readings`` with each tag reported once.
+
+        The winning reader for a multiply-read tag is the one whose report
+        arrived last within the epoch (highest ``seq``); the original input
+        is not modified.
+        """
+        # latest (seq, reader) per tag this epoch
+        winner: dict[TagId, tuple[int, int]] = {}
+        for reading in epoch_readings.readings():
+            key = (reading.seq, reading.reader_id)
+            prev = winner.get(reading.tag)
+            if prev is None or key > prev:
+                # break exact seq ties toward the sticky previous assignment
+                if (
+                    prev is not None
+                    and reading.seq == prev[0]
+                    and self._last_reader.get(reading.tag) == prev[1]
+                ):
+                    continue
+                winner[reading.tag] = key
+
+        clean = EpochReadings(epoch=epoch_readings.epoch)
+        for tag, (_seq, reader_id) in winner.items():
+            clean.add(reader_id, [tag])
+            self._last_reader[tag] = reader_id
+        return clean
+
+    def forget(self, tag: TagId) -> None:
+        """Drop sticky state for a departed tag (keeps memory bounded)."""
+        self._last_reader.pop(tag, None)
+
+    @property
+    def tracked_tags(self) -> int:
+        """Number of tags with sticky assignment state."""
+        return len(self._last_reader)

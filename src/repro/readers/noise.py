@@ -1,0 +1,146 @@
+"""Correlated read-loss model (Gilbert–Elliott burst channel).
+
+The i.i.d. Bernoulli loss model misses a physical reality the paper's
+references describe: a tag occluded by a metal object ([10]) or starved by
+tag contention ([11]) stays unreadable for a *stretch* of interrogations.
+:class:`BurstLossModel` implements the classic two-state Gilbert–Elliott
+channel per (reader, tag) pair:
+
+* in the GOOD state the tag is read with probability ``good_read_rate``
+  (near 1);
+* in the BAD state it is read with probability ``bad_read_rate`` (near 0);
+* the chain switches states with small per-interrogation probabilities,
+  giving geometrically distributed burst lengths.
+
+``from_average`` builds a channel with a target *average* read rate and a
+mean bad-burst length, so experiments can hold the headline read rate fixed
+while sweeping how bursty the losses are — isolating what correlation does
+to SPIRE's history-based inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.objects import TagId
+
+
+@dataclass
+class BurstLossModel:
+    """Per-(reader, tag) Gilbert–Elliott loss channel.
+
+    Attributes:
+        good_read_rate: Detection probability in the GOOD state.
+        bad_read_rate: Detection probability in the BAD state.
+        p_good_to_bad: Per-interrogation probability of entering a burst.
+        p_bad_to_good: Per-interrogation probability of leaving a burst
+            (mean burst length = 1 / p_bad_to_good interrogations).
+    """
+
+    good_read_rate: float = 0.98
+    bad_read_rate: float = 0.05
+    p_good_to_bad: float = 0.02
+    p_bad_to_good: float = 0.25
+    _bad: set[tuple[int, TagId]] = field(default_factory=set, repr=False)
+    _seen: set[tuple[int, TagId]] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("good_read_rate", "bad_read_rate", "p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.good_read_rate < self.bad_read_rate:
+            raise ValueError("good_read_rate must be >= bad_read_rate")
+        if self.p_bad_to_good <= 0.0:
+            raise ValueError("p_bad_to_good must be positive or bursts never end")
+
+    @classmethod
+    def from_average(
+        cls,
+        average_read_rate: float,
+        mean_burst: float = 4.0,
+        bad_read_rate: float = 0.05,
+        good_read_rate: float = 0.98,
+    ) -> "BurstLossModel":
+        """Channel with a chosen long-run average read rate.
+
+        The stationary GOOD-state share ``g`` must satisfy
+        ``g * good + (1 - g) * bad = average``; with the mean burst fixing
+        ``p_bad_to_good = 1/mean_burst``, that pins ``p_good_to_bad``.
+        """
+        if not bad_read_rate <= average_read_rate <= good_read_rate:
+            raise ValueError(
+                f"average read rate {average_read_rate} must lie between the "
+                f"bad ({bad_read_rate}) and good ({good_read_rate}) state rates"
+            )
+        if mean_burst < 1.0:
+            raise ValueError(f"mean_burst must be >= 1 interrogation, got {mean_burst}")
+        good_share = (average_read_rate - bad_read_rate) / (good_read_rate - bad_read_rate)
+        p_bad_to_good = 1.0 / mean_burst
+        if good_share >= 1.0:
+            p_good_to_bad = 0.0
+        else:
+            # stationarity: g * p_gb = (1 - g) * p_bg
+            p_good_to_bad = (1.0 - good_share) * p_bad_to_good / max(good_share, 1e-9)
+        return cls(
+            good_read_rate=good_read_rate,
+            bad_read_rate=bad_read_rate,
+            p_good_to_bad=min(1.0, p_good_to_bad),
+            p_bad_to_good=p_bad_to_good,
+        )
+
+    @property
+    def average_read_rate(self) -> float:
+        """Long-run detection probability of the channel."""
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        good_share = self.p_bad_to_good / denominator if denominator > 0 else 1.0
+        return good_share * self.good_read_rate + (1 - good_share) * self.bad_read_rate
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        reader_id: int,
+        present: list[TagId],
+        rng: np.random.Generator,
+    ) -> list[TagId]:
+        """One interrogation over ``present`` tags with burst-correlated loss."""
+        if not present:
+            return []
+        out = []
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        stationary_bad = self.p_good_to_bad / denominator if denominator > 0 else 0.0
+        for tag in present:
+            key = (reader_id, tag)
+            if key not in self._seen:
+                # start each channel in its stationary state, so a trace's
+                # average rate is unbiased from the first interrogation
+                self._seen.add(key)
+                if rng.random() < stationary_bad:
+                    self._bad.add(key)
+            in_bad = key in self._bad
+            # state transition first, then the read attempt in the new state
+            if in_bad:
+                if rng.random() < self.p_bad_to_good:
+                    self._bad.discard(key)
+                    in_bad = False
+            else:
+                if rng.random() < self.p_good_to_bad:
+                    self._bad.add(key)
+                    in_bad = True
+            rate = self.bad_read_rate if in_bad else self.good_read_rate
+            if rng.random() < rate:
+                out.append(tag)
+        return out
+
+    def forget(self, tag: TagId) -> None:
+        """Drop channel state for a departed tag."""
+        self._bad = {key for key in self._bad if key[1] != tag}
+        self._seen = {key for key in self._seen if key[1] != tag}
+
+    @property
+    def tags_in_burst(self) -> int:
+        """Number of (reader, tag) channels currently in the BAD state."""
+        return len(self._bad)

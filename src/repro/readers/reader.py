@@ -1,0 +1,132 @@
+"""Fixed RFID reader model.
+
+A reader is mounted at one location and interrogates periodically.  Each
+interrogation is an independent Bernoulli trial per present tag with success
+probability ``read_rate`` — the standard model for RFID loss (paper
+references [9], [18], [19]).  Optionally, a per-tag Gilbert–Elliott burst
+model correlates consecutive misses: the paper attributes read loss to
+occluding metal and tag contention ([10], [11]), both of which persist
+across epochs rather than flipping a fresh coin each time.
+
+Two reader behaviours matter to SPIRE beyond plain observation:
+
+* **Special readers** (belt readers) scan containers *one at a time*, so
+  domain knowledge lets SPIRE treat their readings as containment
+  confirmations (Section II's running example, Section III-B step 3).
+* **Exit readers** sit at proper exit channels; objects they observe are
+  leaving the monitored world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.locations import Location
+from repro.model.objects import PackagingLevel, TagId
+
+
+class ReaderKind(Enum):
+    """Observation semantics of a reader."""
+
+    NORMAL = "normal"
+    #: Special reader (Section II): scans one top-level container at a time,
+    #: so co-read tags are known to belong to that container's subtree.
+    SPECIAL = "special"
+    #: Reader at a proper exit channel; observed objects leave the world.
+    EXIT = "exit"
+
+
+@dataclass
+class Reader:
+    """A fixed reader: identity, placement, duty cycle and loss model.
+
+    Attributes:
+        reader_id: Unique small integer id within a deployment.
+        location: Where the reader (and anything it reads) is.
+        period: Interrogation period in epochs; a reader with ``period=10``
+            interrogates at epochs 0, 10, 20, …  The paper expresses this as
+            a frequency (Table II); period is simply ``round(1/frequency)``
+            in epochs.
+        read_rate: Per-tag probability that an interrogation detects a
+            present tag (0.5–1.0 in the paper's experiments).
+        kind: Observation semantics (normal / special / exit).
+        singulation_level: For special readers, the packaging level of the
+            containers the reader scans one at a time (a receiving belt
+            singulates CASEs, an exit belt singulates PALLETs).  Required
+            when ``kind`` is SPECIAL; this is the domain knowledge that lets
+            SPIRE treat the reader's readings as containment confirmations.
+        phase: Offset of the interrogation schedule, so co-located reader
+            groups need not fire in lock-step.
+    """
+
+    reader_id: int
+    location: Location
+    period: int = 1
+    read_rate: float = 1.0
+    kind: ReaderKind = ReaderKind.NORMAL
+    singulation_level: "PackagingLevel | None" = None
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1 epoch, got {self.period}")
+        if not 0.0 <= self.read_rate <= 1.0:
+            raise ValueError(f"read_rate must be in [0, 1], got {self.read_rate}")
+        if self.location.color < 0:
+            raise ValueError("a reader cannot be placed at the unknown location")
+        if self.kind is ReaderKind.SPECIAL and self.singulation_level is None:
+            raise ValueError("special readers must declare a singulation_level")
+
+    @property
+    def is_special(self) -> bool:
+        """True if this reader confirms containment (belt-style singulation)."""
+        return self.kind is ReaderKind.SPECIAL
+
+    @property
+    def is_exit(self) -> bool:
+        """True for readers at proper exit channels."""
+        return self.kind is ReaderKind.EXIT
+
+    def interrogates_at(self, epoch: int) -> bool:
+        """Does this reader fire at ``epoch``?"""
+        return (epoch - self.phase) % self.period == 0
+
+    def observe(
+        self,
+        present: Sequence[TagId],
+        rng: np.random.Generator,
+        epoch: int,
+    ) -> list[TagId]:
+        """Simulate one interrogation over the ``present`` tags.
+
+        Returns the subset of tags detected this epoch.  Callers should
+        check :meth:`interrogates_at` first; observing when the reader is
+        not scheduled returns an empty list.
+        """
+        if not self.interrogates_at(epoch) or not present:
+            return []
+        if self.read_rate >= 1.0:
+            return list(present)
+        hits = rng.random(len(present)) < self.read_rate
+        return [tag for tag, hit in zip(present, hits) if hit]
+
+
+def readers_at(readers: Iterable[Reader], location: Location) -> list[Reader]:
+    """All readers mounted at ``location``."""
+    return [r for r in readers if r.location == location]
+
+
+def schedule_lcm(readers: Iterable[Reader]) -> int:
+    """Least common multiple of all reader periods.
+
+    Section IV-D: complete inference runs every ``lcm(periods)`` epochs;
+    partial inference runs otherwise.
+    """
+    lcm = 1
+    for reader in readers:
+        lcm = np.lcm(lcm, reader.period)
+    return int(lcm)

@@ -1,0 +1,130 @@
+"""The raw RFID reading stream.
+
+RFID data in its most basic form is a triplet ``<tag id, reader id,
+timestamp>`` (Section I).  Readers are coarsely synchronised into 1-second
+*epochs*; :class:`EpochReadings` groups one epoch's readings per reader, the
+shape consumed by the stream-driven graph construction (Fig. 4 processes one
+reader's reading set ``R_k`` at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple
+
+from repro.model.objects import TagId
+
+#: Encoded size in bytes we charge for one raw reading when computing
+#: compression ratios: 8-byte tag id + 4-byte reader id + 4-byte timestamp.
+#: (Section VI-D reports raw-trace MB; any fixed per-reading size yields the
+#: same *ratios*, which is what the paper's Figs. 11(b)/(c) plot.)
+RAW_READING_BYTES = 16
+
+
+class Reading(NamedTuple):
+    """One raw observation: ``tag`` seen by ``reader_id`` at ``timestamp``.
+
+    ``timestamp`` is the epoch number; ``seq`` is the sub-epoch arrival
+    order, which the deduplicator uses to decide which reader saw a tag
+    "most recently" when several readers report it in the same epoch.
+    """
+
+    tag: TagId
+    reader_id: int
+    timestamp: int
+    seq: int = 0
+
+
+@dataclass
+class EpochReadings:
+    """All readings of one epoch, grouped by reader.
+
+    Attributes:
+        epoch: The epoch number.
+        by_reader: Mapping of reader id to the (deduplicated or raw) list of
+            tags that reader reported this epoch.  Reader ids absent from
+            the mapping did not interrogate or read nothing.
+    """
+
+    epoch: int
+    by_reader: dict[int, list[TagId]] = field(default_factory=dict)
+
+    def add(self, reader_id: int, tags: Iterable[TagId]) -> None:
+        """Append ``tags`` to the given reader's reading set."""
+        tags = list(tags)
+        if not tags:
+            return
+        self.by_reader.setdefault(reader_id, []).extend(tags)
+
+    def readings(self) -> Iterator[Reading]:
+        """Flatten to raw triplets (with deterministic sub-epoch ``seq``)."""
+        seq = 0
+        for reader_id in sorted(self.by_reader):
+            for tag in self.by_reader[reader_id]:
+                yield Reading(tag=tag, reader_id=reader_id, timestamp=self.epoch, seq=seq)
+                seq += 1
+
+    @property
+    def reading_count(self) -> int:
+        """Number of raw readings in this epoch."""
+        return sum(len(tags) for tags in self.by_reader.values())
+
+    @property
+    def raw_bytes(self) -> int:
+        """Encoded size of this epoch's raw readings."""
+        return self.reading_count * RAW_READING_BYTES
+
+    def tags_seen(self) -> set[TagId]:
+        """Distinct tags observed by any reader this epoch."""
+        seen: set[TagId] = set()
+        for tags in self.by_reader.values():
+            seen.update(tags)
+        return seen
+
+    def __bool__(self) -> bool:
+        return bool(self.by_reader)
+
+
+class ReadingStream:
+    """An in-memory sequence of :class:`EpochReadings` plus size accounting.
+
+    The simulator produces one of these per run; SPIRE and the SMURF
+    baseline both consume it epoch by epoch.  For very long runs the class
+    also supports lazy iteration via :meth:`extend_from`.
+    """
+
+    def __init__(self, epochs: Iterable[EpochReadings] = ()) -> None:
+        self._epochs: list[EpochReadings] = list(epochs)
+
+    def append(self, epoch_readings: EpochReadings) -> None:
+        """Append one epoch (epoch numbers must strictly increase)."""
+        if self._epochs and epoch_readings.epoch <= self._epochs[-1].epoch:
+            raise ValueError(
+                f"epochs must be appended in increasing order: "
+                f"{epoch_readings.epoch} after {self._epochs[-1].epoch}"
+            )
+        self._epochs.append(epoch_readings)
+
+    def extend_from(self, source: Iterable[EpochReadings]) -> None:
+        """Append every epoch from ``source`` in order."""
+        for epoch_readings in source:
+            self.append(epoch_readings)
+
+    def __iter__(self) -> Iterator[EpochReadings]:
+        return iter(self._epochs)
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    def __getitem__(self, index: int) -> EpochReadings:
+        return self._epochs[index]
+
+    @property
+    def total_readings(self) -> int:
+        """Total raw reading count across all epochs."""
+        return sum(e.reading_count for e in self._epochs)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Total encoded size of the raw stream (compression-ratio input)."""
+        return sum(e.raw_bytes for e in self._epochs)

@@ -1,0 +1,24 @@
+"""Synthetic warehouse simulator (Section VI-A).
+
+Pallets arrive at a configurable rate, are read at the entry door, unpacked,
+their cases scanned one-at-a-time on the receiving belt, shelved for a
+period of stay, repackaged onto fresh pallets, rescanned on the exit belt
+and finally read at the exit door — the six reader groups of the paper's
+experimental setup, parameterised exactly as Table II.
+
+The simulator produces three aligned artifacts per run: the raw
+:class:`~repro.readers.stream.ReadingStream`, a
+:class:`~repro.model.truth.GroundTruthRecorder` with per-epoch snapshots,
+and the deployment description (locations + readers) SPIRE needs.
+"""
+
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator, SimulationResult
+from repro.simulator.anomalies import AnomalyInjector
+
+__all__ = [
+    "SimulationConfig",
+    "WarehouseSimulator",
+    "SimulationResult",
+    "AnomalyInjector",
+]

@@ -1,0 +1,82 @@
+"""Anomaly injection: unexpected removals (theft / misplacement).
+
+Section VI-B Expt 4 simulates "unexpected removals of objects from the
+warehouse, representing theft or misplacement, at a rate of 1 removal every
+100 seconds with random selection from all objects".  A removed object (and
+anything inside it) moves to the *unknown* location without any exit
+reading, so the ground truth says "unknown" while SPIRE must discover the
+absence through missed readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.locations import UNKNOWN_LOCATION
+from repro.model.objects import TagId
+from repro.model.truth import GroundTruthRecorder
+from repro.model.world import PhysicalWorld
+
+
+@dataclass(frozen=True)
+class RemovalEvent:
+    """One injected anomaly: ``tag`` (and contents) vanished at ``epoch``."""
+
+    tag: TagId
+    epoch: int
+    affected: tuple[TagId, ...]
+
+
+class AnomalyInjector:
+    """Removes a random in-world object every ``period`` epochs.
+
+    Only objects at known locations are eligible (an already-vanished object
+    cannot vanish again), and objects sitting at the exit door are excluded:
+    they are about to leave properly, so "stealing" them would be
+    indistinguishable from their normal departure.
+    """
+
+    def __init__(self, period: int, rng: np.random.Generator) -> None:
+        if period < 1:
+            raise ValueError(f"anomaly period must be >= 1, got {period}")
+        self._period = period
+        self._rng = rng
+        self._events: list[RemovalEvent] = []
+
+    def maybe_remove(
+        self,
+        world: PhysicalWorld,
+        truth: GroundTruthRecorder,
+        epoch: int,
+        protected: frozenset[int] = frozenset(),
+    ) -> RemovalEvent | None:
+        """Inject one removal if ``epoch`` is on the period boundary.
+
+        ``protected`` is a set of location colors whose occupants are exempt
+        (the simulator passes the exit door).  Returns the event, or ``None``
+        when this epoch injects nothing or no object is eligible.
+        """
+        if epoch == 0 or epoch % self._period != 0:
+            return None
+        candidates = [
+            tag
+            for tag in world.tags()
+            if world.location_of(tag) is not UNKNOWN_LOCATION
+            and world.location_of(tag).color not in protected
+        ]
+        if not candidates:
+            return None
+        victim = candidates[int(self._rng.integers(len(candidates)))]
+        affected = tuple(world.vanish(victim))
+        for tag in affected:
+            truth.note_vanished(tag, epoch)
+        event = RemovalEvent(tag=victim, epoch=epoch, affected=affected)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[RemovalEvent]:
+        """All removals injected so far, in order."""
+        return list(self._events)

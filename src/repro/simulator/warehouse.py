@@ -1,0 +1,343 @@
+"""The warehouse simulator driving the Section VI evaluation.
+
+One :class:`WarehouseSimulator` run advances a :class:`PhysicalWorld`
+through the paper's pallet lifecycle and, each epoch, lets every scheduled
+reader observe its location with the configured read rate.  The result
+bundles the raw reading stream, the per-epoch ground truth, and the layout
+(locations + readers) that SPIRE needs to interpret the stream.
+
+Lifecycle (Section VI-A): pallets arrive at the entry door; after a short
+dock dwell they are unpacked and their cases queue for the receiving belt,
+which scans one case at a time; each case then sits on a shelf for its
+shelving period, moves to the packaging area, and once enough cases are
+ready a fresh pallet is assembled; the new pallet is scanned on the exit
+belt (again one at a time) and leaves through the exit door.  Emptied
+arrival pallets also leave via the exit belt and door.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.locations import Location, UNKNOWN_LOCATION
+from repro.model.objects import PackagingLevel, TagAllocator, TagId
+from repro.model.truth import GroundTruthRecorder
+from repro.model.world import PhysicalWorld
+from repro.readers.noise import BurstLossModel
+from repro.readers.stream import EpochReadings, ReadingStream
+from repro.simulator.anomalies import AnomalyInjector, RemovalEvent
+from repro.simulator.config import SimulationConfig
+from repro.simulator.layout import WarehouseLayout
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulator run produces.
+
+    Attributes:
+        config: The configuration the run used.
+        layout: Locations and readers of the simulated warehouse.
+        stream: Raw (pre-deduplication) reading stream, one entry per epoch.
+        truth: Ground-truth recorder with one snapshot per epoch.
+        removals: Injected anomaly events (empty when anomalies disabled).
+        pallets_arrived: Number of pallets injected at the entry door.
+        pallets_assembled: Number of fresh pallets assembled in packaging.
+        peak_objects: Maximum number of objects simultaneously in the world.
+        items_fallen: Number of items that fell off their case on the belt.
+    """
+
+    config: SimulationConfig
+    layout: WarehouseLayout
+    stream: ReadingStream
+    truth: GroundTruthRecorder
+    removals: list[RemovalEvent] = field(default_factory=list)
+    pallets_arrived: int = 0
+    pallets_assembled: int = 0
+    peak_objects: int = 0
+    items_fallen: int = 0
+
+
+class WarehouseSimulator:
+    """Generates synthetic RFID traces emulating a large warehouse."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.layout = WarehouseLayout.build(config)
+        self.world = PhysicalWorld()
+        self.truth = GroundTruthRecorder()
+        self._rng = np.random.default_rng(config.seed)
+        self._tags = TagAllocator()
+        self._injector = (
+            AnomalyInjector(config.anomaly_period, self._rng)
+            if config.anomaly_period > 0
+            else None
+        )
+
+        # lifecycle bookkeeping -------------------------------------------------
+        self._dock: list[tuple[int, TagId]] = []          # (unpack_at, pallet)
+        self._belt_queue: deque[TagId] = deque()          # cases awaiting receiving belt
+        self._belt_busy_until = -1
+        self._belt_current: TagId | None = None
+        self._shelved: list[tuple[int, int, TagId, Location]] = []  # heap (leave_at, tiebreak, case, shelf)
+        self._heap_seq = 0
+        self._packaging_ready: deque[tuple[int, TagId]] = deque()   # (ready_at, case)
+        self._next_pallet_size = self._sample_pallet_size()
+        self._exit_belt_queue: deque[TagId] = deque()     # pallets awaiting exit belt
+        self._exit_belt_busy_until = -1
+        self._exit_belt_current: TagId | None = None
+        self._exit_door: list[tuple[int, TagId]] = []     # (leave_at, container)
+        self._lost_items: list[tuple[int, TagId]] = []    # (pickup_at, fallen item)
+        self._shelf_rr = 0
+        self._fall_off_count = 0
+        # per-reader Gilbert-Elliott channels (lazy; None = i.i.d. losses)
+        self._burst_models: dict[int, BurstLossModel] | None = (
+            {} if config.burst_mean_length > 0 else None
+        )
+
+        self._pallets_arrived = 0
+        self._pallets_assembled = 0
+        self._peak_objects = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the full simulation and return its artifacts."""
+        stream = ReadingStream()
+        for epoch in range(self.config.duration):
+            stream.append(self.step(epoch))
+        return SimulationResult(
+            config=self.config,
+            layout=self.layout,
+            stream=stream,
+            truth=self.truth,
+            removals=self._injector.events if self._injector else [],
+            pallets_arrived=self._pallets_arrived,
+            pallets_assembled=self._pallets_assembled,
+            peak_objects=self._peak_objects,
+            items_fallen=self._fall_off_count,
+        )
+
+    def step(self, epoch: int) -> EpochReadings:
+        """Advance the world by one epoch and return that epoch's readings."""
+        self._advance_lifecycle(epoch)
+        if self._injector is not None:
+            self._injector.maybe_remove(
+                self.world,
+                self.truth,
+                epoch,
+                protected=frozenset({self.layout.exit_door.color}),
+            )
+        self.truth.capture(self.world, epoch)
+        self._peak_objects = max(self._peak_objects, len(self.world))
+        return self._generate_readings(epoch)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _advance_lifecycle(self, epoch: int) -> None:
+        self._maybe_inject_pallet(epoch)
+        self._maybe_unpack(epoch)
+        self._serve_receiving_belt(epoch)
+        self._collect_lost_items(epoch)
+        self._release_shelves(epoch)
+        self._maybe_assemble(epoch)
+        self._serve_exit_belt(epoch)
+        self._serve_exit_door(epoch)
+
+    def _alive(self, tag: TagId) -> bool:
+        """Is ``tag`` still in the world at a known location?
+
+        Anomaly victims vanish to the unknown location while still queued in
+        lifecycle structures; every queue pop goes through this check so
+        stolen objects simply fall out of the flow.
+        """
+        return tag in self.world and self.world.location_of(tag) is not UNKNOWN_LOCATION
+
+    def _maybe_inject_pallet(self, epoch: int) -> None:
+        if epoch % self.config.pallet_period != 0:
+            return
+        pallet = self._tags.allocate(PackagingLevel.PALLET)
+        self.world.add_object(pallet, self.layout.entry_door, now=epoch)
+        case_count = self._sample_pallet_size()
+        for _ in range(case_count):
+            case = self._tags.allocate(PackagingLevel.CASE)
+            self.world.add_object(case, self.layout.entry_door, now=epoch)
+            for _ in range(self.config.items_per_case):
+                item = self._tags.allocate(PackagingLevel.ITEM)
+                self.world.add_object(item, self.layout.entry_door, now=epoch)
+                self.world.contain(item, case)
+            self.world.contain(case, pallet)
+        self._dock.append((epoch + self.config.dock_dwell, pallet))
+        self._pallets_arrived += 1
+
+    def _maybe_unpack(self, epoch: int) -> None:
+        remaining: list[tuple[int, TagId]] = []
+        for unpack_at, pallet in self._dock:
+            if not self._alive(pallet):
+                continue
+            if unpack_at > epoch:
+                remaining.append((unpack_at, pallet))
+                continue
+            for case in sorted(self.world.children_of(pallet)):
+                self.world.uncontain(case)
+                self._belt_queue.append(case)
+            self._exit_belt_queue.append(pallet)  # empty pallet leaves the site
+        self._dock = remaining
+
+    def _serve_receiving_belt(self, epoch: int) -> None:
+        if self._belt_current is not None and epoch >= self._belt_busy_until:
+            case = self._belt_current
+            self._belt_current = None
+            if self._alive(case):
+                self._maybe_drop_item(case, epoch)
+                shelf = self.layout.shelves[self._shelf_rr % len(self.layout.shelves)]
+                self._shelf_rr += 1
+                self.world.move(case, shelf)
+                leave_at = epoch + self._sample_shelving_time()
+                self._heap_seq += 1
+                heapq.heappush(self._shelved, (leave_at, self._heap_seq, case, shelf))
+        while self._belt_current is None and self._belt_queue:
+            case = self._belt_queue.popleft()
+            if not self._alive(case):
+                continue
+            self.world.move(case, self.layout.receiving_belt)
+            self._belt_current = case
+            self._belt_busy_until = epoch + self.config.belt_dwell
+
+    def _release_shelves(self, epoch: int) -> None:
+        while self._shelved and self._shelved[0][0] <= epoch:
+            _leave_at, _seq, case, _shelf = heapq.heappop(self._shelved)
+            if not self._alive(case):
+                continue
+            self.world.move(case, self.layout.packaging)
+            self._packaging_ready.append((epoch + self.config.packaging_dwell, case))
+
+    def _maybe_assemble(self, epoch: int) -> None:
+        ready = [
+            case
+            for ready_at, case in self._packaging_ready
+            if ready_at <= epoch and self._alive(case)
+        ]
+        if len(ready) < self._next_pallet_size:
+            return
+        chosen = ready[: self._next_pallet_size]
+        chosen_set = set(chosen)
+        self._packaging_ready = deque(
+            (ready_at, case)
+            for ready_at, case in self._packaging_ready
+            if case not in chosen_set and self._alive(case)
+        )
+        pallet = self._tags.allocate(PackagingLevel.PALLET)
+        self.world.add_object(pallet, self.layout.packaging, now=epoch)
+        for case in chosen:
+            self.world.contain(case, pallet)
+        self._exit_belt_queue.append(pallet)
+        self._pallets_assembled += 1
+        self._next_pallet_size = self._sample_pallet_size()
+
+    def _serve_exit_belt(self, epoch: int) -> None:
+        if self._exit_belt_current is not None and epoch >= self._exit_belt_busy_until:
+            pallet = self._exit_belt_current
+            self._exit_belt_current = None
+            if self._alive(pallet):
+                self.world.move(pallet, self.layout.exit_door)
+                self._exit_door.append((epoch + self.config.belt_dwell, pallet))
+        while self._exit_belt_current is None and self._exit_belt_queue:
+            pallet = self._exit_belt_queue.popleft()
+            if not self._alive(pallet):
+                continue
+            self.world.move(pallet, self.layout.exit_belt)
+            self._exit_belt_current = pallet
+            self._exit_belt_busy_until = epoch + self.config.belt_dwell
+
+    def _maybe_drop_item(self, case: TagId, epoch: int) -> None:
+        """One item may fall off the case during its belt scan (Fig. 1, t=3)."""
+        probability = self.config.fall_off_probability
+        if probability <= 0.0 or self._rng.random() >= probability:
+            return
+        items = sorted(self.world.children_of(case))
+        if not items:
+            return
+        item = items[int(self._rng.integers(len(items)))]
+        self.world.uncontain(item)
+        # the item stays on the belt; staff pick it up after the timeout
+        self._lost_items.append((epoch + self.config.lost_item_timeout, item))
+        self._fall_off_count += 1
+
+    def _collect_lost_items(self, epoch: int) -> None:
+        remaining: list[tuple[int, TagId]] = []
+        for pickup_at, item in self._lost_items:
+            if not self._alive(item):
+                continue
+            if pickup_at > epoch:
+                remaining.append((pickup_at, item))
+                continue
+            # staff carry the stray item to the exit door (proper disposal)
+            self.world.move(item, self.layout.exit_door)
+            self._exit_door.append((epoch + self.config.belt_dwell, item))
+        self._lost_items = remaining
+
+    def _serve_exit_door(self, epoch: int) -> None:
+        remaining: list[tuple[int, TagId]] = []
+        for leave_at, container in self._exit_door:
+            if container not in self.world:
+                continue
+            if leave_at > epoch:
+                remaining.append((leave_at, container))
+                continue
+            for tag in self.world.remove_subtree(container):
+                self.truth.note_exited(tag, epoch)
+        self._exit_door = remaining
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def _generate_readings(self, epoch: int) -> EpochReadings:
+        readings = EpochReadings(epoch=epoch)
+        for reader in self.layout.readers:
+            if not reader.interrogates_at(epoch):
+                continue
+            present = self.world.objects_at(reader.location)
+            if self._burst_models is not None:
+                observed = self._burst_model_for(reader).observe(
+                    reader.reader_id, present, self._rng
+                )
+            else:
+                observed = reader.observe(present, self._rng, epoch)
+            readings.add(reader.reader_id, observed)
+        return readings
+
+    def _burst_model_for(self, reader):
+        assert self._burst_models is not None
+        model = self._burst_models.get(reader.reader_id)
+        if model is None:
+            model = BurstLossModel.from_average(
+                reader.read_rate, mean_burst=self.config.burst_mean_length
+            )
+            self._burst_models[reader.reader_id] = model
+        return model
+
+    # ------------------------------------------------------------------
+    # sampling helpers
+    # ------------------------------------------------------------------
+
+    def _sample_pallet_size(self) -> int:
+        lo, hi = self.config.cases_per_pallet_min, self.config.cases_per_pallet_max
+        if lo == hi:
+            return lo
+        return int(self._rng.integers(lo, hi + 1))
+
+    def _sample_shelving_time(self) -> int:
+        mean, jitter = self.config.shelving_time_mean, self.config.shelving_time_jitter
+        if jitter == 0:
+            return mean
+        low = max(1, mean - jitter)
+        return int(self._rng.integers(low, mean + jitter + 1))

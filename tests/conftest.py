@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capture import ReaderInfo
+from repro.core.pipeline import Deployment
+from repro.model.locations import Location, LocationKind, LocationRegistry
+from repro.model.objects import PackagingLevel, TagId
+from repro.readers.stream import EpochReadings
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+
+def item(serial: int) -> TagId:
+    return TagId(PackagingLevel.ITEM, serial)
+
+
+def case(serial: int) -> TagId:
+    return TagId(PackagingLevel.CASE, serial)
+
+
+def pallet(serial: int) -> TagId:
+    return TagId(PackagingLevel.PALLET, serial)
+
+
+def epoch_readings(epoch: int, by_reader: dict[int, list[TagId]]) -> EpochReadings:
+    readings = EpochReadings(epoch=epoch)
+    for reader_id, tags in by_reader.items():
+        readings.add(reader_id, tags)
+    return readings
+
+
+@pytest.fixture
+def registry() -> LocationRegistry:
+    reg = LocationRegistry()
+    reg.create("dock", LocationKind.ENTRY_DOOR)
+    reg.create("belt", LocationKind.BELT)
+    reg.create("shelf", LocationKind.SHELF)
+    reg.create("exit", LocationKind.EXIT_DOOR)
+    return reg
+
+
+@pytest.fixture
+def small_sim():
+    """A short deterministic warehouse trace shared by integration tests."""
+    config = SimulationConfig(
+        duration=600,
+        pallet_period=150,
+        cases_per_pallet_min=3,
+        cases_per_pallet_max=3,
+        items_per_case=5,
+        read_rate=0.9,
+        shelf_read_period=20,
+        num_shelves=2,
+        shelving_time_mean=120,
+        shelving_time_jitter=30,
+        seed=11,
+    )
+    return WarehouseSimulator(config).run()
+
+
+@pytest.fixture
+def small_deployment(small_sim) -> Deployment:
+    return Deployment.from_readers(small_sim.layout.readers, small_sim.layout.registry)
+
+
+def make_deployment(*infos: ReaderInfo) -> Deployment:
+    """Deployment from bare ReaderInfo records (unit-test scale)."""
+    return Deployment(readers={info.reader_id: info for info in infos})

@@ -1,0 +1,82 @@
+"""Unit tests for the anomaly injector."""
+
+import numpy as np
+import pytest
+
+from repro.model.locations import Location, UNKNOWN_LOCATION
+from repro.model.truth import GroundTruthRecorder
+from repro.model.world import PhysicalWorld
+from repro.simulator.anomalies import AnomalyInjector
+
+from tests.conftest import case, item
+
+DOCK = Location(0, "dock")
+EXIT = Location(1, "exit")
+
+
+@pytest.fixture
+def world():
+    w = PhysicalWorld()
+    w.add_object(case(1), DOCK)
+    w.add_object(item(1), DOCK)
+    w.add_object(item(2), DOCK)
+    w.contain(item(1), case(1))
+    return w
+
+
+class TestInjection:
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyInjector(0, np.random.default_rng(0))
+
+    def test_fires_only_on_period_boundary(self, world):
+        injector = AnomalyInjector(10, np.random.default_rng(0))
+        truth = GroundTruthRecorder()
+        assert injector.maybe_remove(world, truth, epoch=3) is None
+        assert injector.maybe_remove(world, truth, epoch=10) is not None
+
+    def test_epoch_zero_never_fires(self, world):
+        injector = AnomalyInjector(10, np.random.default_rng(0))
+        truth = GroundTruthRecorder()
+        assert injector.maybe_remove(world, truth, epoch=0) is None
+
+    def test_victim_moves_to_unknown_with_contents(self, world):
+        injector = AnomalyInjector(5, np.random.default_rng(1))
+        truth = GroundTruthRecorder()
+        event = injector.maybe_remove(world, truth, epoch=5)
+        assert event is not None
+        for tag in event.affected:
+            assert world.location_of(tag) is UNKNOWN_LOCATION
+            assert truth.vanished[tag] == 5
+
+    def test_vanished_objects_not_revictimised(self, world):
+        injector = AnomalyInjector(5, np.random.default_rng(2))
+        truth = GroundTruthRecorder()
+        victims = set()
+        for epoch in (5, 10, 15):
+            event = injector.maybe_remove(world, truth, epoch)
+            if event is not None:
+                assert event.tag not in victims
+                victims.add(event.tag)
+
+    def test_protected_locations_exempt(self, world):
+        # everyone at the dock, dock protected: nothing can vanish
+        injector = AnomalyInjector(5, np.random.default_rng(3))
+        truth = GroundTruthRecorder()
+        event = injector.maybe_remove(
+            world, truth, epoch=5, protected=frozenset({DOCK.color})
+        )
+        assert event is None
+
+    def test_empty_world(self):
+        injector = AnomalyInjector(5, np.random.default_rng(4))
+        truth = GroundTruthRecorder()
+        assert injector.maybe_remove(PhysicalWorld(), truth, epoch=5) is None
+
+    def test_events_recorded_in_order(self, world):
+        injector = AnomalyInjector(5, np.random.default_rng(5))
+        truth = GroundTruthRecorder()
+        for epoch in (5, 10):
+            injector.maybe_remove(world, truth, epoch)
+        epochs = [event.epoch for event in injector.events]
+        assert epochs == sorted(epochs)

@@ -1,0 +1,209 @@
+"""Unit tests for stream-driven graph construction (Fig. 4)."""
+
+import pytest
+
+from repro.core.capture import Confirmation, GraphUpdater, ReaderInfo
+from repro.core.graph import Graph
+from repro.core.params import InferenceParams
+from repro.model.objects import PackagingLevel
+
+from tests.conftest import case, epoch_readings, item, pallet
+
+DOCK = ReaderInfo(reader_id=0, color=0)
+BELT = ReaderInfo(
+    reader_id=1, color=1, is_special=True, singulation_level=PackagingLevel.CASE
+)
+SHELF = ReaderInfo(reader_id=2, color=2, period=60)
+EXIT = ReaderInfo(reader_id=3, color=3, is_exit=True)
+EXIT_BELT = ReaderInfo(
+    reader_id=4, color=4, is_special=True, singulation_level=PackagingLevel.PALLET
+)
+
+READERS = {r.reader_id: r for r in (DOCK, BELT, SHELF, EXIT, EXIT_BELT)}
+
+
+@pytest.fixture
+def updater() -> GraphUpdater:
+    return GraphUpdater(Graph(), InferenceParams())
+
+
+def apply(updater: GraphUpdater, epoch: int, by_reader: dict) -> None:
+    updater.apply_epoch(epoch_readings(epoch, by_reader), READERS, epoch)
+
+
+class TestStep1CreateAndColor:
+    def test_new_objects_create_nodes(self, updater):
+        apply(updater, 0, {0: [pallet(1), case(1), item(1)]})
+        graph = updater.graph
+        assert graph.node_count == 3
+        for tag in (pallet(1), case(1), item(1)):
+            assert graph.node(tag).color == DOCK.color
+
+    def test_unknown_reader_rejected(self, updater):
+        with pytest.raises(KeyError):
+            apply(updater, 0, {99: [item(1)]})
+
+    def test_unobserved_node_becomes_uncolored(self, updater):
+        apply(updater, 0, {0: [item(1)]})
+        apply(updater, 1, {0: []})
+        node = updater.graph.node(item(1))
+        assert node.color is None
+        assert node.recent_color == DOCK.color and node.seen_at == 0
+
+
+class TestStep2AddEdges:
+    def test_same_color_adjacent_layers_connected(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        graph = updater.graph
+        assert graph.edge_count == 1
+        assert item(1) in graph.node(case(1)).children
+
+    def test_all_candidates_enumerated(self, updater):
+        apply(updater, 0, {0: [case(1), case(2), item(1)]})
+        node = updater.graph.node(item(1))
+        assert set(node.parents) == {case(1), case(2)}
+
+    def test_layer_skipping_when_adjacent_layer_empty(self, updater):
+        # item and pallet read together, no case: edge crosses layers
+        apply(updater, 0, {0: [pallet(1), item(1)]})
+        node = updater.graph.node(item(1))
+        assert set(node.parents) == {pallet(1)}
+
+    def test_no_edges_between_different_colors(self, updater):
+        apply(updater, 0, {0: [case(1)], 2: [item(1)]})
+        assert updater.graph.edge_count == 0
+
+    def test_three_layers_chain(self, updater):
+        apply(updater, 0, {0: [pallet(1), case(1), item(1)]})
+        graph = updater.graph
+        assert case(1) in graph.node(pallet(1)).children
+        assert item(1) in graph.node(case(1)).children
+        # pallet connects to the closest layer below (cases), not items
+        assert item(1) not in graph.node(pallet(1)).children
+
+    def test_edge_creation_skipped_without_new_color(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        edge = updater.graph.node(item(1)).parents[case(1)]
+        updater.graph.remove_edge(edge)
+        # same color again: "new color" optimisation skips edge creation
+        apply(updater, 1, {0: [case(1), item(1)]})
+        assert not updater.graph.node(item(1)).parents
+
+    def test_edge_recreated_after_color_change(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {2: [case(1), item(1)]})  # both moved to shelf
+        node = updater.graph.node(item(1))
+        assert case(1) in node.parents
+
+
+class TestStep3RemoveEdges:
+    def test_different_colors_drop_edge(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        assert updater.graph.edge_count == 1
+        # case moves to the shelf, item stays at the dock
+        apply(updater, 1, {0: [item(1)], 2: [case(1)]})
+        assert updater.graph.edge_count == 0
+
+    def test_edge_kept_when_other_node_unobserved(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {0: [case(1)]})  # item missed
+        assert updater.graph.edge_count == 1
+
+    def test_confirmed_top_level_drops_parent_edges(self, updater):
+        apply(updater, 0, {0: [pallet(1), case(1)]})
+        assert pallet(1) in updater.graph.node(case(1)).parents
+        # case scanned alone on the (case-singulating) belt
+        apply(updater, 1, {1: [case(1)]})
+        assert not updater.graph.node(case(1)).parents
+
+    def test_confirmation_drops_alternative_parents(self, updater):
+        apply(updater, 0, {0: [case(1), case(2), item(1)]})
+        assert len(updater.graph.node(item(1)).parents) == 2
+        # belt scans case 1 with the item: case 2's claim is dropped
+        apply(updater, 1, {1: [case(1), item(1)]})
+        node = updater.graph.node(item(1))
+        assert set(node.parents) == {case(1)}
+        assert node.confirmed_parent == case(1)
+        assert node.confirmed_at == 1
+
+
+class TestStep4Statistics:
+    def test_colocation_recorded(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {0: [case(1), item(1)]})
+        edge = updater.graph.node(item(1)).parents[case(1)]
+        assert edge.history_bits(2) == [True, True]
+
+    def test_missed_partner_records_negative(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {0: [case(1)]})  # item missed
+        edge = updater.graph.node(item(1)).parents[case(1)]
+        assert edge.history_bits(2) == [False, True]
+
+    def test_statistics_updated_once_per_epoch(self, updater):
+        # both endpoints colored by the same reader: edge visited twice but
+        # its history shifts once
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {0: [case(1), item(1)]})
+        edge = updater.graph.node(item(1)).parents[case(1)]
+        assert edge.filled == 2
+
+    def test_conflict_counted_against_confirmation(self, updater):
+        apply(updater, 1, {1: [case(1), item(1)]})  # belt confirms case->item
+        node = updater.graph.node(item(1))
+        assert node.confirmed_parent == case(1)
+        apply(updater, 2, {0: [item(1)]})  # item seen without its case
+        assert node.confirmed_conflicts == 1
+
+    def test_no_bit_pushed_for_unobserved_edges(self, updater):
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {0: [pallet(9)]})  # unrelated reading
+        edge = updater.graph.node(item(1)).parents[case(1)]
+        assert edge.filled == 1  # nothing new recorded
+
+
+class TestSpecialReaderConfirmation:
+    def test_exit_belt_confirms_pallet_level(self, updater):
+        apply(updater, 0, {4: [pallet(1), case(1), case(2), item(1)]})
+        graph = updater.graph
+        assert graph.node(case(1)).confirmed_parent == pallet(1)
+        assert graph.node(case(2)).confirmed_parent == pallet(1)
+        # two cases read: item's case cannot be confirmed by the exit belt
+        assert graph.node(item(1)).confirmed_parent is None
+
+    def test_no_confirmation_without_singulated_container(self, updater):
+        # case missed on the belt: items alone confirm nothing
+        apply(updater, 0, {1: [item(1), item(2)]})
+        assert updater.graph.node(item(1)).confirmed_parent is None
+
+    def test_two_containers_yield_no_confirmation(self):
+        conf = Confirmation.from_readings(
+            [case(1), case(2), item(1)], PackagingLevel.CASE
+        )
+        assert conf.top_container is None and not conf.parent_of
+
+    def test_confirmation_mapping(self):
+        conf = Confirmation.from_readings(
+            [case(1), item(1), item(2)], PackagingLevel.CASE
+        )
+        assert conf.top_container == case(1)
+        assert conf.parent_of == {item(1): case(1), item(2): case(1)}
+
+
+class TestExitTracking:
+    def test_exit_reader_marks_exiting(self, updater):
+        apply(updater, 0, {3: [pallet(1), case(1)]})
+        assert updater.exiting == {pallet(1), case(1)}
+
+    def test_exiting_resets_each_epoch(self, updater):
+        apply(updater, 0, {3: [pallet(1)]})
+        apply(updater, 1, {0: [item(1)]})
+        assert updater.exiting == set()
+
+
+class TestGraphConsistency:
+    def test_invariants_after_multi_reader_epoch(self, updater):
+        apply(updater, 0, {0: [pallet(1), case(1), item(1)], 2: [case(2), item(2)]})
+        updater.graph.check_invariants()
+        apply(updater, 1, {0: [item(1)], 2: [case(1)]})
+        updater.graph.check_invariants()

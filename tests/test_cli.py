@@ -1,0 +1,124 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_tag
+from repro.model.objects import PackagingLevel, TagId
+
+
+SIM_ARGS = [
+    "--duration", "240",
+    "--pallet-period", "80",
+    "--cases-per-pallet", "2",
+    "--items-per-case", "3",
+    "--shelf-period", "10",
+    "--shelving-time", "60",
+    "--seed", "5",
+]
+
+
+class TestParseTag:
+    def test_valid_specs(self):
+        assert parse_tag("item:5") == TagId(PackagingLevel.ITEM, 5)
+        assert parse_tag("CASE:3") == TagId(PackagingLevel.CASE, 3)
+        assert parse_tag("pallet:1") == TagId(PackagingLevel.PALLET, 1)
+
+    @pytest.mark.parametrize("bad", ["item", "crate:1", "item:x", "item:1:2"])
+    def test_invalid_specs(self, bad):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_tag(bad)
+
+
+class TestSimulate:
+    def test_writes_trace_and_sidecar(self, tmp_path, capsys):
+        trace = tmp_path / "trace.bin"
+        rc = main(["simulate", *SIM_ARGS, "-o", str(trace)])
+        assert rc == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        sidecar = json.loads((tmp_path / "trace.bin.json").read_text())
+        assert sidecar["duration"] == 240
+        out = capsys.readouterr().out
+        assert "readings" in out and "pallets" in out
+
+
+class TestInterpretAndQuery:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        assert main(["simulate", *SIM_ARGS, "-o", str(path)]) == 0
+        return path
+
+    def test_interpret_writes_events(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        rc = main(["interpret", str(trace), "-o", str(events), "--compression", "1"])
+        assert rc == 0
+        assert events.exists() and events.stat().st_size > 0
+        assert "interpreted" in capsys.readouterr().out
+
+    def test_interpret_requires_sidecar(self, trace, tmp_path, capsys):
+        (tmp_path / "trace.bin.json").unlink()
+        rc = main(["interpret", str(trace), "-o", str(tmp_path / "e.bin")])
+        assert rc == 2
+        assert "sidecar" in capsys.readouterr().err
+
+    def test_query_point(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "1"])
+        rc = main(["query", str(events), "--object", "case:1", "--at", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "location" in out
+
+    def test_query_path(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "1"])
+        rc = main(["query", str(events), "--object", "case:1", "--path"])
+        assert rc == 0
+        assert "L" in capsys.readouterr().out
+
+    def test_query_level2_with_decompress(self, trace, tmp_path, capsys):
+        events = tmp_path / "events2.bin"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "2"])
+        rc = main(
+            ["query", str(events), "--object", "item:1", "--at", "20", "--decompress"]
+        )
+        assert rc == 0
+
+    def test_query_requires_at_or_path(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        main(["interpret", str(trace), "-o", str(events)])
+        rc = main(["query", str(events), "--object", "case:1"])
+        assert rc == 2
+
+
+class TestDecompress:
+    def test_decompress_expands_level2(self, tmp_path, capsys):
+        trace = tmp_path / "trace.bin"
+        main(["simulate", *SIM_ARGS, "-o", str(trace)])
+        events = tmp_path / "events2.bin"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "2"])
+        expanded = tmp_path / "events1.bin"
+        rc = main(["decompress", str(events), "-o", str(expanded)])
+        assert rc == 0
+        assert expanded.stat().st_size >= events.stat().st_size
+        # the expanded stream is directly queriable without --decompress
+        rc = main(["query", str(expanded), "--object", "item:1", "--path"])
+        assert rc == 0
+
+
+class TestEvaluate:
+    def test_evaluate_prints_metrics(self, capsys):
+        rc = main(["evaluate", *SIM_ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "location error" in out
+        assert "compression ratio" in out
+
+    def test_evaluate_with_smurf(self, capsys):
+        rc = main(["evaluate", *SIM_ARGS, "--smurf"])
+        assert rc == 0
+        assert "SMURF baseline" in capsys.readouterr().out

@@ -1,0 +1,192 @@
+"""Unit tests for the event-message and raw-reading binary codecs."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.events.codec import (
+    CodecError,
+    WIRE_FORMAT,
+    decode_message,
+    decode_stream,
+    encode_message,
+    encode_stream,
+    read_stream,
+    write_stream,
+)
+from repro.events.messages import (
+    EVENT_MESSAGE_BYTES,
+    EventKind,
+    EventMessage,
+    INFINITY,
+    end_containment,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+from repro.model.objects import PackagingLevel, TagId
+from repro.readers.codec import (
+    ReadingCodecError,
+    decode_reading,
+    encode_reading,
+    read_trace,
+    write_trace,
+)
+from repro.readers.stream import RAW_READING_BYTES, Reading
+
+from tests.conftest import case, epoch_readings, item, pallet
+
+
+class TestEventCodec:
+    def test_wire_size_matches_sizing_constant(self):
+        assert WIRE_FORMAT.size == EVENT_MESSAGE_BYTES
+
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            start_location(item(1), 3, 10),
+            end_location(item(1), 3, 10, 99),
+            start_containment(item(5), case(7), 0),
+            end_containment(case(7), pallet(2), 4, 12),
+            missing(pallet(9), 0, 77),
+            missing(item(2), -1, 5),  # missing from the unknown location
+        ],
+    )
+    def test_roundtrip(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_infinity_roundtrip(self):
+        msg = start_location(item(1), 0, 0)
+        decoded = decode_message(encode_message(msg))
+        assert decoded.ve == INFINITY
+
+    def test_large_serial_roundtrip(self):
+        msg = start_location(TagId(PackagingLevel.ITEM, (1 << 48) - 1), 2, 1)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_serial_overflow_rejected(self):
+        msg = start_location(TagId(PackagingLevel.ITEM, 1 << 48), 2, 1)
+        with pytest.raises(CodecError):
+            encode_message(msg)
+
+    def test_timestamp_overflow_rejected(self):
+        msg = start_location(item(1), 0, (1 << 32) - 1)
+        with pytest.raises(CodecError):
+            encode_message(msg)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\x00" * 7)
+
+    def test_unknown_kind_rejected(self):
+        data = bytearray(encode_message(start_location(item(1), 0, 0)))
+        data[0] = 250
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_stream_roundtrip(self):
+        msgs = [
+            start_containment(item(1), case(1), 0),
+            start_location(case(1), 2, 0),
+            end_location(case(1), 2, 0, 9),
+        ]
+        assert list(decode_stream(encode_stream(msgs))) == msgs
+
+    def test_stream_length_validation(self):
+        with pytest.raises(CodecError):
+            list(decode_stream(b"\x00" * (EVENT_MESSAGE_BYTES + 1)))
+
+    def test_file_roundtrip(self):
+        msgs = [start_location(item(i), i % 3, i) for i in range(10)]
+        buffer = io.BytesIO()
+        written = write_stream(msgs, buffer)
+        assert written == 10 * EVENT_MESSAGE_BYTES
+        buffer.seek(0)
+        assert list(read_stream(buffer)) == msgs
+
+    def test_truncated_file_rejected(self):
+        buffer = io.BytesIO(encode_message(start_location(item(1), 0, 0))[:-3])
+        with pytest.raises(CodecError):
+            list(read_stream(buffer))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        kind=st.sampled_from(list(EventKind)),
+        level=st.sampled_from(list(PackagingLevel)),
+        serial=st.integers(1, (1 << 48) - 1),
+        partner_serial=st.integers(1, (1 << 48) - 1),
+        place=st.integers(-1, 100),
+        vs=st.integers(0, 2**31),
+        duration=st.integers(0, 1000),
+    )
+    def test_roundtrip_property(self, kind, level, serial, partner_serial, place, vs, duration):
+        obj = TagId(level, serial)
+        if kind.is_containment:
+            msg = EventMessage(
+                kind,
+                obj,
+                vs,
+                INFINITY if kind is EventKind.START_CONTAINMENT else vs + duration,
+                container=TagId(PackagingLevel.PALLET, partner_serial),
+            )
+        elif kind is EventKind.MISSING:
+            msg = EventMessage(kind, obj, vs, vs, place=place)
+        else:
+            msg = EventMessage(
+                kind,
+                obj,
+                vs,
+                INFINITY if kind is EventKind.START_LOCATION else vs + duration,
+                place=place,
+            )
+        assert decode_message(encode_message(msg)) == msg
+
+
+class TestReadingCodec:
+    def test_wire_size_matches_sizing_constant(self):
+        from repro.readers.codec import WIRE_FORMAT as READING_FORMAT
+
+        assert READING_FORMAT.size == RAW_READING_BYTES
+
+    def test_roundtrip(self):
+        reading = Reading(tag=case(3), reader_id=7, timestamp=123, seq=4)
+        assert decode_reading(encode_reading(reading)) == reading
+
+    def test_reader_id_overflow_rejected(self):
+        with pytest.raises(ReadingCodecError):
+            encode_reading(Reading(item(1), reader_id=1 << 16, timestamp=0))
+
+    def test_trace_roundtrip(self):
+        from repro.readers.stream import ReadingStream
+
+        stream = ReadingStream(
+            [
+                epoch_readings(0, {0: [item(1), case(1)]}),
+                epoch_readings(1, {}),
+                epoch_readings(2, {1: [item(1)]}),
+            ]
+        )
+        buffer = io.BytesIO()
+        write_trace(stream, buffer)
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        assert len(restored) == 3  # the empty epoch is reconstructed
+        assert restored[0].by_reader == {0: [item(1), case(1)]}
+        assert not restored[1]
+        assert restored[2].by_reader == {1: [item(1)]}
+
+    def test_simulated_trace_roundtrip(self, small_sim):
+        buffer = io.BytesIO()
+        written = write_trace(small_sim.stream, buffer)
+        assert written == small_sim.stream.raw_bytes
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        assert restored.total_readings == small_sim.stream.total_readings
+        for original, loaded in zip(small_sim.stream, restored):
+            if original:
+                assert {t for ts in original.by_reader.values() for t in ts} == {
+                    t for ts in loaded.by_reader.values() for t in ts
+                }

@@ -1,0 +1,85 @@
+"""Unit tests for simulation configuration (Table II) and inference params."""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.simulator.config import SimulationConfig
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper_accuracy_workload(self):
+        cfg = SimulationConfig()
+        assert cfg.duration == 3 * 3600        # 3 hours
+        assert cfg.pallet_period == 600        # 6 pallets per hour
+        assert cfg.cases_per_pallet_min == 5
+        assert cfg.items_per_case == 20
+        assert cfg.read_rate == 0.85
+        assert cfg.shelf_read_period == 60     # once per minute
+        assert cfg.shelving_time_mean == 3600  # 1 hour
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("duration", 0),
+            ("pallet_period", 0),
+            ("cases_per_pallet_min", 0),
+            ("items_per_case", -1),
+            ("read_rate", 1.5),
+            ("shelf_read_period", 0),
+            ("num_shelves", 0),
+            ("dock_dwell", 0),
+            ("belt_dwell", 0),
+            ("shelving_time_mean", 0),
+            ("shelving_time_jitter", -1),
+            ("anomaly_period", -5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SimulationConfig(**{field: value})
+
+    def test_cases_range_order_enforced(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(cases_per_pallet_min=8, cases_per_pallet_max=5)
+
+    def test_objects_per_pallet_max(self):
+        cfg = SimulationConfig(cases_per_pallet_max=5, items_per_case=20)
+        assert cfg.objects_per_pallet_max == 1 + 5 * 21
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(AttributeError):
+            cfg.duration = 10  # type: ignore[misc]
+
+
+class TestInferenceParams:
+    def test_paper_defaults(self):
+        params = InferenceParams()
+        assert params.history_size == 32   # S
+        assert params.alpha == 0.0
+        assert params.beta == 0.4
+        assert params.gamma == 0.4
+        assert params.theta == 1.25
+        assert params.prune_threshold == 0.25
+        assert params.partial_hops == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("history_size", 0),
+            ("alpha", -0.5),
+            ("beta", 1.1),
+            ("gamma", -0.1),
+            ("theta", -1.0),
+            ("prune_threshold", -0.1),
+            ("partial_hops", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            InferenceParams(**{field: value})
+
+    def test_with_overrides(self):
+        params = InferenceParams().with_overrides(beta=0.9, theta=2.0)
+        assert params.beta == 0.9 and params.theta == 2.0
+        assert params.gamma == 0.4  # untouched

@@ -1,0 +1,150 @@
+"""Unit tests for conflict resolution (Table I)."""
+
+import pytest
+
+from repro.core.conflicts import resolve_conflicts
+from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import case, item, pallet
+
+BLUE, GREEN, RED = 0, 1, 2
+
+
+def estimate(tag, location, source, container=None):
+    return Estimate(
+        tag=tag,
+        location=location,
+        location_prob=1.0 if source is LocationSource.OBSERVED else 0.6,
+        source=source,
+        container=container,
+        container_prob=0.8 if container else 0.0,
+    )
+
+
+def result_of(*estimates) -> InterpretationResult:
+    result = InterpretationResult(epoch=0, complete=True)
+    for e in estimates:
+        result.add(e)
+    return result
+
+
+class TestRuleI:
+    def test_observed_parent_overrides_inferred_child(self):
+        result = result_of(
+            estimate(case(1), BLUE, LocationSource.OBSERVED),
+            estimate(item(1), GREEN, LocationSource.INFERRED, container=case(1)),
+        )
+        changed = resolve_conflicts(result)
+        assert changed == 1
+        assert result.get(item(1)).location == BLUE
+
+    def test_unknown_child_pulled_to_observed_parent(self):
+        result = result_of(
+            estimate(case(1), BLUE, LocationSource.OBSERVED),
+            estimate(item(1), UNKNOWN_COLOR, LocationSource.INFERRED, container=case(1)),
+        )
+        resolve_conflicts(result)
+        assert result.get(item(1)).location == BLUE
+
+    def test_withheld_child_pulled_to_observed_parent(self):
+        result = result_of(
+            estimate(case(1), BLUE, LocationSource.OBSERVED),
+            estimate(item(1), UNKNOWN_COLOR, LocationSource.WITHHELD, container=case(1)),
+        )
+        resolve_conflicts(result)
+        child = result.get(item(1))
+        assert child.location == BLUE
+        assert child.source is LocationSource.INFERRED
+
+    def test_observed_child_of_observed_parent_untouched(self):
+        # both observed at the same place: no conflict, nothing changes
+        result = result_of(
+            estimate(case(1), BLUE, LocationSource.OBSERVED),
+            estimate(item(1), BLUE, LocationSource.OBSERVED, container=case(1)),
+        )
+        assert resolve_conflicts(result) == 0
+
+
+class TestRulesIIandIII:
+    def test_majority_of_children_moves_inferred_parent(self):
+        result = result_of(
+            estimate(case(1), RED, LocationSource.INFERRED),
+            estimate(item(1), BLUE, LocationSource.OBSERVED, container=case(1)),
+            estimate(item(2), BLUE, LocationSource.OBSERVED, container=case(1)),
+            estimate(item(3), GREEN, LocationSource.OBSERVED, container=case(1)),
+        )
+        resolve_conflicts(result)
+        assert result.get(case(1)).location == BLUE
+        # item 3 is observed elsewhere: its containment ends (Rule II)
+        assert result.get(item(3)).container is None
+        # items 1 and 2 now agree with the parent
+        assert result.get(item(1)).container == case(1)
+
+    def test_no_majority_keeps_parent_location(self):
+        result = result_of(
+            estimate(case(1), RED, LocationSource.INFERRED),
+            estimate(item(1), BLUE, LocationSource.OBSERVED, container=case(1)),
+            estimate(item(2), GREEN, LocationSource.OBSERVED, container=case(1)),
+        )
+        resolve_conflicts(result)
+        assert result.get(case(1)).location == RED
+        # both observed children conflict: both containments end
+        assert result.get(item(1)).container is None
+        assert result.get(item(2)).container is None
+
+    def test_rule_iii_overrides_inferred_child(self):
+        result = result_of(
+            estimate(case(1), RED, LocationSource.INFERRED),
+            estimate(item(1), GREEN, LocationSource.INFERRED, container=case(1)),
+        )
+        resolve_conflicts(result)
+        # single inferred child: majority (1 of 1) moves the parent first
+        assert result.get(case(1)).location == GREEN
+        assert result.get(item(1)).location == GREEN
+        assert result.get(item(1)).container == case(1)
+
+    def test_unknown_children_do_not_vote(self):
+        result = result_of(
+            estimate(case(1), RED, LocationSource.INFERRED),
+            estimate(item(1), UNKNOWN_COLOR, LocationSource.INFERRED, container=case(1)),
+            estimate(item(2), BLUE, LocationSource.OBSERVED, container=case(1)),
+        )
+        resolve_conflicts(result)
+        # the single known-location child is a strict minority (1 of 2), so
+        # the parent stays; the observed conflicting child unlinks
+        assert result.get(case(1)).location == RED
+        assert result.get(item(2)).container is None
+        # the unknown inferred child is pulled to the parent (Rule III)
+        assert result.get(item(1)).location == RED
+
+
+class TestCascade:
+    def test_levels_resolved_top_down(self):
+        # pallet observed; case inferred elsewhere; item inferred elsewhere.
+        # pallet fixes case (Rule I), then case fixes item (Rule III via I
+        # ordering at the next level down).
+        result = result_of(
+            estimate(pallet(1), BLUE, LocationSource.OBSERVED),
+            estimate(case(1), GREEN, LocationSource.INFERRED, container=pallet(1)),
+            estimate(item(1), RED, LocationSource.INFERRED, container=case(1)),
+        )
+        resolve_conflicts(result)
+        assert result.get(case(1)).location == BLUE
+        assert result.get(item(1)).location == BLUE
+
+
+class TestScope:
+    def test_parent_without_estimate_skipped(self):
+        result = result_of(
+            estimate(item(1), GREEN, LocationSource.INFERRED, container=case(9)),
+        )
+        assert resolve_conflicts(result) == 0
+        assert result.get(item(1)).location == GREEN
+
+    def test_no_containments_nothing_to_do(self):
+        result = result_of(
+            estimate(case(1), BLUE, LocationSource.OBSERVED),
+            estimate(case(2), GREEN, LocationSource.INFERRED),
+        )
+        assert resolve_conflicts(result) == 0

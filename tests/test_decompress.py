@@ -1,0 +1,159 @@
+"""Unit tests for level-2 → level-1 decompression (§V-C)."""
+
+import pytest
+
+from repro.compression.decompress import Level2Decompressor, decompress_stream
+from repro.compression.level1 import RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.events.messages import EventKind, start_containment, start_location
+from repro.events.wellformed import check_well_formed, open_intervals
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import case, item, pallet
+
+L1, L2, L3, L4 = 0, 1, 2, 3
+
+
+def final_locations(messages):
+    """Current (open) location per object after replaying a level-1 stream."""
+    states = open_intervals(messages)
+    return {
+        tag: state.open_location[0]
+        for tag, state in states.items()
+        if state.open_location is not None
+    }
+
+
+class TestPropagation:
+    def test_container_location_propagates_to_children(self):
+        stream = [
+            start_containment(case(1), pallet(1), 0),
+            start_location(pallet(1), L1, 0),
+        ]
+        out = decompress_stream(stream)
+        locations = final_locations(out)
+        assert locations[pallet(1)] == L1
+        assert locations[case(1)] == L1
+
+    def test_propagation_is_transitive(self):
+        stream = [
+            start_containment(item(1), case(1), 0),
+            start_containment(case(1), pallet(1), 0),
+            start_location(pallet(1), L2, 0),
+        ]
+        out = decompress_stream(stream)
+        assert final_locations(out)[item(1)] == L2
+
+    def test_moves_propagate(self):
+        compressor = ContainmentCompressor()
+        stream = []
+        stream += compressor.observe(case(1), L1, pallet(1), now=0)
+        stream += compressor.observe(pallet(1), L1, None, now=0)
+        stream += compressor.observe(case(1), L2, pallet(1), now=3)
+        stream += compressor.observe(pallet(1), L2, None, now=3)
+        out = decompress_stream(stream)
+        check_well_formed(out)
+        assert final_locations(out) == {pallet(1): L2, case(1): L2}
+
+
+class TestPaperSubtlety:
+    def test_duplicate_start_after_containment_end_suppressed(self):
+        """The paper's duplicate case: C2's catch-up StartLocation at T3
+        duplicates the location the decompressor already propagated at T2."""
+        compressor = ContainmentCompressor()
+        p, c2 = pallet(1), case(2)
+        stream = []
+        stream += compressor.observe(c2, L1, p, now=1)
+        stream += compressor.observe(p, L1, None, now=1)
+        stream += compressor.observe(c2, L2, p, now=2)
+        stream += compressor.observe(p, L2, None, now=2)
+        stream += compressor.observe(c2, L2, None, now=3)   # leaves the pallet at L2
+        stream += compressor.observe(p, L3, None, now=3)
+        out = decompress_stream(stream)
+        check_well_formed(out)
+        # exactly one StartLocation(C2, L2): the propagated one at T2;
+        # the compressor's catch-up copy at T3 is removed as a duplicate
+        c2_starts = [
+            m
+            for m in out
+            if m.kind is EventKind.START_LOCATION and m.obj == c2 and m.place == L2
+        ]
+        assert len(c2_starts) == 1
+        assert c2_starts[0].vs == 2
+
+    def test_end_interval_normalised_to_propagated_vs(self):
+        compressor = ContainmentCompressor()
+        p, c2 = pallet(1), case(2)
+        stream = []
+        stream += compressor.observe(c2, L1, p, now=1)
+        stream += compressor.observe(p, L1, None, now=1)
+        stream += compressor.observe(c2, L2, p, now=2)
+        stream += compressor.observe(p, L2, None, now=2)
+        stream += compressor.observe(c2, L2, None, now=3)
+        stream += compressor.observe(p, L3, None, now=3)
+        stream += compressor.observe(c2, L4, None, now=4)   # compressor vs = 3
+        out = decompress_stream(stream)
+        check_well_formed(out)
+        ends = [
+            m
+            for m in out
+            if m.kind is EventKind.END_LOCATION and m.obj == c2 and m.place == L2
+        ]
+        # the decompressed stream opened C2@L2 at T2, so the end interval
+        # starts at 2, not at the compressor's stale 3
+        assert len(ends) == 1 and ends[0].vs == 2 and ends[0].ve == 4
+
+
+class TestLosslessness:
+    def test_level2_decompressed_matches_level1_final_state(self):
+        """Losslessness: replaying level-2 output through the decompressor
+        ends in the same per-object location state as direct level-1."""
+        l1, l2 = RangeCompressor(), ContainmentCompressor()
+        msgs1, msgs2 = [], []
+        history = [
+            # (epoch, tag, location, container)
+            (0, pallet(1), L1, None),
+            (0, case(1), L1, pallet(1)),
+            (0, item(1), L1, case(1)),
+            (1, pallet(1), L2, None),
+            (1, case(1), L2, pallet(1)),
+            (1, item(1), L2, case(1)),
+            (2, pallet(1), L3, None),
+            (2, case(1), L2, None),       # case leaves at L2
+            (2, item(1), L2, case(1)),
+            (3, case(1), L4, None),
+            (3, item(1), L4, case(1)),
+        ]
+        for now, tag, loc, cont in history:
+            msgs1.extend(l1.observe(tag, loc, cont, now))
+            msgs2.extend(l2.observe(tag, loc, cont, now))
+        decompressed = decompress_stream(msgs2)
+        check_well_formed(decompressed)
+        assert final_locations(decompressed) == final_locations(msgs1)
+
+    def test_missing_propagates_to_children(self):
+        compressor = ContainmentCompressor()
+        stream = []
+        stream += compressor.observe(case(1), L1, pallet(1), now=0)
+        stream += compressor.observe(pallet(1), L1, None, now=0)
+        # whole group goes missing: only the pallet is reported
+        stream += compressor.observe(case(1), UNKNOWN_COLOR, pallet(1), now=5)
+        stream += compressor.observe(pallet(1), UNKNOWN_COLOR, None, now=5)
+        out = decompress_stream(stream)
+        check_well_formed(out)
+        missing_objs = {m.obj for m in out if m.kind is EventKind.MISSING}
+        assert missing_objs == {pallet(1), case(1)}
+
+
+class TestStreamingAPI:
+    def test_process_one_message_at_a_time(self):
+        decomp = Level2Decompressor()
+        out = decomp.process(start_containment(case(1), pallet(1), 0))
+        assert [m.kind for m in out] == [EventKind.START_CONTAINMENT]
+        out = decomp.process(start_location(pallet(1), L1, 0))
+        assert {m.obj for m in out} == {pallet(1), case(1)}
+
+    def test_unknown_kind_rejected(self):
+        decomp = Level2Decompressor()
+        with pytest.raises(AttributeError):
+            decomp.process("not a message")  # type: ignore[arg-type]

@@ -1,0 +1,58 @@
+"""Unit tests for the low-level deduplication module."""
+
+from repro.readers.dedup import Deduplicator
+from repro.readers.stream import EpochReadings
+
+from tests.conftest import epoch_readings, item
+
+
+class TestDeduplication:
+    def test_single_reader_passthrough(self):
+        dedup = Deduplicator()
+        clean = dedup.process(epoch_readings(0, {0: [item(1), item(2)]}))
+        assert clean.by_reader == {0: [item(1), item(2)]}
+
+    def test_tag_read_by_two_readers_assigned_once(self):
+        dedup = Deduplicator()
+        clean = dedup.process(epoch_readings(0, {0: [item(1)], 1: [item(1)]}))
+        total = sum(len(tags) for tags in clean.by_reader.values())
+        assert total == 1
+
+    def test_most_recent_reader_wins(self):
+        # seq increases with reader id in EpochReadings.readings(), so the
+        # later-arriving report (higher seq) wins
+        dedup = Deduplicator()
+        clean = dedup.process(epoch_readings(0, {0: [item(1)], 2: [item(1)]}))
+        assert clean.by_reader == {2: [item(1)]}
+
+    def test_assignment_is_sticky_across_epochs(self):
+        dedup = Deduplicator()
+        dedup.process(epoch_readings(0, {2: [item(1)]}))
+        # next epoch only reader 0 sees it: assignment moves
+        clean = dedup.process(epoch_readings(1, {0: [item(1)]}))
+        assert clean.by_reader == {0: [item(1)]}
+
+    def test_epoch_number_preserved(self):
+        dedup = Deduplicator()
+        clean = dedup.process(epoch_readings(7, {0: [item(1)]}))
+        assert clean.epoch == 7
+
+    def test_input_not_mutated(self):
+        dedup = Deduplicator()
+        original = epoch_readings(0, {0: [item(1)], 1: [item(1)]})
+        dedup.process(original)
+        assert original.by_reader == {0: [item(1)], 1: [item(1)]}
+
+    def test_empty_epoch(self):
+        dedup = Deduplicator()
+        clean = dedup.process(EpochReadings(epoch=0))
+        assert not clean
+
+    def test_forget_bounds_state(self):
+        dedup = Deduplicator()
+        dedup.process(epoch_readings(0, {0: [item(1), item(2)]}))
+        assert dedup.tracked_tags == 2
+        dedup.forget(item(1))
+        assert dedup.tracked_tags == 1
+        dedup.forget(item(99))  # unknown tag is a no-op
+        assert dedup.tracked_tags == 1

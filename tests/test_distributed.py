@@ -1,0 +1,202 @@
+"""Tests for zone-partitioned distributed operation."""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.distributed.coordinator import Coordinator, Zone, partition_by_location
+from repro.events.wellformed import check_well_formed
+from repro.model.locations import UNKNOWN_COLOR
+from repro.model.objects import PackagingLevel
+from repro.readers.reader import Reader, ReaderKind
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+from tests.conftest import case, epoch_readings, item
+
+
+def two_zone_setup():
+    """Two zones with one reader each, sharing the global color space."""
+    from repro.model.locations import Location, LocationKind, LocationRegistry
+
+    registry = LocationRegistry()
+    dock = registry.create("dock", LocationKind.ENTRY_DOOR)
+    shelf = registry.create("shelf", LocationKind.SHELF)
+    reader_a = Reader(0, dock)
+    reader_b = Reader(1, shelf)
+    zones = [
+        Zone.build("zone-a", [reader_a], registry),
+        Zone.build("zone-b", [reader_b], registry),
+    ]
+    return Coordinator(zones), dock, shelf
+
+
+class TestConstruction:
+    def test_duplicate_zone_id_rejected(self):
+        coordinator, *_ = two_zone_setup()
+        zone = next(iter(coordinator.zones.values()))
+        with pytest.raises(ValueError, match="duplicate zone id"):
+            Coordinator([zone, zone])
+
+    def test_reader_in_two_zones_rejected(self):
+        from repro.model.locations import Location, LocationRegistry
+
+        registry = LocationRegistry()
+        loc = registry.create("dock")
+        reader = Reader(0, loc)
+        with pytest.raises(ValueError, match="assigned to both"):
+            Coordinator(
+                [
+                    Zone.build("a", [reader], registry),
+                    Zone.build("b", [reader], registry),
+                ]
+            )
+
+    def test_empty_coordinator_rejected(self):
+        with pytest.raises(ValueError, match="at least one zone"):
+            Coordinator([])
+
+    def test_partition_by_location(self):
+        config = SimulationConfig(duration=10, num_shelves=2)
+        from repro.simulator.layout import WarehouseLayout
+
+        layout = WarehouseLayout.build(config)
+        zones = partition_by_location(
+            layout.readers,
+            {
+                "inbound": ["entry-door", "receiving-belt"],
+                "storage": ["shelf-1", "shelf-2"],
+                "outbound": ["packaging-area", "exit-belt", "exit-door"],
+            },
+            layout.registry,
+        )
+        assert {z.zone_id for z in zones} == {"inbound", "storage", "outbound"}
+        total = sum(len(z.reader_ids) for z in zones)
+        assert total == len(layout.readers)
+
+    def test_partition_unassigned_location_rejected(self):
+        config = SimulationConfig(duration=10)
+        from repro.simulator.layout import WarehouseLayout
+
+        layout = WarehouseLayout.build(config)
+        with pytest.raises(ValueError, match="assigned to no zone"):
+            partition_by_location(layout.readers, {"only": ["entry-door"]}, layout.registry)
+
+
+class TestHandoff:
+    def test_ownership_follows_observations(self):
+        coordinator, dock, shelf = two_zone_setup()
+        coordinator.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        assert coordinator.owner_of(item(1)) == "zone-a"
+        result = coordinator.process_epoch(epoch_readings(1, {1: [item(1)]}))
+        assert coordinator.owner_of(item(1)) == "zone-b"
+        assert result.handoffs == [(item(1), "zone-a", "zone-b")]
+
+    def test_location_query_follows_owner(self):
+        coordinator, dock, shelf = two_zone_setup()
+        coordinator.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        assert coordinator.location_of(item(1)) == dock.color
+        coordinator.process_epoch(epoch_readings(1, {1: [item(1)]}))
+        assert coordinator.location_of(item(1)) == shelf.color
+
+    def test_unknown_object_query(self):
+        coordinator, *_ = two_zone_setup()
+        assert coordinator.location_of(item(9)) == UNKNOWN_COLOR
+        assert coordinator.container_of(item(9)) is None
+        assert coordinator.owner_of(item(9)) is None
+
+    def test_confirmation_survives_handoff(self):
+        """A belt confirmation in zone A keeps steering containment in zone B."""
+        from repro.model.locations import LocationKind, LocationRegistry
+
+        registry = LocationRegistry()
+        belt = registry.create("belt", LocationKind.BELT)
+        shelf = registry.create("shelf", LocationKind.SHELF)
+        belt_reader = Reader(
+            0, belt, kind=ReaderKind.SPECIAL, singulation_level=PackagingLevel.CASE
+        )
+        shelf_reader = Reader(1, shelf)
+        coordinator = Coordinator(
+            [
+                Zone.build("inbound", [belt_reader], registry),
+                Zone.build("storage", [shelf_reader], registry),
+            ]
+        )
+        # belt (zone inbound) confirms case 1 contains item 1
+        coordinator.process_epoch(epoch_readings(0, {0: [case(1), item(1)]}))
+        assert coordinator.container_of(item(1)) == case(1)
+        # both migrate to the shelf zone, together with a decoy case
+        coordinator.process_epoch(epoch_readings(1, {1: [case(1), case(2), item(1)]}))
+        storage = coordinator.zones["storage"].spire
+        node = storage.graph.node(item(1))
+        assert node.confirmed_parent == case(1)  # knowledge survived
+        # the confirmed case wins over the co-located decoy
+        for epoch in range(2, 6):
+            coordinator.process_epoch(
+                epoch_readings(epoch, {1: [case(1), case(2), item(1)]})
+            )
+        assert coordinator.container_of(item(1)) == case(1)
+
+    def test_merged_stream_well_formed_across_handoffs(self):
+        coordinator, dock, shelf = two_zone_setup()
+        messages = []
+        plan = [
+            {0: [case(1), item(1)]},
+            {0: [case(1), item(1)]},
+            {1: [case(1), item(1)]},   # migrate a -> b
+            {1: [case(1), item(1)]},
+            {0: [item(1)], 1: [case(1)]},  # split across zones
+            {0: [item(1)]},
+        ]
+        for epoch, by_reader in enumerate(plan):
+            messages.extend(coordinator.process_epoch(epoch_readings(epoch, by_reader)).messages)
+        check_well_formed(messages)
+
+
+class TestAgainstMonolithic:
+    def test_distributed_tracks_full_trace(self):
+        """Three-zone deployment over the standard warehouse trace: the
+        merged output stays well-formed and final estimates broadly agree
+        with the single-substrate run."""
+        config = SimulationConfig(
+            duration=500,
+            pallet_period=120,
+            cases_per_pallet_min=2,
+            cases_per_pallet_max=2,
+            items_per_case=4,
+            read_rate=0.95,
+            shelf_read_period=10,
+            num_shelves=2,
+            shelving_time_mean=100,
+            shelving_time_jitter=20,
+            seed=17,
+        )
+        sim = WarehouseSimulator(config).run()
+        zones = partition_by_location(
+            sim.layout.readers,
+            {
+                "inbound": ["entry-door", "receiving-belt"],
+                "storage": ["shelf-1", "shelf-2"],
+                "outbound": ["packaging-area", "exit-belt", "exit-door"],
+            },
+            sim.layout.registry,
+        )
+        coordinator = Coordinator(zones)
+        messages = []
+        for readings in sim.stream:
+            messages.extend(coordinator.process_epoch(readings).messages)
+        check_well_formed(messages)
+        assert coordinator.tracked_objects > 0
+
+        # compare location answers with the monolithic run on live objects
+        from repro.core.pipeline import Deployment, Spire
+
+        mono = Spire(Deployment.from_readers(sim.layout.readers, sim.layout.registry))
+        mono.run(sim.stream)
+        final = sim.truth.snapshots[-1]
+        agreements = total = 0
+        for tag in final.locations:
+            total += 1
+            if coordinator.location_of(tag) == mono.location_of(tag):
+                agreements += 1
+        assert total > 0
+        assert agreements / total > 0.85

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process via ``runpy`` with stdout captured —
+they are self-contained (fixed seeds, bounded durations), so a clean exit
+plus non-trivial output is the contract being checked.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 3, f"{script} produced almost no output"
+
+
+def test_quickstart_reports_compression(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "compressed output" in out
+    assert "event messages" in out
+
+
+def test_theft_detection_detects_something(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "theft_detection.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "detected" in out and "delay" in out

@@ -1,0 +1,84 @@
+"""Unit tests for the explanation/diagnostics API."""
+
+import pytest
+
+from repro.core.capture import ReaderInfo
+from repro.core.explain import explain_object
+from repro.core.pipeline import Spire
+from repro.model.locations import UNKNOWN_COLOR
+from repro.model.objects import PackagingLevel
+
+from tests.conftest import case, epoch_readings, item, make_deployment
+
+DOCK = ReaderInfo(reader_id=0, color=0)
+BELT = ReaderInfo(reader_id=1, color=1, is_special=True, singulation_level=PackagingLevel.CASE)
+
+DEPLOYMENT = make_deployment(DOCK, BELT)
+
+
+@pytest.fixture
+def spire() -> Spire:
+    s = Spire(DEPLOYMENT)
+    s.process_epoch(epoch_readings(0, {0: [case(1), case(2), item(1)]}))
+    s.process_epoch(epoch_readings(1, {1: [case(1), item(1)]}))  # belt confirms
+    s.process_epoch(epoch_readings(2, {0: [case(1), case(2), item(1)]}))
+    return s
+
+
+class TestExplainObject:
+    def test_unknown_object_returns_none(self, spire):
+        assert explain_object(spire, item(99)) is None
+
+    def test_observed_object(self, spire):
+        explanation = explain_object(spire, item(1))
+        assert explanation.observed_now
+        assert explanation.recent_color == DOCK.color
+        assert explanation.location_distribution == {DOCK.color: 1.0}
+        assert explanation.reported_location == DOCK.color
+
+    def test_confirmation_surfaces(self, spire):
+        explanation = explain_object(spire, item(1))
+        assert explanation.confirmed_parent == case(1)
+        assert explanation.confirmed_at == 1
+        confirmed = [c for c in explanation.candidates if c.is_confirmed]
+        assert len(confirmed) == 1 and confirmed[0].container == case(1)
+
+    def test_candidates_sorted_by_probability(self, spire):
+        explanation = explain_object(spire, item(1))
+        probs = [c.probability for c in explanation.candidates]
+        assert probs == sorted(probs, reverse=True)
+        assert explanation.candidates[0].container == case(1)
+
+    def test_unobserved_object_distribution(self, spire):
+        spire.process_epoch(epoch_readings(3, {0: [case(1), case(2)]}))  # item missed
+        explanation = explain_object(spire, item(1), now=4)
+        assert not explanation.observed_now
+        assert sum(explanation.location_distribution.values()) == pytest.approx(1.0)
+        assert UNKNOWN_COLOR in explanation.location_distribution
+
+    def test_adaptive_beta_reported(self):
+        from repro.core.params import InferenceParams
+
+        spire = Spire(DEPLOYMENT, InferenceParams(adaptive_beta=True))
+        spire.process_epoch(epoch_readings(0, {1: [case(1), item(1)]}))
+        explanation = explain_object(spire, item(1))
+        assert 0.0 <= explanation.effective_beta <= 1.0
+
+
+class TestRendering:
+    def test_render_without_registry(self, spire):
+        text = explain_object(spire, item(1)).render()
+        assert "object item:1" in text
+        assert "candidate containers" in text
+        assert "[confirmed]" in text
+
+    def test_render_with_registry(self, spire):
+        from repro.model.locations import Location, LocationRegistry
+
+        registry = LocationRegistry([Location(0, "dock"), Location(1, "belt")])
+        text = explain_object(spire, item(1)).render(registry)
+        assert "dock" in text
+
+    def test_render_object_without_candidates(self, spire):
+        text = explain_object(spire, case(2)).render()
+        assert "no candidate containers" in text

@@ -1,0 +1,96 @@
+"""Tests for item fall-off events (the paper's running example, Fig. 1)."""
+
+import pytest
+
+from repro.core.pipeline import Deployment, Spire
+from repro.events.messages import EventKind
+from repro.model.objects import PackagingLevel
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+
+def fall_off_config(**overrides) -> SimulationConfig:
+    base = dict(
+        duration=500,
+        pallet_period=100,
+        cases_per_pallet_min=2,
+        cases_per_pallet_max=2,
+        items_per_case=4,
+        read_rate=1.0,
+        shelf_read_period=10,
+        num_shelves=2,
+        shelving_time_mean=80,
+        shelving_time_jitter=10,
+        fall_off_probability=1.0,
+        lost_item_timeout=30,
+        seed=3,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestSimulatorFallOff:
+    def test_disabled_by_default(self):
+        sim = WarehouseSimulator(fall_off_config(fall_off_probability=0.0)).run()
+        assert sim.items_fallen == 0
+
+    def test_items_fall_with_certainty(self):
+        sim = WarehouseSimulator(fall_off_config()).run()
+        # every case that completed a belt scan dropped one item
+        assert sim.items_fallen > 0
+
+    def test_fallen_item_loses_containment_in_truth(self):
+        sim = WarehouseSimulator(fall_off_config()).run()
+        belt = sim.layout.receiving_belt
+        # find an epoch where an uncontained item lies on the belt while no
+        # case is being scanned there
+        found = False
+        for snapshot in sim.truth.snapshots:
+            for tag, location in snapshot.locations.items():
+                if (
+                    tag.level == PackagingLevel.ITEM
+                    and location == belt
+                    and snapshot.container_of(tag) is None
+                ):
+                    found = True
+        assert found, "no fallen item ever observed uncontained on the belt"
+
+    def test_fallen_items_eventually_disposed(self):
+        sim = WarehouseSimulator(fall_off_config(duration=400)).run()
+        final = sim.truth.snapshots[-1]
+        strays = [
+            tag
+            for tag, location in final.locations.items()
+            if tag.level == PackagingLevel.ITEM
+            and location == sim.layout.receiving_belt
+            and final.container_of(tag) is None
+        ]
+        # the lost-and-found timeout keeps the belt from accumulating items
+        assert len(strays) <= 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            fall_off_config(fall_off_probability=1.5)
+        with pytest.raises(ValueError):
+            fall_off_config(lost_item_timeout=0)
+
+    def test_world_invariants_hold(self):
+        simulator = WarehouseSimulator(fall_off_config())
+        for epoch in range(300):
+            simulator.step(epoch)
+            if epoch % 50 == 0:
+                simulator.world.check_invariants()
+
+
+class TestSpireSeesContainmentBreak:
+    def test_end_containment_emitted_for_fallen_items(self):
+        sim = WarehouseSimulator(fall_off_config()).run()
+        deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+        spire = Spire(deployment, compression_level=1)
+        messages = [m for out in spire.run(sim.stream) for m in out.messages]
+        # at least one fallen item's containment is reported as ended well
+        # before its disposal
+        ends = [m for m in messages if m.kind is EventKind.END_CONTAINMENT]
+        assert ends, "no containment breaks detected at all"
+        item_ends = [m for m in ends if m.obj.level == PackagingLevel.ITEM]
+        assert item_ends

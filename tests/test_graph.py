@@ -1,0 +1,214 @@
+"""Unit tests for the time-varying colored graph model."""
+
+import pytest
+
+from repro.core.graph import Graph, GraphEdge, GraphNode
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import case, item, pallet
+
+BLUE, GREEN = 0, 1
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return Graph()
+
+
+class TestNodes:
+    def test_get_or_create_idempotent(self, graph):
+        a = graph.get_or_create(item(1), now=0)
+        b = graph.get_or_create(item(1), now=5)
+        assert a is b
+        assert graph.node_count == 1
+
+    def test_node_lookup(self, graph):
+        graph.get_or_create(item(1), now=0)
+        assert item(1) in graph
+        assert graph.get(item(2)) is None
+        with pytest.raises(KeyError):
+            graph.node(item(2))
+
+    def test_level_from_tag(self, graph):
+        assert graph.get_or_create(pallet(1), 0).level == 3
+        assert graph.get_or_create(item(1), 0).level == 1
+
+
+class TestColoring:
+    def test_set_color_records_memory(self, graph):
+        node = graph.get_or_create(item(1), now=0)
+        is_new = graph.set_color(node, BLUE, now=0)
+        assert is_new
+        assert node.color == BLUE
+        assert node.recent_color == BLUE and node.seen_at == 0
+
+    def test_same_color_not_new(self, graph):
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, BLUE, now=0)
+        graph.begin_epoch()
+        assert graph.set_color(node, BLUE, now=1) is False
+
+    def test_different_color_is_new(self, graph):
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, BLUE, now=0)
+        graph.begin_epoch()
+        assert graph.set_color(node, GREEN, now=1) is True
+        assert node.recent_color == GREEN
+
+    def test_begin_epoch_uncolors_but_keeps_memory(self, graph):
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, BLUE, now=0)
+        graph.begin_epoch()
+        assert node.color is None
+        assert node.recent_color == BLUE and node.seen_at == 0
+        assert not graph.colored_at(1, BLUE)
+
+    def test_recolor_within_epoch_last_wins(self, graph):
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, BLUE, now=0)
+        graph.set_color(node, GREEN, now=0)
+        assert node.color == GREEN
+        assert not graph.colored_at(1, BLUE)
+        assert node in graph.colored_at(1, GREEN)
+
+    def test_colored_index_by_level(self, graph):
+        i = graph.get_or_create(item(1), now=0)
+        c = graph.get_or_create(case(1), now=0)
+        graph.set_color(i, BLUE, 0)
+        graph.set_color(c, BLUE, 0)
+        assert graph.colored_at(1, BLUE) == {i}
+        assert graph.colored_at(2, BLUE) == {c}
+
+    def test_closest_colored_level(self, graph):
+        i = graph.get_or_create(item(1), now=0)
+        p = graph.get_or_create(pallet(1), now=0)
+        graph.set_color(i, BLUE, 0)
+        graph.set_color(p, BLUE, 0)
+        # no case in blue: item's closest level above is the pallet layer
+        assert graph.closest_colored_level(1, BLUE, direction=+1) == 3
+        assert graph.closest_colored_level(3, BLUE, direction=-1) == 1
+        assert graph.closest_colored_level(1, GREEN, direction=+1) is None
+
+
+class TestEdges:
+    def test_add_edge_registers_both_sides(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        edge = graph.add_edge(c, i, now=0)
+        assert c.children[item(1)] is edge
+        assert i.parents[case(1)] is edge
+        assert graph.edge_count == 1
+
+    def test_add_edge_idempotent(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        e1 = graph.add_edge(c, i, now=0)
+        e2 = graph.add_edge(c, i, now=3)
+        assert e1 is e2 and graph.edge_count == 1
+        assert e1.created_at == 0
+
+    def test_edge_direction_enforced(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        with pytest.raises(ValueError):
+            graph.add_edge(i, c, now=0)
+
+    def test_cross_layer_edge_allowed(self, graph):
+        p = graph.get_or_create(pallet(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        graph.add_edge(p, i, now=0)
+        assert graph.edge_count == 1
+
+    def test_remove_edge(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        edge = graph.add_edge(c, i, now=0)
+        graph.remove_edge(edge)
+        assert graph.edge_count == 0
+        assert not c.children and not i.parents
+
+    def test_remove_node_drops_incident_edges(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i1 = graph.get_or_create(item(1), 0)
+        i2 = graph.get_or_create(item(2), 0)
+        graph.add_edge(c, i1, 0)
+        graph.add_edge(c, i2, 0)
+        graph.remove_node(case(1))
+        assert case(1) not in graph
+        assert graph.edge_count == 0
+        assert not i1.parents and not i2.parents
+
+    def test_remove_colored_node_cleans_index(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        graph.set_color(c, BLUE, 0)
+        graph.remove_node(case(1))
+        assert not graph.colored_at(2, BLUE)
+
+    def test_edges_iterates_each_once(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i1 = graph.get_or_create(item(1), 0)
+        i2 = graph.get_or_create(item(2), 0)
+        graph.add_edge(c, i1, 0)
+        graph.add_edge(c, i2, 0)
+        assert len(list(graph.edges())) == 2
+
+
+class TestEdgeHistory:
+    def test_push_history_shifts(self):
+        parent = GraphNode(case(1), 0)
+        child = GraphNode(item(1), 0)
+        edge = GraphEdge(parent, child, 0)
+        edge.push_history(True, size=4)
+        edge.push_history(False, size=4)
+        edge.push_history(True, size=4)
+        assert edge.history_bits(4) == [True, False, True, False]
+        assert edge.filled == 3
+
+    def test_history_caps_at_size(self):
+        edge = GraphEdge(GraphNode(case(1), 0), GraphNode(item(1), 0), 0)
+        for _ in range(10):
+            edge.push_history(True, size=4)
+        assert edge.filled == 4
+        assert edge.history == 0b1111
+
+    def test_other_endpoint(self):
+        parent = GraphNode(case(1), 0)
+        child = GraphNode(item(1), 0)
+        edge = GraphEdge(parent, child, 0)
+        assert edge.other(parent) is child
+        assert edge.other(child) is parent
+
+
+class TestConfirmation:
+    def test_set_confirmed_parent_resets_conflicts(self, graph):
+        node = graph.get_or_create(item(1), 0)
+        node.record_conflict()
+        node.set_confirmed_parent(case(1), now=5)
+        assert node.confirmed_parent == case(1)
+        assert node.confirmed_at == 5
+        assert node.confirmed_conflicts == 0
+        node.record_conflict()
+        assert node.confirmed_conflicts == 1
+
+
+class TestMemoryAccounting:
+    def test_memory_grows_with_nodes_and_edges(self, graph):
+        empty = graph.memory_bytes()
+        c = graph.get_or_create(case(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        with_nodes = graph.memory_bytes()
+        graph.add_edge(c, i, 0)
+        with_edge = graph.memory_bytes()
+        assert empty < with_nodes < with_edge
+
+
+class TestInvariants:
+    def test_invariants_hold_after_mutations(self, graph):
+        c = graph.get_or_create(case(1), 0)
+        i = graph.get_or_create(item(1), 0)
+        graph.set_color(c, BLUE, 0)
+        graph.set_color(i, BLUE, 0)
+        graph.add_edge(c, i, 0)
+        graph.check_invariants()
+        graph.begin_epoch()
+        graph.check_invariants()

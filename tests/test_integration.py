@@ -1,0 +1,144 @@
+"""End-to-end integration scenarios across the full substrate."""
+
+import pytest
+
+from repro.compression.decompress import decompress_stream
+from repro.core.params import InferenceParams
+from repro.events.messages import EventKind
+from repro.events.wellformed import check_well_formed
+from repro.experiments.runner import ground_truth_stream, run_smurf, run_spire
+from repro.metrics.accuracy import ScoringPolicy
+from repro.metrics.delay import detection_delays
+from repro.metrics.events import match_events
+from repro.metrics.sizing import location_only
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+
+@pytest.fixture(scope="module")
+def anomaly_sim():
+    config = SimulationConfig(
+        duration=900,
+        pallet_period=200,
+        cases_per_pallet_min=3,
+        cases_per_pallet_max=3,
+        items_per_case=4,
+        read_rate=0.9,
+        shelf_read_period=15,
+        num_shelves=2,
+        shelving_time_mean=180,
+        shelving_time_jitter=30,
+        anomaly_period=120,
+        seed=23,
+    )
+    return WarehouseSimulator(config).run()
+
+
+class TestAnomalyDetection:
+    # detection is measured on level-1 output: level-2 suppresses contained
+    # objects' Missing events by design (they reappear on decompression)
+
+    def test_removals_are_detected_as_missing(self, anomaly_sim):
+        report = run_spire(
+            anomaly_sim, params=InferenceParams(theta=1.5), compression_level=1, score=False
+        )
+        detection = detection_delays(report.messages, anomaly_sim.truth.vanished)
+        assert detection.detection_rate > 0.7
+        assert detection.mean_delay > 0
+
+    def test_higher_theta_detects_faster(self, anomaly_sim):
+        slow = run_spire(
+            anomaly_sim, params=InferenceParams(theta=0.6), compression_level=1, score=False
+        )
+        fast = run_spire(
+            anomaly_sim, params=InferenceParams(theta=3.0), compression_level=1, score=False
+        )
+        d_slow = detection_delays(slow.messages, anomaly_sim.truth.vanished)
+        d_fast = detection_delays(fast.messages, anomaly_sim.truth.vanished)
+        assert d_slow.delays and d_fast.delays
+        assert d_fast.mean_delay <= d_slow.mean_delay
+
+
+class TestSpireVsSmurf:
+    def test_spire_location_accuracy_beats_smurf(self, small_sim):
+        spire = run_spire(small_sim, policies=(ScoringPolicy.ALL,))
+        smurf = run_smurf(small_sim)
+        spire_err = spire.accuracy[ScoringPolicy.ALL].location_error_rate
+        assert spire_err <= smurf.accuracy.location_error_rate + 0.02
+
+    def test_spire_fmeasure_beats_smurf_at_low_read_rate(self):
+        """The paper's Fig. 11(a) gap is largest at low read rates, where
+        SMURF's smoothing cannot bridge consecutive missed readings but
+        SPIRE's containment propagation can."""
+        config = SimulationConfig(
+            duration=600,
+            pallet_period=150,
+            cases_per_pallet_min=3,
+            cases_per_pallet_max=3,
+            items_per_case=4,
+            read_rate=0.6,
+            shelf_read_period=20,
+            num_shelves=2,
+            shelving_time_mean=120,
+            shelving_time_jitter=30,
+            seed=11,
+        )
+        sim = WarehouseSimulator(config).run()
+        spire = run_spire(sim, compression_level=1, score=False)
+        smurf = run_smurf(sim, score=False)
+        reference = location_only(ground_truth_stream(sim))
+        tolerance = 2 * config.shelf_read_period
+        spire_f = match_events(location_only(spire.messages), reference, tolerance).f_measure
+        smurf_f = match_events(location_only(smurf.messages), reference, tolerance).f_measure
+        assert spire_f > smurf_f
+
+
+class TestCompressionEndToEnd:
+    def test_substantial_data_reduction(self, small_sim):
+        report = run_spire(small_sim, compression_level=2, score=False)
+        assert report.compression_ratio < 0.5
+
+    def test_level2_stream_decompresses_cleanly(self, small_sim):
+        report = run_spire(small_sim, compression_level=2, score=False)
+        decompressed = decompress_stream(report.messages)
+        check_well_formed(decompressed)
+        # decompression adds back the suppressed child locations
+        child_locations = {
+            m.obj
+            for m in decompressed
+            if m.kind is EventKind.START_LOCATION
+        }
+        compressed_locations = {
+            m.obj for m in report.messages if m.kind is EventKind.START_LOCATION
+        }
+        assert child_locations >= compressed_locations
+
+    def test_containment_output_present(self, small_sim):
+        report = run_spire(small_sim, compression_level=2, score=False)
+        kinds = {m.kind for m in report.messages}
+        assert EventKind.START_CONTAINMENT in kinds
+        assert EventKind.END_CONTAINMENT in kinds
+
+
+class TestReadRateSensitivity:
+    @pytest.mark.parametrize("read_rate", [0.7, 1.0])
+    def test_errors_shrink_with_read_rate(self, read_rate):
+        config = SimulationConfig(
+            duration=600,
+            pallet_period=150,
+            cases_per_pallet_min=3,
+            cases_per_pallet_max=3,
+            items_per_case=4,
+            read_rate=read_rate,
+            shelf_read_period=20,
+            num_shelves=2,
+            shelving_time_mean=120,
+            shelving_time_jitter=20,
+            seed=31,
+        )
+        sim = WarehouseSimulator(config).run()
+        report = run_spire(sim, policies=(ScoringPolicy.ALL,))
+        acc = report.accuracy[ScoringPolicy.ALL]
+        threshold = 0.10 if read_rate == 1.0 else 0.30
+        assert acc.location_error_rate < threshold
+        assert acc.containment_error_rate < threshold

@@ -1,0 +1,158 @@
+"""Unit tests for iterative inference (§IV-C) and partial/complete modes (§IV-D)."""
+
+import pytest
+
+from repro.core.capture import GraphUpdater, ReaderInfo
+from repro.core.graph import Graph
+from repro.core.interpretation import LocationSource
+from repro.core.iterative import IterativeInference
+from repro.core.params import InferenceParams
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import case, epoch_readings, item, pallet
+
+BLUE, GREEN = 0, 1
+READERS = {
+    0: ReaderInfo(reader_id=0, color=BLUE),
+    1: ReaderInfo(reader_id=1, color=GREEN),
+}
+
+
+def build(params: InferenceParams = InferenceParams()):
+    graph = Graph()
+    updater = GraphUpdater(graph, params)
+    inference = IterativeInference(graph, params)
+    return graph, updater, inference
+
+
+def apply(updater, epoch, by_reader):
+    updater.apply_epoch(epoch_readings(epoch, by_reader), READERS, epoch)
+
+
+class TestColoredLayer:
+    def test_observed_objects_reported_at_reader_location(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [case(1), item(1)]})
+        result = inference.run(now=0, complete=True)
+        for tag in (case(1), item(1)):
+            estimate = result.get(tag)
+            assert estimate.location == BLUE
+            assert estimate.source is LocationSource.OBSERVED
+            assert estimate.location_prob == 1.0
+
+    def test_observed_child_gets_container_estimate(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [case(1), item(1)]})
+        result = inference.run(now=0, complete=True)
+        assert result.get(item(1)).container == case(1)
+        assert result.get(case(1)).container is None
+
+
+class TestSweep:
+    def test_unobserved_object_inherits_from_observed_container(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [case(1), item(1)]})
+        apply(updater, 1, {0: [case(1)]})  # item missed one epoch
+        result = inference.run(now=1, complete=True)
+        estimate = result.get(item(1))
+        assert estimate.source is LocationSource.INFERRED
+        assert estimate.location == BLUE
+
+    def test_two_hop_propagation(self):
+        # pallet--case--item; only the item is observed this epoch
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [pallet(1), case(1), item(1)]})
+        apply(updater, 1, {0: [item(1)]})
+        result = inference.run(now=1, complete=True)
+        assert result.get(case(1)).location == BLUE   # d = 1
+        assert result.get(pallet(1)).location == BLUE  # d = 2
+
+    def test_disconnected_node_decays_to_unknown(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [item(1)]})
+        apply(updater, 20, {1: [item(2)]})  # unrelated observation
+        result = inference.run(now=20, complete=True)
+        estimate = result.get(item(1))
+        assert estimate.location == UNKNOWN_COLOR
+        assert estimate.source is LocationSource.INFERRED
+
+    def test_complete_covers_entire_graph(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [case(1), item(1)], 1: [case(2)]})
+        apply(updater, 1, {0: []})
+        result = inference.run(now=1, complete=True)
+        assert len(result) == 3
+
+
+class TestPartialInference:
+    def test_partial_limits_hops(self):
+        params = InferenceParams(partial_hops=1)
+        graph, updater, inference = build(params)
+        apply(updater, 0, {0: [pallet(1), case(1), item(1)]})
+        apply(updater, 1, {0: [item(1)]})
+        result = inference.run(now=1, complete=False)
+        assert result.get(item(1)) is not None   # d = 0
+        assert result.get(case(1)) is not None   # d = 1
+        assert result.get(pallet(1)) is None     # d = 2: beyond horizon
+
+    def test_partial_withholds_unknown(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [case(1), item(1)]})
+        # long gap, then only the case is seen (far from item)
+        apply(updater, 50, {1: [case(1)]})
+        result = inference.run(now=50, complete=False)
+        estimate = result.get(item(1))
+        assert estimate is not None
+        assert estimate.source is LocationSource.WITHHELD
+
+    def test_unvisited_nodes_absent_from_partial_result(self):
+        graph, updater, inference = build()
+        apply(updater, 0, {0: [item(1)]})
+        apply(updater, 10, {1: [item(2)]})
+        result = inference.run(now=10, complete=False)
+        assert result.get(item(1)) is None  # disconnected: not visited
+
+    def test_larger_hop_budget_reaches_further(self):
+        params = InferenceParams(partial_hops=2)
+        graph, updater, inference = build(params)
+        apply(updater, 0, {0: [pallet(1), case(1), item(1)]})
+        apply(updater, 1, {0: [item(1)]})
+        result = inference.run(now=1, complete=False)
+        assert result.get(pallet(1)) is not None
+
+
+class TestPruningDuringInference:
+    def test_weak_edges_removed(self):
+        params = InferenceParams(prune_threshold=0.25)
+        graph, updater, inference = build(params)
+        apply(updater, 0, {0: [case(1), case(2), item(1)]})
+        # case 2 separates; its edge to the item sees only negatives
+        for epoch in range(1, 8):
+            apply(updater, epoch, {0: [case(1), item(1)], 1: [case(2)]})
+        inference.run(now=7, complete=True)
+        node = graph.node(item(1))
+        assert case(2) not in node.parents
+        assert case(1) in node.parents
+
+    def test_pruning_disabled_keeps_edges(self):
+        params = InferenceParams(prune_threshold=0.0)
+        graph, updater, inference = build(params)
+        apply(updater, 0, {0: [case(1), case(2), item(1)]})
+        for epoch in range(1, 8):
+            apply(updater, epoch, {0: [case(1), case(2), item(1)]})
+        inference.run(now=7, complete=True)
+        assert len(graph.node(item(1)).parents) == 2
+
+
+class TestDeterminism:
+    def test_same_inputs_same_result(self):
+        results = []
+        for _ in range(2):
+            graph, updater, inference = build()
+            apply(updater, 0, {0: [case(1), case(2), item(1), item(2)]})
+            apply(updater, 1, {0: [case(1)]})
+            result = inference.run(now=1, complete=True)
+            results.append(
+                {e.tag: (e.location, e.container) for e in result}
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,131 @@
+"""Unit tests for range (level-1) compression (§V-B)."""
+
+import pytest
+
+from repro.compression.level1 import RangeCompressor
+from repro.events.messages import EventKind
+from repro.events.wellformed import check_well_formed
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import case, item
+
+L1, L2 = 0, 1
+
+
+@pytest.fixture
+def compressor() -> RangeCompressor:
+    return RangeCompressor()
+
+
+def kinds(messages):
+    return [m.kind for m in messages]
+
+
+class TestLocationCompression:
+    def test_first_observation_opens_interval(self, compressor):
+        out = compressor.observe(item(1), L1, None, now=0)
+        assert kinds(out) == [EventKind.START_LOCATION]
+        assert out[0].place == L1 and out[0].vs == 0
+
+    def test_unchanged_state_emits_nothing(self, compressor):
+        compressor.observe(item(1), L1, None, now=0)
+        for now in range(1, 20):
+            assert compressor.observe(item(1), L1, None, now) == []
+
+    def test_move_emits_end_start_pair(self, compressor):
+        compressor.observe(item(1), L1, None, now=0)
+        out = compressor.observe(item(1), L2, None, now=5)
+        assert kinds(out) == [EventKind.END_LOCATION, EventKind.START_LOCATION]
+        assert out[0].place == L1 and out[0].vs == 0 and out[0].ve == 5
+        assert out[1].place == L2 and out[1].vs == 5
+
+    def test_missing_emits_end_and_missing(self, compressor):
+        compressor.observe(item(1), L1, None, now=0)
+        out = compressor.observe(item(1), UNKNOWN_COLOR, None, now=7)
+        assert kinds(out) == [EventKind.END_LOCATION, EventKind.MISSING]
+        assert out[1].place == L1 and out[1].vs == 7
+
+    def test_missing_reported_once(self, compressor):
+        compressor.observe(item(1), L1, None, now=0)
+        compressor.observe(item(1), UNKNOWN_COLOR, None, now=7)
+        assert compressor.observe(item(1), UNKNOWN_COLOR, None, now=8) == []
+
+    def test_reappearance_reopens_interval(self, compressor):
+        compressor.observe(item(1), L1, None, now=0)
+        compressor.observe(item(1), UNKNOWN_COLOR, None, now=7)
+        out = compressor.observe(item(1), L2, None, now=12)
+        assert kinds(out) == [EventKind.START_LOCATION]
+        assert out[0].place == L2
+
+    def test_first_estimate_unknown_with_no_history_is_silent(self, compressor):
+        assert compressor.observe(item(1), UNKNOWN_COLOR, None, now=0) == []
+
+
+class TestContainmentCompression:
+    def test_containment_start(self, compressor):
+        out = compressor.observe(item(1), L1, case(1), now=0)
+        assert kinds(out) == [EventKind.START_CONTAINMENT, EventKind.START_LOCATION]
+
+    def test_containment_change_emits_end_start(self, compressor):
+        compressor.observe(item(1), L1, case(1), now=0)
+        out = compressor.observe(item(1), L1, case(2), now=5)
+        assert kinds(out) == [EventKind.END_CONTAINMENT, EventKind.START_CONTAINMENT]
+        assert out[0].container == case(1) and out[0].ve == 5
+        assert out[1].container == case(2)
+
+    def test_containment_removal(self, compressor):
+        compressor.observe(item(1), L1, case(1), now=0)
+        out = compressor.observe(item(1), L1, None, now=5)
+        assert kinds(out) == [EventKind.END_CONTAINMENT]
+
+    def test_missing_does_not_end_containment(self, compressor):
+        compressor.observe(item(1), L1, case(1), now=0)
+        out = compressor.observe(item(1), UNKNOWN_COLOR, case(1), now=5)
+        assert EventKind.END_CONTAINMENT not in kinds(out)
+        assert EventKind.MISSING in kinds(out)
+
+
+class TestDepart:
+    def test_depart_closes_everything(self, compressor):
+        compressor.observe(item(1), L1, case(1), now=0)
+        out = compressor.depart(item(1), now=9)
+        assert kinds(out) == [EventKind.END_CONTAINMENT, EventKind.END_LOCATION]
+        assert compressor.state_of(item(1)) is None
+
+    def test_depart_unknown_object_is_noop(self, compressor):
+        assert compressor.depart(item(1), now=3) == []
+
+    def test_departed_object_can_reappear(self, compressor):
+        compressor.observe(item(1), L1, None, now=0)
+        compressor.depart(item(1), now=5)
+        out = compressor.observe(item(1), L2, None, now=9)
+        assert kinds(out) == [EventKind.START_LOCATION]
+
+
+class TestStreamConfiguration:
+    def test_location_only_stream(self):
+        compressor = RangeCompressor(emit_location=True, emit_containment=False)
+        out = compressor.observe(item(1), L1, case(1), now=0)
+        assert kinds(out) == [EventKind.START_LOCATION]
+
+    def test_containment_only_stream(self):
+        compressor = RangeCompressor(emit_location=False, emit_containment=True)
+        out = compressor.observe(item(1), L1, case(1), now=0)
+        assert kinds(out) == [EventKind.START_CONTAINMENT]
+
+    def test_location_only_still_tracks_containment(self):
+        # so that flipping policy later cannot produce unmatched ends
+        compressor = RangeCompressor(emit_location=True, emit_containment=False)
+        compressor.observe(item(1), L1, case(1), now=0)
+        assert compressor.state_of(item(1)).containment == (case(1), 0)
+
+
+class TestWellFormedness:
+    def test_long_random_looking_history_is_well_formed(self, compressor):
+        stream = []
+        pattern = [L1, L1, L2, UNKNOWN_COLOR, UNKNOWN_COLOR, L1, L2, L2]
+        containers = [None, case(1), case(1), case(1), None, None, case(2), None]
+        for now, (loc, cont) in enumerate(zip(pattern, containers)):
+            stream.extend(compressor.observe(item(1), loc, cont, now))
+        stream.extend(compressor.depart(item(1), now=len(pattern)))
+        check_well_formed(stream)

@@ -1,0 +1,160 @@
+"""Unit tests for level-2 compression (§V-C), including the paper's Fig. 8."""
+
+import pytest
+
+from repro.compression.level2 import ContainmentCompressor
+from repro.events.messages import EventKind
+from repro.events.wellformed import check_well_formed
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import case, item, pallet
+
+L1, L2, L3, L4 = 0, 1, 2, 3
+
+
+@pytest.fixture
+def compressor() -> ContainmentCompressor:
+    return ContainmentCompressor()
+
+
+def kinds(messages):
+    return [m.kind for m in messages]
+
+
+class TestFig8Example:
+    """The paper's Fig. 8 walk-through, message for message."""
+
+    def test_full_sequence(self, compressor):
+        p, c1, c2 = pallet(1), case(1), case(2)
+
+        # T1: P, C1, C2 appear at L1; C1 and C2 contained in P
+        out = []
+        out += compressor.observe(c1, L1, p, now=1)
+        out += compressor.observe(c2, L1, p, now=1)
+        out += compressor.observe(p, L1, None, now=1)
+        assert [str(m) for m in out] == [
+            "StartContainment(case:1, pallet:1, 1, inf)",
+            "StartContainment(case:2, pallet:1, 1, inf)",
+            "StartLocation(pallet:1, L0, 1, inf)",
+        ]
+
+        # T2: the group moves to L2 -> only P's location is updated
+        out = []
+        out += compressor.observe(c1, L2, p, now=2)
+        out += compressor.observe(c2, L2, p, now=2)
+        out += compressor.observe(p, L2, None, now=2)
+        assert [str(m) for m in out] == [
+            "EndLocation(pallet:1, L0, 1, 2)",
+            "StartLocation(pallet:1, L1, 2, inf)",
+        ]
+
+        # T3: P and C1 move to L3; C2 stays at L2 and leaves the pallet
+        out = []
+        out += compressor.observe(c1, L3, p, now=3)
+        out += compressor.observe(c2, L2, None, now=3)
+        out += compressor.observe(p, L3, None, now=3)
+        assert [str(m) for m in out] == [
+            "EndContainment(case:2, pallet:1, 1, 3)",
+            "StartLocation(case:2, L1, 3, inf)",
+            "EndLocation(pallet:1, L1, 2, 3)",
+            "StartLocation(pallet:1, L2, 3, inf)",
+        ]
+
+        # T4: C2 moves alone to L4
+        out = []
+        out += compressor.observe(c1, L3, p, now=4)
+        out += compressor.observe(c2, L4, None, now=4)
+        out += compressor.observe(p, L3, None, now=4)
+        assert [str(m) for m in out] == [
+            "EndLocation(case:2, L1, 3, 4)",
+            "StartLocation(case:2, L3, 4, inf)",
+        ]
+
+
+class TestSuppression:
+    def test_contained_object_location_never_emitted(self, compressor):
+        compressor.observe(item(1), L1, case(1), now=0)
+        compressor.observe(case(1), L1, None, now=0)
+        out = []
+        for now, loc in enumerate([L1, L2, L3], start=1):
+            out += compressor.observe(item(1), loc, case(1), now=now)
+        assert all(not m.kind.is_location for m in out)
+
+    def test_uncontained_object_behaves_like_level1(self, compressor):
+        out = compressor.observe(case(1), L1, None, now=0)
+        assert kinds(out) == [EventKind.START_LOCATION]
+        out = compressor.observe(case(1), L2, None, now=3)
+        assert kinds(out) == [EventKind.END_LOCATION, EventKind.START_LOCATION]
+
+    def test_pre_containment_interval_left_open(self, compressor):
+        # the object had its own open interval before being contained; it
+        # stays open (the decompressor advances it with the container)
+        compressor.observe(case(1), L1, None, now=0)
+        out = compressor.observe(case(1), L1, pallet(1), now=4)
+        assert kinds(out) == [EventKind.START_CONTAINMENT]
+        assert compressor.state_of(case(1)).location == (L1, 0)
+
+
+class TestCatchUp:
+    def test_uncontain_at_new_location_syncs(self, compressor):
+        compressor.observe(case(1), L1, pallet(1), now=0)
+        compressor.observe(pallet(1), L1, None, now=0)
+        # group moved to L2 (suppressed for the case), then the case leaves
+        compressor.observe(case(1), L2, pallet(1), now=2)
+        compressor.observe(pallet(1), L2, None, now=2)
+        out = compressor.observe(case(1), L2, None, now=5)
+        assert kinds(out) == [EventKind.END_CONTAINMENT, EventKind.START_LOCATION]
+        assert out[1].place == L2
+
+    def test_uncontain_with_stale_open_interval(self, compressor):
+        compressor.observe(case(1), L1, None, now=0)        # open at L1
+        compressor.observe(case(1), L1, pallet(1), now=1)   # contained
+        compressor.observe(case(1), L2, pallet(1), now=2)   # moves, suppressed
+        out = compressor.observe(case(1), L2, None, now=3)  # leaves the pallet
+        assert kinds(out) == [
+            EventKind.END_CONTAINMENT,
+            EventKind.END_LOCATION,
+            EventKind.START_LOCATION,
+        ]
+        assert out[1].place == L1 and out[2].place == L2
+
+    def test_uncontain_while_missing_reports_missing(self, compressor):
+        compressor.observe(case(1), L1, pallet(1), now=0)
+        out = compressor.observe(case(1), UNKNOWN_COLOR, None, now=4)
+        assert kinds(out) == [EventKind.END_CONTAINMENT]
+        # never had an external location nor a last place: silent on missing
+
+    def test_uncontain_missing_with_history(self, compressor):
+        compressor.observe(case(1), L1, None, now=0)
+        compressor.observe(case(1), L1, pallet(1), now=1)
+        out = compressor.observe(case(1), UNKNOWN_COLOR, None, now=4)
+        assert kinds(out) == [
+            EventKind.END_CONTAINMENT,
+            EventKind.END_LOCATION,
+            EventKind.MISSING,
+        ]
+
+
+class TestDepart:
+    def test_depart_closes_open_state(self, compressor):
+        compressor.observe(case(1), L1, None, now=0)
+        compressor.observe(case(1), L1, pallet(1), now=1)
+        out = compressor.depart(case(1), now=6)
+        assert kinds(out) == [EventKind.END_CONTAINMENT, EventKind.END_LOCATION]
+
+
+class TestOutputSize:
+    def test_level2_never_larger_than_level1_for_stable_containment(self):
+        from repro.compression.level1 import RangeCompressor
+
+        l1, l2 = RangeCompressor(), ContainmentCompressor()
+        msgs1, msgs2 = [], []
+        locations = [L1, L1, L2, L2, L3, L3, L4]
+        for now, loc in enumerate(locations):
+            for compressor, sink in ((l1, msgs1), (l2, msgs2)):
+                sink.extend(compressor.observe(pallet(1), loc, None, now))
+                sink.extend(compressor.observe(case(1), loc, pallet(1), now))
+                sink.extend(compressor.observe(item(1), loc, case(1), now))
+        assert len(msgs2) < len(msgs1)
+        check_well_formed(msgs1)
+        check_well_formed(msgs2)

@@ -1,0 +1,87 @@
+"""Unit tests for locations and the location registry."""
+
+import pytest
+
+from repro.model.locations import (
+    UNKNOWN_COLOR,
+    UNKNOWN_LOCATION,
+    Location,
+    LocationKind,
+    LocationRegistry,
+)
+
+
+class TestLocation:
+    def test_equality_by_value(self):
+        a = Location(0, "dock", LocationKind.ENTRY_DOOR)
+        b = Location(0, "dock", LocationKind.ENTRY_DOOR)
+        assert a == b
+
+    def test_negative_color_rejected_for_known_locations(self):
+        with pytest.raises(ValueError):
+            Location(-2, "bad")
+
+    def test_unknown_location_must_use_minus_one(self):
+        with pytest.raises(ValueError):
+            Location(3, "nowhere", LocationKind.UNKNOWN)
+
+    def test_unknown_location_constant(self):
+        assert UNKNOWN_LOCATION.color == UNKNOWN_COLOR == -1
+        assert UNKNOWN_LOCATION.kind is LocationKind.UNKNOWN
+
+    def test_is_exit(self):
+        assert Location(1, "out", LocationKind.EXIT_DOOR).is_exit
+        assert not Location(2, "shelf", LocationKind.SHELF).is_exit
+
+    def test_str_is_name(self):
+        assert str(Location(0, "dock")) == "dock"
+
+
+class TestLocationRegistry:
+    def test_create_assigns_sequential_colors(self):
+        reg = LocationRegistry()
+        a = reg.create("a")
+        b = reg.create("b")
+        assert (a.color, b.color) == (0, 1)
+
+    def test_unknown_is_always_registered(self):
+        reg = LocationRegistry()
+        assert reg.by_color(-1) is UNKNOWN_LOCATION
+        assert reg.by_name("unknown") is UNKNOWN_LOCATION
+
+    def test_duplicate_color_rejected(self):
+        reg = LocationRegistry()
+        reg.add(Location(0, "a"))
+        with pytest.raises(ValueError):
+            reg.add(Location(0, "b"))
+
+    def test_duplicate_name_rejected(self):
+        reg = LocationRegistry()
+        reg.add(Location(0, "a"))
+        with pytest.raises(ValueError):
+            reg.add(Location(1, "a"))
+
+    def test_known_locations_excludes_unknown(self):
+        reg = LocationRegistry()
+        reg.create("a")
+        assert all(loc.color >= 0 for loc in reg.known_locations())
+        assert len(reg) == 1
+
+    def test_lookup_by_color_and_name(self):
+        reg = LocationRegistry()
+        shelf = reg.create("shelf-1", LocationKind.SHELF)
+        assert reg.by_color(shelf.color) == shelf
+        assert reg.by_name("shelf-1") == shelf
+
+    def test_contains(self):
+        reg = LocationRegistry()
+        shelf = reg.create("shelf-1")
+        assert shelf in reg
+        assert Location(99, "elsewhere") not in reg
+
+    def test_iteration_in_color_order(self):
+        reg = LocationRegistry()
+        names = ["a", "b", "c"]
+        for name in names:
+            reg.create(name)
+        assert [loc.name for loc in reg] == names

@@ -1,0 +1,86 @@
+"""Unit tests for event messages (§V-A)."""
+
+import pytest
+
+from repro.events.messages import (
+    EVENT_MESSAGE_BYTES,
+    INFINITY,
+    EventKind,
+    EventMessage,
+    end_containment,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+    stream_bytes,
+)
+
+from tests.conftest import case, item
+
+
+class TestConstructors:
+    def test_start_location_open_interval(self):
+        msg = start_location(item(1), 2, vs=5)
+        assert msg.kind is EventKind.START_LOCATION
+        assert msg.place == 2 and msg.vs == 5 and msg.ve == INFINITY
+
+    def test_end_location_closes_interval(self):
+        msg = end_location(item(1), 2, vs=5, ve=9)
+        assert msg.ve == 9 and msg.vs == 5
+
+    def test_containment_pair(self):
+        s = start_containment(item(1), case(1), vs=3)
+        e = end_containment(item(1), case(1), vs=3, ve=7)
+        assert s.container == case(1) and s.ve == INFINITY
+        assert e.ve == 7
+
+    def test_missing_is_singleton(self):
+        msg = missing(item(1), 4, vs=8)
+        assert msg.vs == msg.ve == 8
+        assert msg.place == 4
+
+
+class TestValidation:
+    def test_location_message_requires_place(self):
+        with pytest.raises(ValueError, match="place"):
+            EventMessage(EventKind.START_LOCATION, item(1), 0, INFINITY)
+
+    def test_containment_message_requires_container(self):
+        with pytest.raises(ValueError, match="container"):
+            EventMessage(EventKind.START_CONTAINMENT, item(1), 0, INFINITY, place=1)
+
+    def test_interval_cannot_end_before_start(self):
+        with pytest.raises(ValueError, match="ends before"):
+            end_location(item(1), 0, vs=5, ve=4)
+
+    def test_missing_requires_point_interval(self):
+        with pytest.raises(ValueError, match="singleton"):
+            EventMessage(EventKind.MISSING, item(1), 5, 6, place=0)
+
+
+class TestKindProperties:
+    def test_location_kinds(self):
+        assert EventKind.START_LOCATION.is_location
+        assert EventKind.END_LOCATION.is_location
+        assert EventKind.MISSING.is_location
+        assert not EventKind.START_CONTAINMENT.is_location
+
+    def test_containment_kinds(self):
+        assert EventKind.START_CONTAINMENT.is_containment
+        assert EventKind.END_CONTAINMENT.is_containment
+        assert not EventKind.MISSING.is_containment
+
+
+class TestRendering:
+    def test_str_location(self):
+        assert str(start_location(item(1), 2, 5)) == "StartLocation(item:1, L2, 5, inf)"
+
+    def test_str_containment(self):
+        rendered = str(end_containment(item(1), case(1), 3, 9))
+        assert rendered == "EndContainment(item:1, case:1, 3, 9)"
+
+
+class TestSizing:
+    def test_stream_bytes(self):
+        msgs = [start_location(item(1), 0, 0), missing(item(1), 0, 5)]
+        assert stream_bytes(msgs) == 2 * EVENT_MESSAGE_BYTES

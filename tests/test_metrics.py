@@ -1,0 +1,210 @@
+"""Unit tests for the metrics package (accuracy, events, sizing, delay)."""
+
+import pytest
+
+from repro.core.capture import ReaderInfo
+from repro.core.pipeline import Spire
+from repro.events.messages import (
+    EVENT_MESSAGE_BYTES,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+from repro.metrics.accuracy import AccuracyAccumulator, ScoringPolicy
+from repro.metrics.delay import detection_delays
+from repro.metrics.events import match_events
+from repro.metrics.sizing import (
+    compression_ratio,
+    containment_only,
+    location_only,
+    output_bytes,
+)
+from repro.model.locations import Location
+from repro.model.truth import TruthSnapshot
+from repro.model.world import PhysicalWorld
+
+from tests.conftest import case, epoch_readings, item, make_deployment
+
+DOCK_LOC = Location(0, "dock")
+SHELF_LOC = Location(1, "shelf")
+DOCK = ReaderInfo(reader_id=0, color=0)
+SHELF = ReaderInfo(reader_id=1, color=1)
+
+
+def snapshot(epoch, locations, containers=None):
+    return TruthSnapshot(epoch=epoch, locations=locations, containers=containers or {})
+
+
+class TestAccuracy:
+    def _spire_with(self, *epochs):
+        spire = Spire(make_deployment(DOCK, SHELF))
+        for readings in epochs:
+            spire.process_epoch(readings)
+        return spire
+
+    def test_correct_estimates_score_zero_errors(self):
+        spire = self._spire_with(epoch_readings(0, {0: [case(1), item(1)]}))
+        acc = AccuracyAccumulator()
+        acc.score_epoch(
+            spire,
+            snapshot(0, {case(1): DOCK_LOC, item(1): DOCK_LOC}, {item(1): case(1)}),
+        )
+        assert acc.location_error_rate == 0.0
+        assert acc.containment_error_rate == 0.0
+        assert acc.location_total == 2
+
+    def test_wrong_location_counted(self):
+        spire = self._spire_with(epoch_readings(0, {0: [item(1)]}))
+        acc = AccuracyAccumulator()
+        acc.score_epoch(spire, snapshot(0, {item(1): SHELF_LOC}))
+        assert acc.location_errors == 1
+
+    def test_untracked_object_scores_as_unknown(self):
+        spire = self._spire_with(epoch_readings(0, {}))
+        acc = AccuracyAccumulator()
+        acc.score_epoch(spire, snapshot(0, {item(1): DOCK_LOC}))
+        # item 1 never observed: estimate unknown vs truth dock -> error
+        assert acc.location_errors == 1
+
+    def test_exclusion_filters_locations(self):
+        spire = self._spire_with(epoch_readings(0, {0: [item(1)]}))
+        acc = AccuracyAccumulator(exclude_colors=frozenset({0}))
+        acc.score_epoch(spire, snapshot(0, {item(1): DOCK_LOC}))
+        assert acc.location_total == 0
+
+    def test_inferred_only_skips_observed(self):
+        spire = self._spire_with(epoch_readings(0, {0: [case(1), item(1)]}))
+        acc = AccuracyAccumulator(policy=ScoringPolicy.INFERRED_ONLY)
+        acc.score_epoch(
+            spire, snapshot(0, {case(1): DOCK_LOC, item(1): DOCK_LOC})
+        )
+        assert acc.location_total == 0  # both observed this epoch
+
+    def test_hard_only_requires_truth_change(self):
+        spire = self._spire_with(
+            epoch_readings(0, {0: [case(1), item(1)]}),
+            epoch_readings(1, {0: [case(1)]}),  # item missed
+        )
+        acc = AccuracyAccumulator(policy=ScoringPolicy.HARD_ONLY)
+        # item truly still at dock: not a hard case
+        acc.score_epoch(spire, snapshot(1, {case(1): DOCK_LOC, item(1): DOCK_LOC}))
+        assert acc.location_total == 0
+        # item truly moved to the shelf while unobserved: hard case
+        acc.score_epoch(spire, snapshot(1, {case(1): DOCK_LOC, item(1): SHELF_LOC}))
+        assert acc.location_total == 1
+
+    def test_ghost_objects_scored_against_unknown(self):
+        spire = self._spire_with(epoch_readings(0, {0: [item(1)]}))
+        acc = AccuracyAccumulator()
+        acc.score_epoch(spire, snapshot(0, {}))  # world is empty: ghost
+        assert acc.location_total == 1
+        assert acc.location_errors == 1  # still estimated at the dock
+
+    def test_containment_skips_trivial_agreement(self):
+        spire = self._spire_with(epoch_readings(0, {0: [case(1)]}))
+        acc = AccuracyAccumulator()
+        acc.score_epoch(spire, snapshot(0, {case(1): DOCK_LOC}))
+        assert acc.containment_total == 0  # both sides: no container
+
+    def test_per_level_breakdown(self):
+        spire = self._spire_with(epoch_readings(0, {0: [case(1), item(1)]}))
+        acc = AccuracyAccumulator()
+        acc.score_epoch(
+            spire,
+            snapshot(0, {case(1): DOCK_LOC, item(1): SHELF_LOC}, {item(1): case(1)}),
+        )
+        from repro.model.objects import PackagingLevel
+
+        # the case's location is right, the item's is wrong
+        assert acc.location_error_rate_for_level(PackagingLevel.CASE) == 0.0
+        assert acc.location_error_rate_for_level(PackagingLevel.ITEM) == 1.0
+        # unseen level reports a clean 0 over an empty population
+        assert acc.location_error_rate_for_level(PackagingLevel.PALLET) == 0.0
+
+    def test_summary_keys(self):
+        acc = AccuracyAccumulator()
+        assert set(acc.summary()) == {
+            "location_error_rate",
+            "containment_error_rate",
+            "location_total",
+            "containment_total",
+        }
+
+
+class TestEventMatching:
+    def test_perfect_match(self):
+        stream = [start_location(item(1), 0, 5), end_location(item(1), 0, 5, 9)]
+        result = match_events(stream, list(stream), tolerance=0)
+        assert result.precision == result.recall == result.f_measure == 1.0
+
+    def test_tolerance_window(self):
+        out = [start_location(item(1), 0, 7)]
+        ref = [start_location(item(1), 0, 5)]
+        assert match_events(out, ref, tolerance=1).matched == 0
+        assert match_events(out, ref, tolerance=2).matched == 1
+
+    def test_end_events_match_on_ve(self):
+        out = [end_location(item(1), 0, 0, 10)]
+        ref = [end_location(item(1), 0, 3, 11)]
+        assert match_events(out, ref, tolerance=1).matched == 1
+
+    def test_one_to_one_matching(self):
+        out = [start_location(item(1), 0, 5), start_location(item(1), 0, 6)]
+        ref = [start_location(item(1), 0, 5)]
+        result = match_events(out, ref, tolerance=5)
+        assert result.matched == 1
+        assert result.precision == 0.5 and result.recall == 1.0
+
+    def test_different_objects_never_match(self):
+        out = [start_location(item(1), 0, 5)]
+        ref = [start_location(item(2), 0, 5)]
+        assert match_events(out, ref, tolerance=10).matched == 0
+
+    def test_empty_streams(self):
+        result = match_events([], [], tolerance=0)
+        assert result.f_measure == 0.0
+
+
+class TestSizing:
+    def test_filters(self):
+        msgs = [
+            start_location(item(1), 0, 0),
+            start_containment(item(1), case(1), 0),
+            missing(item(1), 0, 5),
+        ]
+        assert len(location_only(msgs)) == 2
+        assert len(containment_only(msgs)) == 1
+
+    def test_ratio(self):
+        msgs = [start_location(item(1), 0, 0)]
+        assert compression_ratio(msgs, raw_bytes=EVENT_MESSAGE_BYTES * 4) == 0.25
+        assert output_bytes(msgs) == EVENT_MESSAGE_BYTES
+
+    def test_zero_raw_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio([], raw_bytes=0)
+
+
+class TestDetectionDelay:
+    def test_delay_measured_from_removal(self):
+        messages = [missing(item(1), 0, 110)]
+        report = detection_delays(messages, {item(1): 100})
+        assert report.delays == {item(1): 10}
+        assert report.detection_rate == 1.0
+        assert report.mean_delay == 10
+
+    def test_earlier_missing_ignored(self):
+        messages = [missing(item(1), 0, 50), missing(item(1), 0, 130)]
+        report = detection_delays(messages, {item(1): 100})
+        assert report.delays == {item(1): 30}
+
+    def test_undetected_objects_reported(self):
+        report = detection_delays([], {item(1): 100})
+        assert report.undetected == frozenset({item(1)})
+        assert report.detection_rate == 0.0
+
+    def test_max_delay(self):
+        messages = [missing(item(1), 0, 110), missing(item(2), 0, 160)]
+        report = detection_delays(messages, {item(1): 100, item(2): 100})
+        assert report.max_delay == 60

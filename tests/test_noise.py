@@ -1,0 +1,116 @@
+"""Unit tests for the Gilbert–Elliott burst-loss channel."""
+
+import numpy as np
+import pytest
+
+from repro.readers.noise import BurstLossModel
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+from tests.conftest import item
+
+
+class TestValidation:
+    def test_rates_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            BurstLossModel(good_read_rate=1.5)
+        with pytest.raises(ValueError):
+            BurstLossModel(p_good_to_bad=-0.1)
+
+    def test_good_must_dominate_bad(self):
+        with pytest.raises(ValueError):
+            BurstLossModel(good_read_rate=0.3, bad_read_rate=0.8)
+
+    def test_bursts_must_end(self):
+        with pytest.raises(ValueError):
+            BurstLossModel(p_bad_to_good=0.0)
+
+    def test_from_average_bounds(self):
+        with pytest.raises(ValueError):
+            BurstLossModel.from_average(0.99, good_read_rate=0.9)
+        with pytest.raises(ValueError):
+            BurstLossModel.from_average(0.8, mean_burst=0.5)
+
+
+class TestStationaryBehaviour:
+    def test_from_average_hits_target_rate(self):
+        for target in (0.6, 0.8, 0.95):
+            model = BurstLossModel.from_average(target, mean_burst=5.0)
+            assert model.average_read_rate == pytest.approx(target, abs=0.01)
+
+    def test_empirical_rate_matches_target(self):
+        model = BurstLossModel.from_average(0.8, mean_burst=4.0)
+        rng = np.random.default_rng(1)
+        tag = item(1)
+        hits = sum(
+            1 for _ in range(20_000) if model.observe(0, [tag], rng)
+        )
+        assert hits / 20_000 == pytest.approx(0.8, abs=0.02)
+
+    def test_losses_are_correlated(self):
+        """Consecutive misses cluster far beyond the i.i.d. expectation."""
+        model = BurstLossModel.from_average(0.8, mean_burst=8.0, bad_read_rate=0.0)
+        rng = np.random.default_rng(2)
+        tag = item(1)
+        outcomes = [bool(model.observe(0, [tag], rng)) for _ in range(30_000)]
+        # P(miss | previous miss) for the burst channel >> 1 - rate
+        misses_after_miss = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if not a and not b
+        )
+        misses = outcomes.count(False)
+        conditional = misses_after_miss / max(1, misses - 1)
+        assert conditional > 0.5  # i.i.d. at 0.8 would give ~0.2
+
+    def test_channels_independent_per_tag(self):
+        model = BurstLossModel(p_good_to_bad=1.0, p_bad_to_good=0.01, bad_read_rate=0.0)
+        rng = np.random.default_rng(3)
+        model.observe(0, [item(1)], rng)
+        assert model.tags_in_burst == 1
+        model.forget(item(1))
+        assert model.tags_in_burst == 0
+
+
+class TestSimulatorIntegration:
+    def _config(self, burst):
+        return SimulationConfig(
+            duration=400,
+            pallet_period=100,
+            cases_per_pallet_min=2,
+            cases_per_pallet_max=2,
+            items_per_case=4,
+            read_rate=0.8,
+            shelf_read_period=10,
+            num_shelves=2,
+            shelving_time_mean=80,
+            shelving_time_jitter=10,
+            burst_mean_length=burst,
+            seed=4,
+        )
+
+    def test_invalid_burst_config_rejected(self):
+        with pytest.raises(ValueError):
+            self._config(0.5)
+
+    def test_bursty_trace_keeps_average_volume(self):
+        iid = WarehouseSimulator(self._config(0.0)).run()
+        bursty = WarehouseSimulator(self._config(6.0)).run()
+        ratio = bursty.stream.total_readings / iid.stream.total_readings
+        assert 0.85 < ratio < 1.15  # same average rate, different structure
+
+    def test_bursty_losses_harder_for_inference(self):
+        """Bursts of misses defeat single-miss smoothing: errors should not
+        *decrease* when losses become correlated at the same average rate."""
+        from repro.experiments.runner import run_spire
+        from repro.metrics.accuracy import ScoringPolicy
+
+        iid = run_spire(
+            WarehouseSimulator(self._config(0.0)).run(),
+            policies=(ScoringPolicy.ALL,),
+        )
+        bursty = run_spire(
+            WarehouseSimulator(self._config(8.0)).run(),
+            policies=(ScoringPolicy.ALL,),
+        )
+        iid_err = iid.accuracy[ScoringPolicy.ALL].location_error_rate
+        bursty_err = bursty.accuracy[ScoringPolicy.ALL].location_error_rate
+        assert bursty_err > iid_err - 0.02

@@ -1,0 +1,87 @@
+"""Unit tests for EPC-style tags and packaging levels."""
+
+import pytest
+
+from repro.model.objects import PackagingLevel, TagAllocator, TagId, allocate_tags
+
+
+class TestPackagingLevel:
+    def test_ordering_matches_containment_direction(self):
+        assert PackagingLevel.ITEM < PackagingLevel.CASE < PackagingLevel.PALLET
+
+    def test_levels_below_case(self):
+        assert PackagingLevel.CASE.levels_below() == [PackagingLevel.ITEM]
+
+    def test_levels_below_pallet_closest_first(self):
+        assert PackagingLevel.PALLET.levels_below() == [
+            PackagingLevel.CASE,
+            PackagingLevel.ITEM,
+        ]
+
+    def test_levels_above_item_closest_first(self):
+        assert PackagingLevel.ITEM.levels_above() == [
+            PackagingLevel.CASE,
+            PackagingLevel.PALLET,
+        ]
+
+    def test_pallet_has_nothing_above(self):
+        assert PackagingLevel.PALLET.levels_above() == []
+
+    def test_short_name(self):
+        assert PackagingLevel.ITEM.short_name == "item"
+
+
+class TestTagId:
+    def test_value_semantics(self):
+        assert TagId(PackagingLevel.ITEM, 5) == TagId(PackagingLevel.ITEM, 5)
+        assert TagId(PackagingLevel.ITEM, 5) != TagId(PackagingLevel.CASE, 5)
+
+    def test_hashable(self):
+        tags = {TagId(PackagingLevel.ITEM, 1), TagId(PackagingLevel.ITEM, 1)}
+        assert len(tags) == 1
+
+    def test_urn_encodes_level_and_serial(self):
+        urn = TagId(PackagingLevel.CASE, 42).urn()
+        assert "case" in urn and urn.endswith(".42")
+        assert urn.startswith("urn:epc:id:sgtin:")
+
+    def test_str_representation(self):
+        assert str(TagId(PackagingLevel.PALLET, 7)) == "pallet:7"
+
+    def test_sortable_within_level(self):
+        a, b = TagId(PackagingLevel.ITEM, 1), TagId(PackagingLevel.ITEM, 2)
+        assert sorted([b, a]) == [a, b]
+
+
+class TestTagAllocator:
+    def test_serials_are_unique_and_monotonic(self):
+        alloc = TagAllocator()
+        tags = alloc.allocate_many(PackagingLevel.ITEM, 10)
+        assert [t.serial for t in tags] == list(range(1, 11))
+        assert len(set(tags)) == 10
+
+    def test_levels_have_independent_counters(self):
+        alloc = TagAllocator()
+        item = alloc.allocate(PackagingLevel.ITEM)
+        case = alloc.allocate(PackagingLevel.CASE)
+        assert item.serial == 1 and case.serial == 1
+
+    def test_allocated_count(self):
+        alloc = TagAllocator()
+        alloc.allocate_many(PackagingLevel.CASE, 3)
+        assert alloc.allocated_count(PackagingLevel.CASE) == 3
+        assert alloc.allocated_count(PackagingLevel.ITEM) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TagAllocator().allocate_many(PackagingLevel.ITEM, -1)
+
+
+class TestAllocateTags:
+    def test_yields_consecutive_serials(self):
+        tags = list(allocate_tags(PackagingLevel.ITEM, 3, start=10))
+        assert [t.serial for t in tags] == [10, 11, 12]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(allocate_tags(PackagingLevel.ITEM, -2))

@@ -1,0 +1,26 @@
+"""Package-level contract tests: exports, version, docstring example."""
+
+import doctest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_module_docstring_example_runs(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1
+
+    def test_star_import_is_clean(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)  # noqa: S102 - deliberate
+        for name in repro.__all__:
+            assert name in namespace

@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covered invariants:
+
+* :class:`PhysicalWorld` stays internally consistent under arbitrary valid
+  mutation sequences;
+* the graph stays structurally consistent under arbitrary reading streams,
+  and no edge ever connects two differently-colored nodes after an epoch;
+* both compressors always produce well-formed streams, for arbitrary
+  per-object state histories;
+* level-2 decompression reconstructs the same final per-object location
+  state as direct level-1 compression (losslessness);
+* the deduplicator never emits a tag twice in an epoch.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.compression.decompress import decompress_stream
+from repro.compression.level1 import RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.core.capture import GraphUpdater, ReaderInfo
+from repro.core.graph import Graph
+from repro.core.iterative import IterativeInference
+from repro.core.params import InferenceParams
+from repro.events.wellformed import check_well_formed, open_intervals
+from repro.model.locations import UNKNOWN_COLOR, Location
+from repro.model.objects import PackagingLevel, TagId
+from repro.model.world import PhysicalWorld, WorldError
+from repro.readers.dedup import Deduplicator
+from repro.readers.stream import EpochReadings
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+LOCATIONS = [Location(i, f"loc-{i}") for i in range(4)]
+
+tags = st.builds(
+    TagId,
+    level=st.sampled_from(list(PackagingLevel)),
+    serial=st.integers(min_value=1, max_value=6),
+)
+
+items = st.builds(TagId, level=st.just(PackagingLevel.ITEM), serial=st.integers(1, 6))
+cases = st.builds(TagId, level=st.just(PackagingLevel.CASE), serial=st.integers(1, 4))
+
+
+@st.composite
+def world_scripts(draw):
+    """A sequence of (op, args) world mutations; invalid ones are skipped."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n):
+        op = draw(
+            st.sampled_from(["add", "move", "contain", "uncontain", "vanish", "remove"])
+        )
+        ops.append(
+            (
+                op,
+                draw(tags),
+                draw(tags),
+                draw(st.sampled_from(LOCATIONS)),
+            )
+        )
+    return ops
+
+
+@st.composite
+def reading_streams(draw):
+    """A short stream of epoch readings over 2 readers and a small tag pool."""
+    epochs = draw(st.integers(min_value=1, max_value=12))
+    pool = draw(st.lists(tags, min_size=1, max_size=8, unique=True))
+    stream = []
+    for epoch in range(epochs):
+        readings = EpochReadings(epoch=epoch)
+        for reader_id in (0, 1):
+            observed = draw(st.lists(st.sampled_from(pool), max_size=5, unique=True))
+            readings.add(reader_id, observed)
+        stream.append(readings)
+    return stream
+
+
+@st.composite
+def state_histories(draw):
+    """Per-epoch (tag, location, container) state reports for compressors.
+
+    Containers are only ever assigned level-consistently and the reported
+    child location always equals the container's (the §IV-E postcondition
+    the compressors assume).
+    """
+    epochs = draw(st.integers(min_value=1, max_value=15))
+    pool_items = draw(st.lists(items, min_size=1, max_size=3, unique=True))
+    pool_cases = draw(st.lists(cases, min_size=1, max_size=2, unique=True))
+    history = []
+    for epoch in range(epochs):
+        case_state = {}
+        rows = []
+        for tag in pool_cases:
+            loc = draw(st.integers(min_value=-1, max_value=3))
+            case_state[tag] = loc
+            rows.append((tag, loc, None))
+        for tag in pool_items:
+            container = draw(st.sampled_from([None] + pool_cases))
+            if container is not None:
+                loc = case_state[container]
+            else:
+                loc = draw(st.integers(min_value=-1, max_value=3))
+            rows.append((tag, loc, container))
+        history.append((epoch, rows))
+    return history
+
+
+# ---------------------------------------------------------------------------
+# world invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(world_scripts())
+def test_world_invariants_under_arbitrary_mutations(script):
+    world = PhysicalWorld()
+    for op, a, b, location in script:
+        try:
+            if op == "add":
+                world.add_object(a, location)
+            elif op == "move":
+                world.move(a, location)
+            elif op == "contain":
+                world.contain(a, b)
+            elif op == "uncontain":
+                world.uncontain(a)
+            elif op == "vanish":
+                world.vanish(a)
+            elif op == "remove":
+                world.remove_object(a)
+        except WorldError:
+            pass  # invalid mutations must leave the world untouched
+    world.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# graph invariants
+# ---------------------------------------------------------------------------
+
+READERS = {
+    0: ReaderInfo(reader_id=0, color=0),
+    1: ReaderInfo(reader_id=1, color=1),
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(reading_streams())
+def test_graph_invariants_under_arbitrary_streams(stream):
+    params = InferenceParams()
+    graph = Graph()
+    updater = GraphUpdater(graph, params)
+    dedup = Deduplicator()
+    for readings in stream:
+        clean = dedup.process(readings)
+        updater.apply_epoch(clean, READERS, readings.epoch)
+        graph.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(reading_streams())
+def test_inference_covers_every_node_in_complete_mode(stream):
+    params = InferenceParams()
+    graph = Graph()
+    updater = GraphUpdater(graph, params)
+    inference = IterativeInference(graph, params)
+    dedup = Deduplicator()
+    for readings in stream:
+        updater.apply_epoch(dedup.process(readings), READERS, readings.epoch)
+        result = inference.run(readings.epoch, complete=True)
+        assert set(result.estimates) == {node.tag for node in graph.nodes()}
+        for estimate in result:
+            assert estimate.location_prob >= 0.0
+        graph.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# compression properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(state_histories())
+def test_level1_always_well_formed(history):
+    compressor = RangeCompressor()
+    out = []
+    for epoch, rows in history:
+        for tag, loc, container in rows:
+            out.extend(compressor.observe(tag, loc, container, epoch))
+    check_well_formed(out)
+
+
+@settings(max_examples=80, deadline=None)
+@given(state_histories())
+def test_level2_always_well_formed(history):
+    compressor = ContainmentCompressor()
+    out = []
+    for epoch, rows in history:
+        for tag, loc, container in rows:
+            out.extend(compressor.observe(tag, loc, container, epoch))
+    check_well_formed(out)
+
+
+def _final_state(messages):
+    states = open_intervals(messages)
+    return {
+        tag: state.open_location[0]
+        for tag, state in states.items()
+        if state.open_location is not None
+    }
+
+
+@settings(max_examples=80, deadline=None)
+@given(state_histories())
+def test_level2_decompression_is_lossless(history):
+    """decompress(level2(history)) ends in the same per-object location
+    state as level1(history)."""
+    l1 = RangeCompressor()
+    l2 = ContainmentCompressor()
+    msgs1, msgs2 = [], []
+    for epoch, rows in history:
+        for tag, loc, container in rows:
+            msgs1.extend(l1.observe(tag, loc, container, epoch))
+            msgs2.extend(l2.observe(tag, loc, container, epoch))
+    decompressed = decompress_stream(msgs2)
+    check_well_formed(decompressed)
+    assert _final_state(decompressed) == _final_state(msgs1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(state_histories())
+def test_level2_location_events_bounded_by_level1_plus_sync(history):
+    """Level-2 emits at most level-1's location events plus a bounded sync
+    cost (up to two messages per containment transition, for alignment and
+    catch-up).  For stable containment this means strictly fewer events —
+    the Fig. 11 benchmarks check the actual reduction on realistic traces.
+    """
+    l1 = RangeCompressor()
+    l2 = ContainmentCompressor()
+    count1 = count2 = transitions = 0
+    for epoch, rows in history:
+        for tag, loc, container in rows:
+            msgs1 = l1.observe(tag, loc, container, epoch)
+            msgs2 = l2.observe(tag, loc, container, epoch)
+            count1 += sum(1 for m in msgs1 if m.kind.is_location)
+            count2 += sum(1 for m in msgs2 if m.kind.is_location)
+            transitions += sum(1 for m in msgs2 if m.kind.is_containment)
+    assert count2 <= count1 + 2 * transitions
+
+
+# ---------------------------------------------------------------------------
+# dedup properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(reading_streams())
+def test_dedup_emits_each_tag_at_most_once_per_epoch(stream):
+    dedup = Deduplicator()
+    for readings in stream:
+        clean = dedup.process(readings)
+        seen = [tag for tags in clean.by_reader.values() for tag in tags]
+        assert len(seen) == len(set(seen))
+        assert set(seen) == readings.tags_seen()

@@ -1,0 +1,161 @@
+"""Additional property-based tests: conflicts, query index, codecs."""
+
+from __future__ import annotations
+
+import copy
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.compression.level1 import RangeCompressor
+from repro.core.conflicts import resolve_conflicts
+from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
+from repro.events.codec import CodecError, decode_message, encode_message
+from repro.events.messages import INFINITY, EventKind
+from repro.model.locations import UNKNOWN_COLOR
+from repro.model.objects import PackagingLevel, TagId
+from repro.query.index import EventStreamIndex
+
+items = st.builds(TagId, level=st.just(PackagingLevel.ITEM), serial=st.integers(1, 5))
+cases = st.builds(TagId, level=st.just(PackagingLevel.CASE), serial=st.integers(1, 3))
+pallets = st.builds(TagId, level=st.just(PackagingLevel.PALLET), serial=st.integers(1, 2))
+
+
+@st.composite
+def interpretation_results(draw):
+    """A random InterpretationResult with level-consistent containments."""
+    result = InterpretationResult(epoch=0, complete=draw(st.booleans()))
+    pool_p = draw(st.lists(pallets, max_size=2, unique=True))
+    pool_c = draw(st.lists(cases, min_size=1, max_size=3, unique=True))
+    pool_i = draw(st.lists(items, min_size=1, max_size=5, unique=True))
+
+    def estimate(tag, container_pool):
+        source = draw(st.sampled_from([LocationSource.OBSERVED, LocationSource.INFERRED]))
+        location = draw(st.integers(-1, 3))
+        if source is LocationSource.OBSERVED and location == UNKNOWN_COLOR:
+            location = draw(st.integers(0, 3))
+        container = draw(st.sampled_from([None] + container_pool)) if container_pool else None
+        return Estimate(
+            tag=tag,
+            location=location,
+            location_prob=1.0 if source is LocationSource.OBSERVED else 0.5,
+            source=source,
+            container=container,
+            container_prob=0.5 if container else 0.0,
+        )
+
+    for tag in pool_p:
+        result.add(estimate(tag, []))
+    for tag in pool_c:
+        result.add(estimate(tag, pool_p))
+    for tag in pool_i:
+        result.add(estimate(tag, pool_c))
+    return result
+
+
+def _snapshot(result: InterpretationResult):
+    return {
+        e.tag: (e.location, e.container, e.source) for e in result
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(interpretation_results())
+def test_conflict_resolution_is_idempotent(result):
+    """Resolving an already-resolved result changes nothing."""
+    resolve_conflicts(result)
+    first = _snapshot(result)
+    changed = resolve_conflicts(result)
+    assert changed == 0
+    assert _snapshot(result) == first
+
+
+@settings(max_examples=120, deadline=None)
+@given(interpretation_results())
+def test_conflict_resolution_never_touches_observed_locations(result):
+    observed_before = {
+        e.tag: e.location for e in result if e.source is LocationSource.OBSERVED
+    }
+    resolve_conflicts(result)
+    for estimate in result:
+        if estimate.tag in observed_before:
+            assert estimate.location == observed_before[estimate.tag]
+
+
+@settings(max_examples=120, deadline=None)
+@given(interpretation_results())
+def test_conflict_resolution_leaves_no_observed_parent_conflicts(result):
+    """After resolution, no chosen containment pairs an *observed* parent
+    with a child at a different location."""
+    resolve_conflicts(result)
+    for estimate in result:
+        if estimate.container is None:
+            continue
+        parent = result.get(estimate.container)
+        if parent is None:
+            continue
+        if parent.observed:
+            assert estimate.location == parent.location or estimate.observed
+
+
+# ---------------------------------------------------------------------------
+# query index vs. brute-force replay
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def object_timelines(draw):
+    """Per-epoch location reports for a couple of objects."""
+    epochs = draw(st.integers(2, 12))
+    pool = draw(st.lists(items, min_size=1, max_size=3, unique=True))
+    timeline = []
+    for epoch in range(epochs):
+        row = {}
+        for tag in pool:
+            row[tag] = draw(st.integers(-1, 2))
+        timeline.append(row)
+    return timeline
+
+
+@settings(max_examples=100, deadline=None)
+@given(object_timelines())
+def test_index_agrees_with_reported_state_replay(timeline):
+    """At every epoch, the index's answer equals the compressor's reported
+    state at that epoch (the index is a faithful inverse of compression)."""
+    compressor = RangeCompressor()
+    messages = []
+    reported: list[dict] = []  # per-epoch reported location per tag
+    current: dict = {}
+    for epoch, row in enumerate(timeline):
+        for tag, location in sorted(row.items()):
+            messages.extend(compressor.observe(tag, location, None, epoch))
+            state = compressor.state_of(tag)
+            current[tag] = state.location[0] if state.location else None
+        reported.append(dict(current))
+
+    index = EventStreamIndex(messages)
+    for epoch, expected in enumerate(reported):
+        for tag, place in expected.items():
+            assert index.location_of(tag, epoch) == place, (
+                f"epoch {epoch}, tag {tag}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# codec fuzzing
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=25, max_size=25))
+def test_decoder_never_crashes_on_arbitrary_bytes(data):
+    """Arbitrary 25-byte blocks either decode to a valid message or raise
+    CodecError / ValueError — never anything else."""
+    try:
+        msg = decode_message(data)
+    except (CodecError, ValueError):
+        return
+    # decoded successfully: it must re-encode to *some* canonical form
+    assert msg.kind in EventKind
+    round_tripped = decode_message(encode_message(msg))
+    assert round_tripped == msg

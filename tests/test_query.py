@@ -1,0 +1,222 @@
+"""Unit tests for the event-stream query index."""
+
+import pytest
+
+from repro.compression.level1 import RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.events.messages import (
+    end_containment,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+from repro.model.locations import UNKNOWN_COLOR
+from repro.query.index import EventStreamIndex, Interval
+
+from tests.conftest import case, item, pallet
+
+L1, L2, L3 = 0, 1, 2
+
+
+@pytest.fixture
+def index() -> EventStreamIndex:
+    """Index over a hand-built stream:
+
+    * item 1: L1 [0, 5), L2 [5, 12), missing at 12, L1 from 20 (open)
+    * item 1 contained in case 1 during [2, 9)
+    * case 1: L1 [0, 5), L2 from 5 (open)
+    """
+    return EventStreamIndex(
+        [
+            start_location(item(1), L1, 0),
+            start_location(case(1), L1, 0),
+            start_containment(item(1), case(1), 2),
+            end_location(item(1), L1, 0, 5),
+            start_location(item(1), L2, 5),
+            end_location(case(1), L1, 0, 5),
+            start_location(case(1), L2, 5),
+            end_containment(item(1), case(1), 2, 9),
+            end_location(item(1), L2, 5, 12),
+            missing(item(1), L2, 12),
+            start_location(item(1), L1, 20),
+        ]
+    )
+
+
+class TestPointQueries:
+    def test_location_of(self, index):
+        assert index.location_of(item(1), 0) == L1
+        assert index.location_of(item(1), 4) == L1
+        assert index.location_of(item(1), 5) == L2
+        assert index.location_of(item(1), 11) == L2
+        assert index.location_of(item(1), 15) is None   # missing gap
+        assert index.location_of(item(1), 25) == L1     # open interval
+
+    def test_unknown_object(self, index):
+        assert index.location_of(item(99), 0) is None
+        assert index.container_of(item(99), 0) is None
+        assert index.path(item(99)) == []
+
+    def test_container_of(self, index):
+        assert index.container_of(item(1), 1) is None
+        assert index.container_of(item(1), 2) == case(1)
+        assert index.container_of(item(1), 8) == case(1)
+        assert index.container_of(item(1), 9) is None
+
+    def test_is_missing(self, index):
+        assert not index.is_missing(item(1), 11)
+        assert index.is_missing(item(1), 12)
+        assert index.is_missing(item(1), 19)
+        assert not index.is_missing(item(1), 20)  # reappeared
+
+    def test_top_level_container(self):
+        index = EventStreamIndex(
+            [
+                start_containment(item(1), case(1), 0),
+                start_containment(case(1), pallet(1), 0),
+            ]
+        )
+        assert index.top_level_container(item(1), 0) == pallet(1)
+        assert index.top_level_container(pallet(1), 0) == pallet(1)
+        assert index.top_level_container(item(1), 100) == pallet(1)
+
+
+class TestInverseQueries:
+    def test_contents_of(self, index):
+        assert index.contents_of(case(1), 3) == [item(1)]
+        assert index.contents_of(case(1), 10) == []
+
+    def test_objects_at(self, index):
+        assert index.objects_at(L1, 0) == [item(1), case(1)]
+        assert index.objects_at(L2, 6) == [item(1), case(1)]
+        assert index.objects_at(L2, 15) == [case(1)]
+
+    def test_visitors(self, index):
+        assert index.visitors(L1, 0, 100) == [item(1), case(1)]
+        assert index.visitors(L2, 13, 19) == [case(1)]
+        assert index.visitors(L3, 0, 100) == []
+
+
+class TestTrajectories:
+    def test_path(self, index):
+        path = index.path(item(1))
+        assert [(p.value, p.vs, p.ve) for p in path] == [
+            (L1, 0, 5),
+            (L2, 5, 12),
+            (L1, 20, float("inf")),
+        ]
+
+    def test_containment_history(self, index):
+        history = index.containment_history(item(1))
+        assert history == [Interval(case(1), 2, 9)]
+
+    def test_missing_reports(self, index):
+        assert index.missing_reports(item(1)) == [12]
+
+    def test_dwell_time(self, index):
+        assert index.dwell_time(item(1), L2) == 7
+        assert index.dwell_time(item(1), L1, horizon=30) == 5 + 10
+        with pytest.raises(ValueError, match="horizon"):
+            index.dwell_time(item(1), L1)
+
+    def test_objects_listing(self, index):
+        assert index.objects() == [item(1), case(1)]
+
+
+class TestContainmentTree:
+    @pytest.fixture
+    def tree_index(self):
+        return EventStreamIndex(
+            [
+                start_containment(item(1), case(1), 0),
+                start_containment(item(2), case(1), 0),
+                start_containment(case(1), pallet(1), 0),
+                start_containment(case(2), pallet(1), 0),
+                start_location(pallet(1), L1, 0),
+            ]
+        )
+
+    def test_tree_structure(self, tree_index):
+        tree = tree_index.containment_tree(pallet(1), 0)
+        assert tree["tag"] == pallet(1)
+        case_tags = [child["tag"] for child in tree["children"]]
+        assert case_tags == [case(1), case(2)]
+        items_in_case1 = [c["tag"] for c in tree["children"][0]["children"]]
+        assert items_in_case1 == [item(1), item(2)]
+
+    def test_tree_respects_time(self, tree_index):
+        tree_index.extend([end_containment(case(2), pallet(1), 0, 5)])
+        before = tree_index.containment_tree(pallet(1), 4)
+        after = tree_index.containment_tree(pallet(1), 5)
+        assert len(before["children"]) == 2
+        assert len(after["children"]) == 1
+
+    def test_render_tree(self, tree_index):
+        text = tree_index.render_tree(pallet(1), 0)
+        assert text.splitlines()[0].startswith("pallet:1")
+        assert "|-- case:1" in text
+        assert "`-- case:2" in text
+        assert "item:1" in text
+
+    def test_render_leaf(self, tree_index):
+        assert tree_index.render_tree(item(1), 0).startswith("item:1")
+
+
+class TestStreamIntegrity:
+    def test_mismatched_end_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            EventStreamIndex(
+                [start_location(item(1), L1, 0), end_location(item(1), L2, 0, 5)]
+            )
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(ValueError, match="without a matching start"):
+            EventStreamIndex([end_location(item(1), L1, 0, 5)])
+
+
+class TestOverCompressedStreams:
+    def _history(self):
+        # pallet with a case moving L1 -> L2; case leaves at L2
+        return [
+            (0, pallet(1), L1, None),
+            (0, case(1), L1, pallet(1)),
+            (3, pallet(1), L2, None),
+            (3, case(1), L2, pallet(1)),
+            (6, pallet(1), L3, None),
+            (6, case(1), L2, None),
+        ]
+
+    def test_level1_stream_indexes_directly(self):
+        compressor = RangeCompressor()
+        messages = []
+        for now, tag, loc, cont in self._history():
+            messages.extend(compressor.observe(tag, loc, cont, now))
+        index = EventStreamIndex(messages)
+        assert index.location_of(case(1), 4) == L2
+        assert index.container_of(case(1), 4) == pallet(1)
+
+    def test_level2_stream_requires_decompression(self):
+        compressor = ContainmentCompressor()
+        messages = []
+        for now, tag, loc, cont in self._history():
+            messages.extend(compressor.observe(tag, loc, cont, now))
+        index = EventStreamIndex(messages, decompress=True)
+        # the case's suppressed move to L2 is recovered via the pallet
+        assert index.location_of(case(1), 4) == L2
+        assert index.location_of(case(1), 7) == L2
+        assert index.location_of(pallet(1), 7) == L3
+
+    def test_pipeline_output_is_queriable(self, small_sim):
+        from repro.core.pipeline import Deployment, Spire
+
+        deployment = Deployment.from_readers(small_sim.layout.readers)
+        spire = Spire(deployment, compression_level=2)
+        messages = [m for out in spire.run(small_sim.stream) for m in out.messages]
+        index = EventStreamIndex(messages, decompress=True)
+        assert index.objects()
+        # spot-check agreement with the live estimate store at the end
+        final_epoch = len(small_sim.stream) - 1
+        for tag, current in list(spire.estimates.items())[:20]:
+            if current.location != UNKNOWN_COLOR:
+                assert index.location_of(tag, final_epoch) == current.location

@@ -1,0 +1,99 @@
+"""Unit tests for the RFID reader model."""
+
+import numpy as np
+import pytest
+
+from repro.model.locations import Location, LocationKind, UNKNOWN_LOCATION
+from repro.model.objects import PackagingLevel
+from repro.readers.reader import Reader, ReaderKind, readers_at, schedule_lcm
+
+from tests.conftest import item
+
+SHELF = Location(0, "shelf", LocationKind.SHELF)
+BELT = Location(1, "belt", LocationKind.BELT)
+
+
+class TestValidation:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Reader(0, SHELF, period=0)
+
+    def test_read_rate_bounds(self):
+        with pytest.raises(ValueError):
+            Reader(0, SHELF, read_rate=1.5)
+        with pytest.raises(ValueError):
+            Reader(0, SHELF, read_rate=-0.1)
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(ValueError):
+            Reader(0, UNKNOWN_LOCATION)
+
+    def test_special_requires_singulation_level(self):
+        with pytest.raises(ValueError, match="singulation"):
+            Reader(0, BELT, kind=ReaderKind.SPECIAL)
+        Reader(0, BELT, kind=ReaderKind.SPECIAL, singulation_level=PackagingLevel.CASE)
+
+
+class TestSchedule:
+    def test_period_one_fires_every_epoch(self):
+        reader = Reader(0, SHELF, period=1)
+        assert all(reader.interrogates_at(e) for e in range(10))
+
+    def test_periodic_schedule(self):
+        reader = Reader(0, SHELF, period=10)
+        fires = [e for e in range(30) if reader.interrogates_at(e)]
+        assert fires == [0, 10, 20]
+
+    def test_phase_offsets_schedule(self):
+        reader = Reader(0, SHELF, period=10, phase=3)
+        fires = [e for e in range(30) if reader.interrogates_at(e)]
+        assert fires == [3, 13, 23]
+
+    def test_schedule_lcm(self):
+        readers = [Reader(0, SHELF, period=60), Reader(1, BELT, period=1)]
+        assert schedule_lcm(readers) == 60
+        readers.append(Reader(2, BELT, period=7))
+        assert schedule_lcm(readers) == 420
+
+
+class TestObservation:
+    def test_perfect_read_rate_sees_everything(self):
+        reader = Reader(0, SHELF, read_rate=1.0)
+        present = [item(i) for i in range(5)]
+        rng = np.random.default_rng(0)
+        assert reader.observe(present, rng, epoch=0) == present
+
+    def test_zero_read_rate_sees_nothing(self):
+        reader = Reader(0, SHELF, read_rate=0.0)
+        rng = np.random.default_rng(0)
+        assert reader.observe([item(1)], rng, epoch=0) == []
+
+    def test_off_schedule_returns_empty(self):
+        reader = Reader(0, SHELF, period=10)
+        rng = np.random.default_rng(0)
+        assert reader.observe([item(1)], rng, epoch=5) == []
+
+    def test_read_rate_statistics(self):
+        reader = Reader(0, SHELF, read_rate=0.7)
+        present = [item(i) for i in range(1000)]
+        rng = np.random.default_rng(42)
+        observed = reader.observe(present, rng, epoch=0)
+        assert 630 <= len(observed) <= 770  # ~0.7 * 1000
+
+    def test_empty_present_list(self):
+        reader = Reader(0, SHELF)
+        rng = np.random.default_rng(0)
+        assert reader.observe([], rng, epoch=0) == []
+
+
+class TestHelpers:
+    def test_readers_at(self):
+        a = Reader(0, SHELF)
+        b = Reader(1, BELT)
+        assert readers_at([a, b], SHELF) == [a]
+
+    def test_kind_properties(self):
+        special = Reader(0, BELT, kind=ReaderKind.SPECIAL, singulation_level=PackagingLevel.CASE)
+        exit_reader = Reader(1, SHELF, kind=ReaderKind.EXIT)
+        assert special.is_special and not special.is_exit
+        assert exit_reader.is_exit and not exit_reader.is_special

@@ -1,0 +1,107 @@
+"""Integration tests for the experiment runner."""
+
+import pytest
+
+from repro.core.params import InferenceParams
+from repro.events.wellformed import check_well_formed
+from repro.experiments.runner import ground_truth_stream, run_smurf, run_spire
+from repro.metrics.accuracy import ScoringPolicy
+from repro.metrics.events import match_events
+from repro.metrics.sizing import location_only
+
+
+class TestRunSpire:
+    def test_report_fields_populated(self, small_sim):
+        report = run_spire(small_sim, policies=(ScoringPolicy.ALL,))
+        assert report.epochs == len(small_sim.stream)
+        assert report.messages
+        assert report.raw_bytes == small_sim.stream.raw_bytes
+        assert report.peak_nodes > 0 and report.peak_edges > 0
+        assert report.final_memory_bytes > 0
+        assert 0.0 < report.compression_ratio < 1.0
+
+    def test_output_well_formed(self, small_sim):
+        report = run_spire(small_sim)
+        check_well_formed(report.messages)
+
+    def test_accuracy_reasonable_at_high_read_rate(self, small_sim):
+        report = run_spire(small_sim)
+        acc = report.accuracy[ScoringPolicy.ALL]
+        assert acc.location_total > 0
+        assert acc.location_error_rate < 0.25
+        assert acc.containment_error_rate < 0.25
+
+    def test_multiple_policies(self, small_sim):
+        report = run_spire(
+            small_sim,
+            policies=(ScoringPolicy.ALL, ScoringPolicy.INFERRED_ONLY, ScoringPolicy.HARD_ONLY),
+        )
+        totals = [a.location_total for a in report.accuracy.values()]
+        # populations shrink monotonically: ALL >= INFERRED >= HARD
+        assert totals[0] >= totals[1] >= totals[2]
+
+    def test_level1_larger_than_level2(self, small_sim):
+        level1 = run_spire(small_sim, compression_level=1, score=False)
+        level2 = run_spire(small_sim, compression_level=2, score=False)
+        assert len(level2.messages) < len(level1.messages)
+
+    def test_score_false_skips_accuracy(self, small_sim):
+        report = run_spire(small_sim, score=False)
+        assert report.accuracy[ScoringPolicy.ALL].location_total == 0
+
+    def test_custom_params_change_results(self, small_sim):
+        default = run_spire(small_sim, score=False)
+        eager = run_spire(
+            small_sim, params=InferenceParams(theta=6.0), score=False
+        )
+        assert len(default.messages) != len(eager.messages)
+
+
+class TestRunSmurf:
+    def test_smurf_report(self, small_sim):
+        report = run_smurf(small_sim)
+        assert report.messages
+        assert report.accuracy.location_total > 0
+        check_well_formed(report.messages)
+
+    def test_smurf_has_no_containment_output(self, small_sim):
+        report = run_smurf(small_sim)
+        assert all(m.kind.is_location for m in report.messages)
+
+
+class TestGroundTruthStream:
+    def test_reference_stream_well_formed(self, small_sim):
+        reference = ground_truth_stream(small_sim)
+        check_well_formed(reference)
+        assert reference
+
+    def test_perfect_trace_spire_matches_reference_well(self):
+        from repro.simulator.config import SimulationConfig
+        from repro.simulator.warehouse import WarehouseSimulator
+
+        cfg = SimulationConfig(
+            duration=300,
+            pallet_period=100,
+            cases_per_pallet_min=2,
+            cases_per_pallet_max=2,
+            items_per_case=3,
+            read_rate=1.0,
+            shelf_read_period=5,
+            num_shelves=2,
+            shelving_time_mean=40,
+            shelving_time_jitter=5,
+            seed=2,
+        )
+        sim = WarehouseSimulator(cfg).run()
+        report = run_spire(sim, compression_level=1, score=False)
+        reference = ground_truth_stream(sim)
+        result = match_events(
+            location_only(report.messages),
+            location_only(reference),
+            tolerance=2 * cfg.shelf_read_period,
+        )
+        assert result.f_measure > 0.8
+
+    def test_location_only_reference(self, small_sim):
+        reference = ground_truth_stream(small_sim, include_containment=False)
+        assert all(m.kind.is_location for m in reference)

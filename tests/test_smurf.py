@@ -1,0 +1,116 @@
+"""Unit tests for the SMURF baseline."""
+
+import pytest
+
+from repro.baselines.smurf import SmurfParams, SmurfPipeline
+from repro.core.capture import ReaderInfo
+from repro.events.messages import EventKind
+from repro.events.wellformed import check_well_formed
+from repro.model.locations import UNKNOWN_COLOR
+
+from tests.conftest import epoch_readings, item, make_deployment
+
+DOCK = ReaderInfo(reader_id=0, color=0)
+SHELF = ReaderInfo(reader_id=1, color=1, period=5)
+EXIT = ReaderInfo(reader_id=2, color=2, is_exit=True)
+
+DEPLOYMENT = make_deployment(DOCK, SHELF, EXIT)
+
+
+class TestParams:
+    def test_delta_bounds(self):
+        with pytest.raises(ValueError):
+            SmurfParams(delta=0.0)
+        with pytest.raises(ValueError):
+            SmurfParams(delta=1.0)
+
+    def test_window_bounds(self):
+        with pytest.raises(ValueError):
+            SmurfParams(min_window=5, max_window=2)
+
+    def test_initial_p_bounds(self):
+        with pytest.raises(ValueError):
+            SmurfParams(initial_p=0.0)
+
+
+class TestSmoothing:
+    def test_read_tag_is_present_at_reader_location(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        smurf.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        assert smurf.location_of(item(1)) == DOCK.color
+
+    def test_gap_within_window_smoothed_over(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        smurf.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        smurf.process_epoch(epoch_readings(1, {0: [item(1)]}))
+        smurf.process_epoch(epoch_readings(2, {0: [item(1)]}))
+        # one missed epoch: window has grown enough to bridge it
+        smurf.process_epoch(epoch_readings(3, {0: []}))
+        assert smurf.location_of(item(1)) == DOCK.color
+
+    def test_long_absence_declared_away(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        for now in range(3):
+            smurf.process_epoch(epoch_readings(now, {0: [item(1)]}))
+        for now in range(3, 60):
+            smurf.process_epoch(epoch_readings(now, {0: []}))
+        assert smurf.location_of(item(1)) == UNKNOWN_COLOR
+
+    def test_location_transition_follows_readers(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        smurf.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        smurf.process_epoch(epoch_readings(1, {1: [item(1)]}))
+        assert smurf.location_of(item(1)) == SHELF.color
+
+    def test_window_grows_under_low_read_rate(self):
+        smurf = SmurfPipeline(DEPLOYMENT, SmurfParams(min_window=1, max_window=16))
+        # alternate read/miss: estimated p ~ 0.5 requires a bigger window
+        for now in range(12):
+            tags = [item(1)] if now % 2 == 0 else []
+            smurf.process_epoch(epoch_readings(now, {0: tags}))
+        assert smurf.tags[item(1)].window > 1
+
+    def test_unknown_reader_rejected(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        with pytest.raises(KeyError):
+            smurf.process_epoch(epoch_readings(0, {9: [item(1)]}))
+
+
+class TestOutputStream:
+    def test_output_is_level1_location_events_only(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        messages = []
+        messages += smurf.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        messages += smurf.process_epoch(epoch_readings(1, {1: [item(1)]}))
+        assert messages and all(m.kind.is_location for m in messages)
+        check_well_formed(messages)
+
+    def test_exit_reading_retires_tag(self):
+        smurf = SmurfPipeline(DEPLOYMENT)
+        smurf.process_epoch(epoch_readings(0, {0: [item(1)]}))
+        messages = smurf.process_epoch(epoch_readings(1, {2: [item(1)]}))
+        assert item(1) not in smurf.tags
+        assert any(m.kind is EventKind.END_LOCATION for m in messages)
+
+    def test_fluctuation_produces_extra_events(self):
+        """SMURF's characteristic failure: consecutive misses beyond the
+        window produce a premature away/return event pair (§VI-D)."""
+        smurf = SmurfPipeline(DEPLOYMENT, SmurfParams(min_window=1, max_window=2))
+        messages = []
+        pattern = [True, True, False, False, False, True, True]
+        for now, present in enumerate(pattern):
+            tags = [item(1)] if present else []
+            messages.extend(smurf.process_epoch(epoch_readings(now, {0: tags})))
+        kinds = [m.kind for m in messages]
+        assert kinds.count(EventKind.START_LOCATION) >= 2  # re-instated
+        assert EventKind.MISSING in kinds
+        check_well_formed(messages)
+
+    def test_run_helper(self, small_sim):
+        from repro.core.pipeline import Deployment
+
+        deployment = Deployment.from_readers(small_sim.layout.readers)
+        smurf = SmurfPipeline(deployment)
+        messages = smurf.run(small_sim.stream)
+        check_well_formed(messages)
+        assert messages

@@ -1,0 +1,74 @@
+"""Unit tests for the raw reading stream."""
+
+import pytest
+
+from repro.readers.stream import RAW_READING_BYTES, EpochReadings, Reading, ReadingStream
+
+from tests.conftest import case, epoch_readings, item
+
+
+class TestEpochReadings:
+    def test_add_and_count(self):
+        readings = epoch_readings(3, {0: [item(1), item(2)], 1: [case(1)]})
+        assert readings.reading_count == 3
+        assert readings.raw_bytes == 3 * RAW_READING_BYTES
+
+    def test_add_empty_list_is_noop(self):
+        readings = EpochReadings(epoch=0)
+        readings.add(0, [])
+        assert not readings
+        assert 0 not in readings.by_reader
+
+    def test_flatten_assigns_sequential_seq(self):
+        readings = epoch_readings(5, {1: [item(1)], 0: [item(2)]})
+        flat = list(readings.readings())
+        assert [r.seq for r in flat] == [0, 1]
+        # readers iterated in id order
+        assert flat[0].reader_id == 0 and flat[1].reader_id == 1
+        assert all(r.timestamp == 5 for r in flat)
+
+    def test_tags_seen(self):
+        readings = epoch_readings(0, {0: [item(1)], 1: [item(1), case(1)]})
+        assert readings.tags_seen() == {item(1), case(1)}
+
+    def test_bool(self):
+        assert not EpochReadings(epoch=0)
+        assert epoch_readings(0, {0: [item(1)]})
+
+
+class TestReading:
+    def test_fields(self):
+        r = Reading(item(1), reader_id=2, timestamp=9, seq=4)
+        assert r.tag == item(1) and r.reader_id == 2 and r.timestamp == 9 and r.seq == 4
+
+
+class TestReadingStream:
+    def test_append_in_order(self):
+        stream = ReadingStream()
+        stream.append(EpochReadings(epoch=0))
+        stream.append(EpochReadings(epoch=1))
+        assert len(stream) == 2
+        assert stream[1].epoch == 1
+
+    def test_out_of_order_append_rejected(self):
+        stream = ReadingStream()
+        stream.append(EpochReadings(epoch=5))
+        with pytest.raises(ValueError):
+            stream.append(EpochReadings(epoch=5))
+        with pytest.raises(ValueError):
+            stream.append(EpochReadings(epoch=4))
+
+    def test_totals(self):
+        stream = ReadingStream(
+            [
+                epoch_readings(0, {0: [item(1)]}),
+                epoch_readings(1, {0: [item(1), item(2)]}),
+            ]
+        )
+        assert stream.total_readings == 3
+        assert stream.raw_bytes == 3 * RAW_READING_BYTES
+
+    def test_extend_from(self):
+        stream = ReadingStream()
+        stream.extend_from(EpochReadings(epoch=e) for e in range(3))
+        assert [e.epoch for e in stream] == [0, 1, 2]

@@ -1,0 +1,87 @@
+"""Unit tests for windowed time-series metrics and ASCII rendering."""
+
+import pytest
+
+from repro.metrics.timeseries import WindowedSeries, ascii_chart, sparkline
+
+
+class TestWindowedSeries:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(window=0)
+
+    def test_invalid_counts_rejected(self):
+        series = WindowedSeries(window=10)
+        with pytest.raises(ValueError):
+            series.record(0, hits=3, total=2)
+        with pytest.raises(ValueError):
+            series.record(0, hits=-1, total=2)
+
+    def test_ratios_per_window(self):
+        series = WindowedSeries(window=10)
+        series.record(0, 1, 2)
+        series.record(5, 1, 2)   # same window
+        series.record(10, 0, 4)  # next window
+        assert series.ratios() == [(0, 0.5), (10, 0.0)]
+
+    def test_empty_windows_skipped(self):
+        series = WindowedSeries(window=10)
+        series.record(0, 1, 2)
+        series.record(35, 2, 2)
+        starts = [start for start, _ in series.ratios()]
+        assert starts == [0, 30]
+
+    def test_zero_total_window_skipped(self):
+        series = WindowedSeries(window=10)
+        series.record(0, 0, 0)
+        assert series.ratios() == []
+        assert series.overall == 0.0
+
+    def test_overall(self):
+        series = WindowedSeries(window=5)
+        series.record(0, 1, 4)
+        series.record(7, 3, 4)
+        assert series.overall == pytest.approx(0.5)
+
+    def test_len_counts_windows(self):
+        series = WindowedSeries(window=10)
+        series.record(0, 1, 2)
+        series.record(25, 1, 2)
+        assert len(series) == 2
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_pinned_scale(self):
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert line in "▁▂▃▄▅▆▇█"
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_renders_markers_and_legend(self):
+        chart = ascii_chart(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]}, width=20, height=6
+        )
+        assert "*" in chart and "o" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [(0, 0.25), (10, 0.75)]}, width=30, height=5)
+        assert "0.750" in chart and "0.250" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(5, 5)]})
+        assert "*" in chart

@@ -1,0 +1,77 @@
+"""Unit tests for ground-truth snapshot recording."""
+
+import pytest
+
+from repro.model.locations import Location, UNKNOWN_LOCATION
+from repro.model.truth import GroundTruthRecorder
+from repro.model.world import PhysicalWorld
+
+from tests.conftest import case, item
+
+SHELF = Location(0, "shelf")
+BELT = Location(1, "belt")
+
+
+@pytest.fixture
+def world():
+    w = PhysicalWorld()
+    w.add_object(case(1), SHELF)
+    w.add_object(item(1), SHELF)
+    w.contain(item(1), case(1))
+    return w
+
+
+class TestCapture:
+    def test_snapshot_contents(self, world):
+        recorder = GroundTruthRecorder()
+        snap = recorder.capture(world, epoch=5)
+        assert snap.epoch == 5
+        assert snap.location_of(case(1)) == SHELF
+        assert snap.container_of(item(1)) == case(1)
+        assert snap.container_of(case(1)) is None
+
+    def test_absent_object_maps_to_unknown(self, world):
+        recorder = GroundTruthRecorder()
+        snap = recorder.capture(world, epoch=0)
+        assert snap.location_of(item(99)) is UNKNOWN_LOCATION
+
+    def test_snapshots_are_independent_of_later_mutations(self, world):
+        recorder = GroundTruthRecorder()
+        recorder.capture(world, epoch=0)
+        world.uncontain(item(1))
+        world.move(item(1), BELT)
+        snap0 = recorder.snapshots[0]
+        assert snap0.location_of(item(1)) == SHELF
+        assert snap0.container_of(item(1)) == case(1)
+
+    def test_iteration_and_len(self, world):
+        recorder = GroundTruthRecorder()
+        for epoch in range(3):
+            recorder.capture(world, epoch)
+        assert len(recorder) == 3
+        assert [s.epoch for s in recorder] == [0, 1, 2]
+
+    def test_at_epoch(self, world):
+        recorder = GroundTruthRecorder()
+        recorder.capture(world, epoch=7)
+        assert recorder.at_epoch(7).epoch == 7
+        with pytest.raises(KeyError):
+            recorder.at_epoch(8)
+
+
+class TestAnnotations:
+    def test_vanished_keeps_first_epoch(self):
+        recorder = GroundTruthRecorder()
+        recorder.note_vanished(item(1), 10)
+        recorder.note_vanished(item(1), 20)
+        assert recorder.vanished[item(1)] == 10
+
+    def test_exited(self):
+        recorder = GroundTruthRecorder()
+        recorder.note_exited(case(1), 42)
+        assert recorder.exited == {case(1): 42}
+
+    def test_tags_view(self, world):
+        recorder = GroundTruthRecorder()
+        snap = recorder.capture(world, epoch=0)
+        assert set(snap.tags()) == {case(1), item(1)}

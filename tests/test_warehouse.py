@@ -1,0 +1,162 @@
+"""Integration tests for the warehouse simulator (§VI-A)."""
+
+import pytest
+
+from repro.model.locations import LocationKind, UNKNOWN_LOCATION
+from repro.model.objects import PackagingLevel
+from repro.readers.reader import ReaderKind
+from repro.simulator.config import SimulationConfig
+from repro.simulator.layout import WarehouseLayout
+from repro.simulator.warehouse import WarehouseSimulator
+
+
+def small_config(**overrides) -> SimulationConfig:
+    base = dict(
+        duration=400,
+        pallet_period=100,
+        cases_per_pallet_min=2,
+        cases_per_pallet_max=3,
+        items_per_case=4,
+        read_rate=1.0,
+        shelf_read_period=10,
+        num_shelves=2,
+        shelving_time_mean=60,
+        shelving_time_jitter=10,
+        seed=5,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestLayout:
+    def test_six_reader_groups(self):
+        layout = WarehouseLayout.build(small_config())
+        kinds = [r.kind for r in layout.readers]
+        assert kinds.count(ReaderKind.SPECIAL) == 2
+        assert kinds.count(ReaderKind.EXIT) == 1
+        # entry + belt + 2 shelves + packaging + exit belt + exit door
+        assert len(layout.readers) == 7
+
+    def test_belt_singulation_levels(self):
+        layout = WarehouseLayout.build(small_config())
+        specials = [r for r in layout.readers if r.is_special]
+        levels = {r.location.name: r.singulation_level for r in specials}
+        assert levels["receiving-belt"] == PackagingLevel.CASE
+        assert levels["exit-belt"] == PackagingLevel.PALLET
+
+    def test_shelf_readers_use_shelf_period(self):
+        layout = WarehouseLayout.build(small_config(shelf_read_period=30))
+        shelf_readers = [
+            r for r in layout.readers if r.location.kind is LocationKind.SHELF
+        ]
+        assert len(shelf_readers) == 2
+        assert all(r.period == 30 for r in shelf_readers)
+
+    def test_reader_lookup(self):
+        layout = WarehouseLayout.build(small_config())
+        assert layout.reader_by_id(0).location == layout.entry_door
+        with pytest.raises(KeyError):
+            layout.reader_by_id(99)
+
+
+class TestLifecycle:
+    def test_pallets_arrive_at_configured_rate(self):
+        sim = WarehouseSimulator(small_config()).run()
+        assert sim.pallets_arrived == 4  # epochs 0, 100, 200, 300
+
+    def test_objects_flow_through_all_stages(self):
+        sim = WarehouseSimulator(small_config()).run()
+        layout = sim.layout
+        visited = set()
+        for snapshot in sim.truth.snapshots:
+            for location in snapshot.locations.values():
+                visited.add(location.name)
+        for expected in (
+            "entry-door",
+            "receiving-belt",
+            "shelf-1",
+            "packaging-area",
+            "exit-belt",
+            "exit-door",
+        ):
+            assert expected in visited, f"no object ever visited {expected}"
+
+    def test_pallets_get_reassembled_and_exit(self):
+        sim = WarehouseSimulator(small_config()).run()
+        assert sim.pallets_assembled >= 1
+        assert sim.truth.exited  # someone left the building
+
+    def test_containment_maintained_through_flow(self):
+        sim = WarehouseSimulator(small_config()).run()
+        # items keep their case container in every snapshot they appear in
+        for snapshot in sim.truth.snapshots:
+            for tag, location in snapshot.locations.items():
+                if tag.level == PackagingLevel.ITEM and location is not UNKNOWN_LOCATION:
+                    container = snapshot.containers.get(tag)
+                    assert container is not None
+                    assert container.level == PackagingLevel.CASE
+
+    def test_world_invariants_hold_throughout(self):
+        simulator = WarehouseSimulator(small_config())
+        for epoch in range(200):
+            simulator.step(epoch)
+            if epoch % 25 == 0:
+                simulator.world.check_invariants()
+
+    def test_perfect_read_rate_reads_everything_present(self):
+        sim = WarehouseSimulator(small_config(read_rate=1.0, shelf_read_period=1)).run()
+        # at read rate 1 with every reader firing each epoch, every object in
+        # a monitored location must appear in that epoch's readings
+        for readings, snapshot in zip(sim.stream, sim.truth.snapshots):
+            seen = readings.tags_seen()
+            for tag, location in snapshot.locations.items():
+                if location is not UNKNOWN_LOCATION:
+                    assert tag in seen
+
+    def test_low_read_rate_misses_readings(self):
+        full = WarehouseSimulator(small_config(read_rate=1.0)).run()
+        lossy = WarehouseSimulator(small_config(read_rate=0.6)).run()
+        assert lossy.stream.total_readings < full.stream.total_readings
+
+    def test_determinism_same_seed(self):
+        a = WarehouseSimulator(small_config(read_rate=0.8, seed=9)).run()
+        b = WarehouseSimulator(small_config(read_rate=0.8, seed=9)).run()
+        assert a.stream.total_readings == b.stream.total_readings
+        for ra, rb in zip(a.stream, b.stream):
+            assert ra.by_reader == rb.by_reader
+
+    def test_different_seeds_differ(self):
+        a = WarehouseSimulator(small_config(read_rate=0.8, seed=1)).run()
+        b = WarehouseSimulator(small_config(read_rate=0.8, seed=2)).run()
+        assert any(
+            ra.by_reader != rb.by_reader for ra, rb in zip(a.stream, b.stream)
+        )
+
+    def test_peak_objects_tracked(self):
+        sim = WarehouseSimulator(small_config()).run()
+        assert sim.peak_objects >= 1 + 2 * 5  # at least one full pallet
+
+
+class TestAnomalies:
+    def test_removals_injected_at_period(self):
+        sim = WarehouseSimulator(small_config(anomaly_period=50)).run()
+        assert len(sim.removals) >= 3
+        assert all(e.epoch % 50 == 0 for e in sim.removals)
+
+    def test_vanished_objects_marked_in_truth(self):
+        sim = WarehouseSimulator(small_config(anomaly_period=50)).run()
+        assert sim.truth.vanished
+        for tag, epoch in sim.truth.vanished.items():
+            snap = sim.truth.at_epoch(epoch)
+            assert snap.location_of(tag) is UNKNOWN_LOCATION
+
+    def test_vanished_objects_stop_being_read(self):
+        sim = WarehouseSimulator(small_config(anomaly_period=50, read_rate=1.0)).run()
+        event = sim.removals[0]
+        for readings in sim.stream:
+            if readings.epoch > event.epoch:
+                assert event.tag not in readings.tags_seen()
+
+    def test_no_anomalies_by_default(self):
+        sim = WarehouseSimulator(small_config()).run()
+        assert sim.removals == [] and not sim.truth.vanished

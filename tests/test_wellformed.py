@@ -1,0 +1,143 @@
+"""Unit tests for the well-formedness checker (§V-A)."""
+
+import pytest
+
+from repro.events.wellformed import WellFormednessError, check_well_formed, open_intervals
+from repro.events.messages import (
+    end_containment,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+
+from tests.conftest import case, item, pallet
+
+
+class TestValidStreams:
+    def test_empty_stream(self):
+        check_well_formed([])
+
+    def test_matched_location_pair(self):
+        check_well_formed(
+            [start_location(item(1), 0, 1), end_location(item(1), 0, 1, 5)]
+        )
+
+    def test_stream_may_end_with_open_intervals(self):
+        check_well_formed([start_location(item(1), 0, 1)])
+
+    def test_containment_spanning_locations(self):
+        # a containment pair may span multiple location pairs (§V-A)
+        check_well_formed(
+            [
+                start_containment(case(1), pallet(1), 0),
+                start_location(case(1), 0, 0),
+                end_location(case(1), 0, 0, 3),
+                start_location(case(1), 1, 3),
+                end_location(case(1), 1, 3, 6),
+                end_containment(case(1), pallet(1), 0, 6),
+            ]
+        )
+
+    def test_location_spanning_containments(self):
+        check_well_formed(
+            [
+                start_location(case(1), 0, 0),
+                start_containment(case(1), pallet(1), 1),
+                end_containment(case(1), pallet(1), 1, 2),
+                start_containment(case(1), pallet(2), 3),
+                end_containment(case(1), pallet(2), 3, 4),
+                end_location(case(1), 0, 0, 5),
+            ]
+        )
+
+    def test_missing_outside_location_interval(self):
+        check_well_formed(
+            [
+                start_location(item(1), 0, 0),
+                end_location(item(1), 0, 0, 4),
+                missing(item(1), 0, 4),
+                start_location(item(1), 1, 9),
+            ]
+        )
+
+    def test_containment_encloses_missing(self):
+        # "when an object is reported missing, the existing containment is
+        # not ended" (§V-A)
+        check_well_formed(
+            [
+                start_containment(item(1), case(1), 0),
+                start_location(item(1), 0, 0),
+                end_location(item(1), 0, 0, 5),
+                missing(item(1), 0, 5),
+                end_containment(item(1), case(1), 0, 9),
+            ]
+        )
+
+
+class TestViolations:
+    def test_double_start_location(self):
+        with pytest.raises(WellFormednessError, match="already open"):
+            check_well_formed(
+                [start_location(item(1), 0, 0), start_location(item(1), 1, 2)]
+            )
+
+    def test_end_without_start(self):
+        with pytest.raises(WellFormednessError, match="no open location"):
+            check_well_formed([end_location(item(1), 0, 0, 2)])
+
+    def test_end_with_mismatched_place(self):
+        with pytest.raises(WellFormednessError, match="does not match"):
+            check_well_formed(
+                [start_location(item(1), 0, 0), end_location(item(1), 1, 0, 2)]
+            )
+
+    def test_end_with_mismatched_vs(self):
+        with pytest.raises(WellFormednessError, match="does not match"):
+            check_well_formed(
+                [start_location(item(1), 0, 0), end_location(item(1), 0, 1, 2)]
+            )
+
+    def test_missing_inside_open_interval(self):
+        with pytest.raises(WellFormednessError, match="Missing inside"):
+            check_well_formed([start_location(item(1), 0, 0), missing(item(1), 0, 2)])
+
+    def test_end_containment_without_start(self):
+        with pytest.raises(WellFormednessError, match="no open containment"):
+            check_well_formed([end_containment(item(1), case(1), 0, 2)])
+
+    def test_two_simultaneous_containers(self):
+        with pytest.raises(WellFormednessError, match="another container"):
+            check_well_formed(
+                [
+                    start_containment(item(1), case(1), 0),
+                    start_containment(item(1), case(2), 1),
+                ]
+            )
+
+    def test_time_travel(self):
+        with pytest.raises(WellFormednessError, match="back in time"):
+            check_well_formed(
+                [start_location(item(1), 0, 5), start_location(item(2), 0, 3)]
+            )
+
+    def test_streams_are_per_object(self):
+        # different objects' intervals are independent
+        check_well_formed(
+            [start_location(item(1), 0, 0), start_location(item(2), 1, 0)]
+        )
+
+
+class TestOpenIntervals:
+    def test_replay_reports_open_state(self):
+        states = open_intervals(
+            [
+                start_location(item(1), 0, 0),
+                start_containment(item(1), case(1), 0),
+                start_location(item(2), 1, 1),
+                end_location(item(2), 1, 1, 2),
+            ]
+        )
+        assert states[item(1)].open_location == (0, 0)
+        assert states[item(1)].open_containments == {case(1): 0}
+        assert states[item(2)].open_location is None

@@ -1,0 +1,153 @@
+"""Unit tests for the ground-truth physical world."""
+
+import pytest
+
+from repro.model.locations import Location, LocationKind, UNKNOWN_LOCATION
+from repro.model.world import PhysicalWorld, WorldError
+
+from tests.conftest import case, item, pallet
+
+DOCK = Location(0, "dock", LocationKind.ENTRY_DOOR)
+SHELF = Location(1, "shelf", LocationKind.SHELF)
+
+
+@pytest.fixture
+def world() -> PhysicalWorld:
+    w = PhysicalWorld()
+    w.add_object(pallet(1), DOCK)
+    w.add_object(case(1), DOCK)
+    w.add_object(item(1), DOCK)
+    w.add_object(item(2), DOCK)
+    w.contain(item(1), case(1))
+    w.contain(item(2), case(1))
+    w.contain(case(1), pallet(1))
+    return w
+
+
+class TestBasics:
+    def test_membership_and_len(self, world):
+        assert case(1) in world and len(world) == 4
+
+    def test_resides(self, world):
+        assert world.resides(item(1), DOCK)
+        assert not world.resides(item(1), SHELF)
+
+    def test_contained(self, world):
+        assert world.contained(item(1), case(1))
+        assert not world.contained(item(1), pallet(1))
+
+    def test_duplicate_add_rejected(self, world):
+        with pytest.raises(WorldError):
+            world.add_object(item(1), DOCK)
+
+    def test_location_of_unknown_tag_raises(self, world):
+        with pytest.raises(KeyError):
+            world.location_of(item(99))
+
+
+class TestContainment:
+    def test_top_level_container(self, world):
+        assert world.top_level_container(item(1)) == pallet(1)
+        assert world.top_level_container(pallet(1)) == pallet(1)
+
+    def test_descendants_preorder(self, world):
+        assert world.descendants_of(pallet(1)) == [case(1), item(1), item(2)]
+
+    def test_children_of(self, world):
+        assert world.children_of(case(1)) == frozenset({item(1), item(2)})
+
+    def test_contain_requires_colocated(self, world):
+        world.add_object(case(2), SHELF)
+        world.add_object(item(3), DOCK)
+        with pytest.raises(WorldError, match="co-located"):
+            world.contain(item(3), case(2))
+
+    def test_contain_respects_levels(self, world):
+        world.add_object(case(2), DOCK)
+        with pytest.raises(WorldError, match="packaging levels"):
+            world.contain(case(2), case(1))
+        with pytest.raises(WorldError, match="packaging levels"):
+            world.contain(pallet(1), case(2))
+
+    def test_single_container(self, world):
+        world.add_object(case(2), DOCK)
+        with pytest.raises(WorldError, match="already contained"):
+            world.contain(item(1), case(2))
+
+    def test_contain_idempotent(self, world):
+        world.contain(item(1), case(1))  # no error, no change
+        assert world.container_of(item(1)) == case(1)
+
+    def test_uncontain(self, world):
+        former = world.uncontain(item(1))
+        assert former == case(1)
+        assert world.container_of(item(1)) is None
+        assert item(1) not in world.children_of(case(1))
+
+    def test_uncontain_without_container_raises(self, world):
+        with pytest.raises(WorldError):
+            world.uncontain(pallet(1))
+
+
+class TestMovement:
+    def test_move_carries_contents(self, world):
+        moved = world.move(pallet(1), SHELF)
+        assert set(moved) == {pallet(1), case(1), item(1), item(2)}
+        for tag in moved:
+            assert world.location_of(tag) == SHELF
+
+    def test_move_contained_object_rejected(self, world):
+        with pytest.raises(WorldError, match="uncontain"):
+            world.move(item(1), SHELF)
+
+    def test_objects_at_uses_index(self, world):
+        assert set(world.objects_at(DOCK)) == {pallet(1), case(1), item(1), item(2)}
+        world.uncontain(case(1))
+        world.move(case(1), SHELF)
+        assert set(world.objects_at(SHELF)) == {case(1), item(1), item(2)}
+        assert world.objects_at(DOCK) == [pallet(1)]
+
+    def test_objects_at_sorted(self, world):
+        tags = world.objects_at(DOCK)
+        assert tags == sorted(tags)
+
+
+class TestRemoval:
+    def test_remove_object_with_children_rejected(self, world):
+        with pytest.raises(WorldError, match="still contains"):
+            world.remove_object(case(1))
+
+    def test_remove_subtree(self, world):
+        removed = world.remove_subtree(pallet(1))
+        assert set(removed) == {pallet(1), case(1), item(1), item(2)}
+        assert len(world) == 0
+
+    def test_remove_leaf_detaches_from_parent(self, world):
+        world.remove_object(item(1))
+        assert item(1) not in world.children_of(case(1))
+        assert len(world) == 3
+
+    def test_vanish_moves_subtree_to_unknown(self, world):
+        affected = world.vanish(case(1))
+        assert set(affected) == {case(1), item(1), item(2)}
+        assert world.location_of(case(1)) is UNKNOWN_LOCATION
+        assert world.container_of(case(1)) is None
+        # pallet stays behind at the dock
+        assert world.location_of(pallet(1)) == DOCK
+
+    def test_vanish_detaches_from_container(self, world):
+        world.vanish(item(1))
+        assert item(1) not in world.children_of(case(1))
+        assert world.location_of(item(1)) is UNKNOWN_LOCATION
+
+
+class TestInvariants:
+    def test_fresh_world_consistent(self, world):
+        world.check_invariants()
+
+    def test_consistent_after_mutations(self, world):
+        world.uncontain(case(1))
+        world.move(case(1), SHELF)
+        world.vanish(item(1))
+        world.add_object(case(9), SHELF)
+        world.check_invariants()
