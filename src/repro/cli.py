@@ -1,6 +1,6 @@
 """Command-line interface for the SPIRE substrate.
 
-Four subcommands cover the trace lifecycle:
+Subcommands cover the trace lifecycle:
 
 * ``simulate`` — generate a synthetic warehouse trace and persist it (raw
   binary readings + a JSON sidecar with the configuration);
@@ -8,7 +8,11 @@ Four subcommands cover the trace lifecycle:
   event stream and printing summary statistics;
 * ``evaluate`` — simulate + interpret + score in one go (accuracy,
   compression ratio, optional SMURF comparison);
-* ``query`` — answer point/path queries over a persisted event stream.
+* ``query`` — answer point/path queries over a persisted event stream;
+* ``chaos`` — run the same simulation fault-free and under a fault
+  schedule (reader outages, dropped/delayed/duplicated batches, unknown
+  readers) through the resilient ingestion front-end, and report the
+  event-stream F-measure degradation.
 
 Examples::
 
@@ -17,6 +21,7 @@ Examples::
     repro-spire evaluate --duration 1800 --read-rate 0.7 --smurf
     repro-spire query events.bin --object case:3 --at 500
     repro-spire query events.bin --object case:3 --path
+    repro-spire chaos --duration 600 --outage-epochs 50 --drop-rate 0.02 --delay-rate 0.05
 """
 
 from __future__ import annotations
@@ -203,6 +208,116 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a simulation fault-free and under faults; report the degradation."""
+    from repro.events.wellformed import WellFormednessError, check_well_formed
+    from repro.experiments.runner import ground_truth_stream
+    from repro.faults import (
+        DelayBatches,
+        DropBatches,
+        DuplicateBatches,
+        FaultInjector,
+        ReaderHealthMonitor,
+        ReaderOutage,
+        ResilientStream,
+        schedule_from_dict,
+    )
+    from repro.metrics.events import f_measure
+
+    config = _config_from_args(args)
+    sim = WarehouseSimulator(config).run()
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    reference = ground_truth_stream(sim)
+    tolerance = max(r.period for r in sim.layout.readers) + args.max_delay + 2
+
+    if args.schedule:
+        try:
+            schedule = schedule_from_dict(json.loads(Path(args.schedule).read_text()))
+        except (OSError, ValueError) as exc:  # ValueError covers bad JSON too
+            print(f"error: cannot load schedule {args.schedule}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        schedule = []
+        if args.outage_epochs > 0:
+            shelves = [r for r in sim.layout.readers if "shelf" in r.location.name]
+            target = shelves[0] if shelves else sim.layout.readers[0]
+            schedule.append(
+                ReaderOutage(
+                    reader_id=target.reader_id,
+                    start=args.outage_start,
+                    duration=args.outage_epochs,
+                )
+            )
+        if args.drop_rate > 0:
+            schedule.append(DropBatches(rate=args.drop_rate))
+        if args.delay_rate > 0:
+            schedule.append(DelayBatches(rate=args.delay_rate, max_delay=args.max_delay))
+        if args.dup_rate > 0:
+            schedule.append(DuplicateBatches(rate=args.dup_rate))
+
+    # fault-free baseline
+    baseline = Spire(deployment, InferenceParams(), compression_level=args.compression)
+    baseline_messages = []
+    for epoch_readings in sim.stream:
+        baseline_messages.extend(baseline.process_epoch(epoch_readings).messages)
+
+    # faulted run: injector -> resilient front-end -> substrate with health
+    injector = FaultInjector(sim.stream, schedule, seed=args.fault_seed)
+    resilient = ResilientStream(
+        injector,
+        max_delay=args.max_delay,
+        known_readers=[r.reader_id for r in sim.layout.readers],
+    )
+    faulted = Spire(
+        deployment,
+        InferenceParams(),
+        compression_level=args.compression,
+        health=ReaderHealthMonitor(deployment.readers, k=args.health_k),
+    )
+    faulted_messages = []
+    for epoch_readings in resilient:
+        faulted_messages.extend(faulted.process_epoch(epoch_readings).messages)
+
+    f_baseline = f_measure(baseline_messages, reference, tolerance)
+    f_faulted = f_measure(faulted_messages, reference, tolerance)
+    degradation = 100.0 * (f_baseline - f_faulted)
+
+    print(f"trace: {sim.stream.total_readings} readings, {len(sim.stream)} epochs")
+    print(f"fault schedule ({len(schedule)} spec(s)):")
+    for spec in schedule:
+        print(f"  {spec}")
+    print(f"injected: {len(injector.dropped_epochs)} dropped, "
+          f"{len(injector.delayed_epochs)} delayed, "
+          f"{len(injector.duplicated_epochs)} duplicated batch(es)")
+    print(f"absorbed: {resilient.synthesized_epochs} epoch(s) synthesized; warnings "
+          f"{resilient.quarantine.counts() or '{}'}")
+    if faulted.health is not None:
+        silent = sum(1 for w in faulted.health.events if w.kind == "reader_silent")
+        print(f"reader health: {silent} silent transition(s), "
+              f"{len(faulted.health.events) - silent} recovery transition(s)")
+    print(f"F-measure (tolerance {tolerance} epochs):")
+    print(f"  fault-free   {f_baseline:8.4f}  ({len(baseline_messages)} events)")
+    print(f"  under faults {f_faulted:8.4f}  ({len(faulted_messages)} events)")
+    print(f"  degradation  {degradation:+8.2f} points")
+
+    exit_code = 0
+    for label, messages in (("fault-free", baseline_messages), ("faulted", faulted_messages)):
+        try:
+            check_well_formed(messages)
+            print(f"well-formedness ({label}): ok")
+        except WellFormednessError as exc:
+            print(f"well-formedness ({label}): VIOLATED — {exc}", file=sys.stderr)
+            exit_code = 1
+    if args.max_degradation is not None and degradation > args.max_degradation:
+        print(
+            f"error: degradation {degradation:.2f} exceeds "
+            f"--max-degradation {args.max_degradation}",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    return exit_code
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Answer point/path/tree queries over a persisted event stream."""
     with Path(args.events).open("rb") as fp:
@@ -270,6 +385,33 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.add_argument("events", help="level-2 event stream file")
     decompress.add_argument("-o", "--output", required=True, help="level-1 output path")
     decompress.set_defaults(func=cmd_decompress)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a simulation under an injected fault schedule"
+    )
+    _add_config_arguments(chaos)
+    chaos.add_argument("--compression", type=int, choices=(1, 2), default=2)
+    chaos.add_argument(
+        "--schedule",
+        help="JSON fault schedule file (see docs/FAULTS.md); overrides the flags below",
+    )
+    chaos.add_argument("--fault-seed", type=int, default=7, help="injector RNG seed")
+    chaos.add_argument("--outage-epochs", type=int, default=50,
+                       help="length of the shelf-reader outage (0 disables)")
+    chaos.add_argument("--outage-start", type=int, default=200)
+    chaos.add_argument("--drop-rate", type=float, default=0.02,
+                       help="per-batch drop probability")
+    chaos.add_argument("--delay-rate", type=float, default=0.05,
+                       help="per-batch delay probability")
+    chaos.add_argument("--dup-rate", type=float, default=0.0,
+                       help="per-batch duplication probability")
+    chaos.add_argument("--max-delay", type=int, default=3,
+                       help="injector max delay and ingestion watermark lag (epochs)")
+    chaos.add_argument("--health-k", type=float, default=3.0,
+                       help="reader-health silence tolerance in interrogation periods")
+    chaos.add_argument("--max-degradation", type=float, default=None,
+                       help="fail (exit 1) if F-measure degrades by more than this many points")
+    chaos.set_defaults(func=cmd_chaos)
 
     query = subparsers.add_parser("query", help="query a persisted event stream")
     query.add_argument("events", help="event stream file written by 'interpret'")

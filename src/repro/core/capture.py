@@ -103,6 +103,12 @@ class GraphUpdater:
         #: tags observed by an exit reader in the current epoch; the
         #: pipeline removes their nodes after inference (§IV-C pruning).
         self.exiting: set[TagId] = set()
+        #: locations whose readers are presumed dead this epoch (set by the
+        #: pipeline from the reader-health monitor).  A non-co-location
+        #: against a node last seen at a suppressed color is withheld from
+        #: the edge statistics: the missing read is explained by the outage
+        #: and must not erode containment evidence or confirmations.
+        self.suppressed_colors: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------
 
@@ -232,6 +238,12 @@ class GraphUpdater:
                     and edge.child.is_colored
                     and edge.parent.color == edge.child.color
                 )
+                if not co_located and self._outage_explains(other):
+                    # graceful degradation: the partner was last seen at a
+                    # location whose reader is down, so this epoch carries
+                    # no co-location evidence either way
+                    edge.update_time = now
+                    continue
                 edge.push_history(co_located, size)
                 if co_located:
                     if confirmation.parent_of.get(edge.child.tag) == edge.parent.tag:
@@ -240,6 +252,16 @@ class GraphUpdater:
                     if edge.child.confirmed_parent == edge.parent.tag:
                         edge.child.record_conflict()
                 edge.update_time = now
+
+    def _outage_explains(self, other: GraphNode) -> bool:
+        """True when ``other`` is unobserved and its last known location's
+        reader is presumed dead — the non-read is the outage's fault."""
+        return (
+            bool(self.suppressed_colors)
+            and not other.is_colored
+            and other.recent_color is not None
+            and other.recent_color in self.suppressed_colors
+        )
 
     def _apply_confirmation(self, confirmation: Confirmation, now: int) -> None:
         """Apply confirmation effects beyond the per-edge pass.

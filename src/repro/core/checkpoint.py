@@ -14,7 +14,9 @@ silently loading a checkpoint from an incompatible library version.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import BinaryIO
 
@@ -31,7 +33,14 @@ class CheckpointError(RuntimeError):
 
 
 def save_checkpoint(spire: Spire, destination: str | Path | BinaryIO) -> None:
-    """Persist ``spire`` (graph, estimates, compressor, dedup state)."""
+    """Persist ``spire`` (graph, estimates, compressor, dedup state).
+
+    Path destinations are written **atomically**: the payload goes to a
+    temporary file in the same directory, is fsynced, and then replaces the
+    destination with ``os.replace``.  A crash mid-write therefore leaves
+    either the previous checkpoint or none — never a truncated file that
+    would fail to restore after the next crash.
+    """
     payload = {
         "version": CHECKPOINT_VERSION,
         "spire": spire,
@@ -40,9 +49,23 @@ def save_checkpoint(spire: Spire, destination: str | Path | BinaryIO) -> None:
         destination.write(_MAGIC)  # type: ignore[union-attr]
         pickle.dump(payload, destination, protocol=pickle.HIGHEST_PROTOCOL)  # type: ignore[arg-type]
         return
-    with Path(destination).open("wb") as fp:
-        fp.write(_MAGIC)
-        pickle.dump(payload, fp, protocol=pickle.HIGHEST_PROTOCOL)
+    target = Path(destination)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fp.write(_MAGIC)
+            pickle.dump(payload, fp, protocol=pickle.HIGHEST_PROTOCOL)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(source: str | Path | BinaryIO) -> Spire:

@@ -39,6 +39,11 @@ class IterativeInference:
         self.graph = graph
         self.params = params
         self.color_periods = color_periods or {}
+        #: locations whose readers are presumed dead this epoch (set by the
+        #: pipeline from the reader-health monitor); unobserved objects last
+        #: seen there stop decaying toward "unknown" — see
+        #: :func:`repro.core.node_inference.infer_node`.
+        self.suppressed_colors: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------
 
@@ -109,7 +114,14 @@ class IterativeInference:
         for node in layer:
             best = infer_edges(node, self.params)
             self._prune(node, best)
-            belief = infer_node(node, effective_colors, now, self.params, self.color_periods)
+            belief = infer_node(
+                node,
+                effective_colors,
+                now,
+                self.params,
+                self.color_periods,
+                self.suppressed_colors,
+            )
             beliefs.append((node, best, belief))
         for node, best, belief in beliefs:
             if belief.color != UNKNOWN_COLOR:
@@ -131,7 +143,14 @@ class IterativeInference:
             visited.add(node)
             best = infer_edges(node, self.params)
             self._prune(node, best)
-            belief = infer_node(node, effective_colors, now, self.params, self.color_periods)
+            belief = infer_node(
+                node,
+                effective_colors,
+                now,
+                self.params,
+                self.color_periods,
+                self.suppressed_colors,
+            )
             result.add(self._estimate_inferred(node, best, belief, complete))
 
     # ------------------------------------------------------------------

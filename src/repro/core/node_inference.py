@@ -51,6 +51,7 @@ def infer_node(
     now: int,
     params: InferenceParams,
     color_periods: dict[int, int] | None = None,
+    suppressed_colors: frozenset[int] = frozenset(),
 ) -> NodeBelief:
     """Run node inference at an uncolored ``node`` (Eqs. 3–4).
 
@@ -63,6 +64,12 @@ def infer_node(
     ``color_periods`` maps each location color to the interrogation period
     of its reader(s); the decay age is measured in these units (see the
     module docstring).  Omitting it measures age in raw epochs.
+
+    ``suppressed_colors`` are locations whose readers are presumed dead
+    (see :class:`repro.faults.health.ReaderHealthMonitor`): an unobserved
+    object whose most recent color is suppressed stops decaying — its
+    non-read is explained by the outage, not by the object vanishing — so
+    the belief freezes at the last known location until the reader returns.
     """
     gamma = params.gamma
     scores: dict[int, float] = {}
@@ -76,7 +83,10 @@ def infer_node(
         period = color_periods.get(node.recent_color, 1)
         if period > 1:
             age = max(1.0, age / period)
-    fade = 1.0 / (age ** params.theta) if params.theta > 0 else 1.0
+    if node.recent_color is not None and node.recent_color in suppressed_colors:
+        fade = 1.0  # reader outage: absence of reads carries no evidence
+    else:
+        fade = 1.0 / (age ** params.theta) if params.theta > 0 else 1.0
     if node.recent_color is not None:
         scores[node.recent_color] = (1.0 - gamma) * fade
     scores[UNKNOWN_COLOR] = (1.0 - gamma) * (1.0 - fade)

@@ -31,6 +31,7 @@ from repro.core.interpretation import Estimate, InterpretationResult, LocationSo
 from repro.core.iterative import IterativeInference
 from repro.core.params import InferenceParams
 from repro.events.messages import EventMessage
+from repro.faults.health import ReaderHealthMonitor
 from repro.model.locations import LocationRegistry
 from repro.model.objects import TagId
 from repro.readers.dedup import Deduplicator
@@ -118,12 +119,19 @@ class Spire:
         params: InferenceParams | None = None,
         compression_level: int = 2,
         complete_period: int | None = None,
+        health: ReaderHealthMonitor | bool | None = None,
     ) -> None:
         """Build a substrate for ``deployment``.
 
         ``complete_period`` overrides the complete-inference cadence, which
         defaults to the LCM of the reader periods (§IV-D); ``1`` forces
         complete inference every epoch (used by ablation benchmarks).
+
+        ``health`` attaches a reader-health monitor: pass an instance, or
+        ``True`` to build one over the deployment's readers with default
+        tolerance.  While the monitor flags a location's readers as dead,
+        inference stops decaying posteriors of objects last seen there
+        (graceful degradation instead of spurious missing-object events).
         """
         if compression_level not in (1, 2):
             raise ValueError(f"compression_level must be 1 or 2, got {compression_level}")
@@ -148,13 +156,30 @@ class Spire:
             else deployment.complete_inference_period
         )
         self._epochs_processed = 0
+        self._last_epoch: int | None = None
+        if health is True:
+            health = ReaderHealthMonitor(deployment.readers)
+        self.health: ReaderHealthMonitor | None = health or None
 
     # ------------------------------------------------------------------
 
     def process_epoch(self, readings: EpochReadings) -> EpochOutput:
         """Run the full substrate over one epoch of raw readings."""
         now = readings.epoch
+        if self._last_epoch is not None and now <= self._last_epoch:
+            raise ValueError(
+                f"epoch {now} is not after the last processed epoch "
+                f"{self._last_epoch}; epochs must strictly increase "
+                f"(re-sequence the stream, e.g. with repro.faults.ResilientStream)"
+            )
+        self._last_epoch = now
         clean = self.dedup.process(readings)
+
+        if self.health is not None:
+            self.health.observe_epoch(clean, now)
+            suppressed = self.health.suppressed_colors()
+            self.updater.suppressed_colors = suppressed
+            self.inference.suppressed_colors = suppressed
 
         t0 = perf_counter()
         self.updater.apply_epoch(clean, self.deployment.readers, now)

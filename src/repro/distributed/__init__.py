@@ -8,8 +8,13 @@ into *zones* (a building, a floor, a yard), each zone runs its own
 :class:`~repro.distributed.coordinator.Coordinator` routes readings,
 hands objects off between zones as they migrate, and merges the zones'
 compressed outputs into one well-formed stream.
+
+With ``checkpoint_interval`` set, the coordinator also provides zone
+failover: periodic per-zone checkpoints, ``fail_zone`` / ``recover_zone``
+with replay of buffered epochs, and orphan-tag re-adoption, so the merged
+stream survives a zone crash well-formed (see ``docs/FAULTS.md``).
 """
 
-from repro.distributed.coordinator import Coordinator, HandoffRecord, Zone
+from repro.distributed.coordinator import Coordinator, EpochResult, HandoffRecord, Zone
 
-__all__ = ["Coordinator", "Zone", "HandoffRecord"]
+__all__ = ["Coordinator", "EpochResult", "Zone", "HandoffRecord"]

@@ -1,11 +1,13 @@
-"""Zone coordinator: routing, handoff, and output merging.
+"""Zone coordinator: routing, handoff, failover, and output merging.
 
 A :class:`Zone` owns a disjoint subset of the site's readers and runs its
 own substrate; the :class:`Coordinator` is the only component that sees
 the whole site:
 
 * **routing** — each epoch's (globally deduplicated) readings are split by
-  reader ownership and fed to the owning zones;
+  reader ownership and fed to the owning zones; readings from readers no
+  zone owns are quarantined with a structured warning (or raise, in
+  ``strict`` mode);
 * **ownership & handoff** — every tag is owned by the zone that observed
   it most recently; when a tag shows up in a different zone, the old owner
   *releases* it (closing its output intervals and exporting its
@@ -14,7 +16,18 @@ the whole site:
 * **merging** — the release messages and the zones' per-epoch outputs are
   concatenated (releases first) into one stream that stays well-formed per
   object, because an object's messages always come from its current owner
-  and the old owner's intervals are closed before the new owner opens any.
+  and the old owner's intervals are closed before the new owner opens any;
+* **failover** — with ``checkpoint_interval`` set, every zone is
+  checkpointed periodically (via :mod:`repro.core.checkpoint`) and the
+  readings routed to it since the last checkpoint are retained.
+  :meth:`Coordinator.fail_zone` simulates (or reacts to) a zone crash: the
+  zone's open output intervals are closed so the merged stream stays
+  well-formed, and its readings are buffered while it is down.
+  :meth:`Coordinator.recover_zone` restores the zone from its last
+  checkpoint, replays the buffered epochs to rebuild its state, re-opens
+  intervals for the objects it still owns, and releases objects that
+  migrated to other zones during the outage — no tag is left permanently
+  orphaned.
 
 Zones are plain in-process objects here; the coordinator's contract (pure
 message passing: readings in, handoff records and event messages out) is
@@ -23,12 +36,17 @@ what a networked deployment would serialise.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.compression.level1 import RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.params import InferenceParams
 from repro.core.pipeline import Deployment, Spire
-from repro.events.messages import EventMessage
+from repro.events.messages import EventKind, EventMessage, end_containment, end_location
+from repro.faults.warnings import IngestWarning, Quarantine, WarningKind
 from repro.model.locations import LocationRegistry
 from repro.model.objects import TagId
 from repro.readers.dedup import Deduplicator
@@ -72,12 +90,45 @@ class EpochResult:
     epoch: int
     messages: list[EventMessage]
     handoffs: list[tuple[TagId, str, str]] = field(default_factory=list)  # (tag, from, to)
+    #: structured warnings recorded this epoch (quarantined readings etc.)
+    warnings: list[IngestWarning] = field(default_factory=list)
+
+
+@dataclass
+class _ZoneCheckpoint:
+    """Last persisted state of one zone (in-memory; bytes are portable)."""
+
+    epoch: int | None  # None = pristine pre-stream state
+    data: bytes
+
+
+@dataclass
+class _OpenIntervals:
+    """Open intervals of one object in the *merged* output stream."""
+
+    location: tuple[int, int] | None = None              # (place, vs)
+    containments: dict[TagId, int] = field(default_factory=dict)  # container -> vs
 
 
 class Coordinator:
-    """Routes readings to zones and keeps the global view consistent."""
+    """Routes readings to zones and keeps the global view consistent.
 
-    def __init__(self, zones: Iterable[Zone]) -> None:
+    Args:
+        zones: The site partition (non-empty, disjoint reader sets).
+        strict: When True, a reading from a reader owned by no zone raises
+            ``KeyError`` (the historical behavior); when False (default)
+            the reading is quarantined with a structured warning.
+        checkpoint_interval: Checkpoint every zone after this many epochs,
+            enabling :meth:`fail_zone` / :meth:`recover_zone`.  ``None``
+            (default) disables failover bookkeeping entirely.
+    """
+
+    def __init__(
+        self,
+        zones: Iterable[Zone],
+        strict: bool = False,
+        checkpoint_interval: int | None = None,
+    ) -> None:
         self.zones: dict[str, Zone] = {}
         self._zone_of_reader: dict[int, str] = {}
         for zone in zones:
@@ -93,52 +144,259 @@ class Coordinator:
                 self._zone_of_reader[reader_id] = zone.zone_id
         if not self.zones:
             raise ValueError("a coordinator needs at least one zone")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(f"checkpoint_interval must be >= 1, got {checkpoint_interval}")
+        self.strict = strict
+        self.quarantine = Quarantine()
         self._owner: dict[TagId, str] = {}
         self._dedup = Deduplicator()
+        self._last_epoch: int | None = None
+
+        # failover bookkeeping (only when enabled)
+        self._checkpoint_interval = checkpoint_interval
+        self._failed: set[str] = set()
+        self._checkpoints: dict[str, _ZoneCheckpoint] = {}
+        self._replay: dict[str, list[EpochReadings]] = {}
+        self._open: dict[TagId, _OpenIntervals] = {}
+        if self.failover_enabled:
+            for zone_id, zone in self.zones.items():
+                self._checkpoints[zone_id] = _ZoneCheckpoint(
+                    epoch=None, data=_pickle_spire(zone.spire)
+                )
+                self._replay[zone_id] = []
 
     # ------------------------------------------------------------------
 
+    @property
+    def failover_enabled(self) -> bool:
+        return self._checkpoint_interval is not None
+
+    @property
+    def failed_zones(self) -> frozenset[str]:
+        """Zones currently marked failed."""
+        return frozenset(self._failed)
+
     def process_epoch(self, readings: EpochReadings) -> EpochResult:
-        """Coordinate one epoch across all zones."""
+        """Coordinate one epoch across all (live) zones."""
         now = readings.epoch
+        self._last_epoch = now
+        warnings_before = len(self.quarantine.warnings)
         clean = self._dedup.process(readings)
 
-        # split by owning zone
+        # split by owning zone; quarantine readings no zone can take
         per_zone: dict[str, EpochReadings] = {
             zone_id: EpochReadings(epoch=now) for zone_id in self.zones
         }
         for reader_id, tags in clean.by_reader.items():
             zone_id = self._zone_of_reader.get(reader_id)
             if zone_id is None:
-                raise KeyError(f"reading from reader {reader_id} owned by no zone")
+                if self.strict:
+                    raise KeyError(f"reading from reader {reader_id} owned by no zone")
+                for tag in tags:
+                    self.quarantine.hold(tag, reader_id, now, WarningKind.UNMAPPED_READER)
+                self.quarantine.warn(
+                    WarningKind.UNMAPPED_READER,
+                    now,
+                    reader_id=reader_id,
+                    detail=f"{len(tags)} reading(s) from a reader owned by no zone",
+                )
+                continue
             per_zone[zone_id].add(reader_id, tags)
+
+        # retain readings for replay-after-recovery
+        if self.failover_enabled:
+            for zone_id, zone_readings in per_zone.items():
+                self._replay[zone_id].append(zone_readings)
 
         # migrations: a tag observed in a zone that does not own it
         result = EpochResult(epoch=now, messages=[])
         for zone_id, zone_readings in per_zone.items():
+            if zone_id in self._failed:
+                continue
             for tag in zone_readings.tags_seen():
                 owner = self._owner.get(tag)
                 if owner is None:
                     self._owner[tag] = zone_id
                 elif owner != zone_id:
-                    record, closing = self.zones[owner].spire.release(tag, now)
-                    result.messages.extend(closing)
-                    self.zones[zone_id].spire.adopt(record, now)
+                    if owner in self._failed:
+                        # the owner crashed: its intervals were closed at
+                        # fail time, so the orphan is simply re-adopted by
+                        # the observing zone with no exported knowledge
+                        self.zones[zone_id].spire.adopt({"tag": tag}, now)
+                    else:
+                        record, closing = self.zones[owner].spire.release(tag, now)
+                        result.messages.extend(closing)
+                        self.zones[zone_id].spire.adopt(record, now)
                     self._owner[tag] = zone_id
                     result.handoffs.append((tag, owner, zone_id))
 
-        # each zone processes its share; outputs are concatenated in zone
-        # order after the handoff closures
+        # each live zone processes its share; outputs are concatenated in
+        # zone order after the handoff closures
         for zone_id in sorted(per_zone):
+            if zone_id in self._failed:
+                continue
             output = self.zones[zone_id].spire.process_epoch(per_zone[zone_id])
             result.messages.extend(output.messages)
             for tag in output.departed:
                 self._owner.pop(tag, None)
+
+        if self.failover_enabled:
+            self._track_messages(result.messages)
+            for zone_id in self.zones:
+                if (
+                    zone_id not in self._failed
+                    and len(self._replay[zone_id]) >= self._checkpoint_interval  # type: ignore[operator]
+                ):
+                    self._checkpoint_zone(zone_id, now)
+
+        result.warnings = self.quarantine.warnings[warnings_before:]
         return result
 
     def run(self, stream: Iterable[EpochReadings]) -> list[EpochResult]:
         """Coordinate a whole stream."""
         return [self.process_epoch(readings) for readings in stream]
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+
+    def fail_zone(self, zone_id: str, at: int | None = None) -> list[EventMessage]:
+        """Mark ``zone_id`` crashed; returns interval-closing messages.
+
+        The zone's in-memory substrate is considered lost.  To keep the
+        merged stream well-formed, every open interval of an object the
+        zone owns is closed at epoch ``at`` (default: the last processed
+        epoch); append the returned messages to the merged stream.  Until
+        :meth:`recover_zone`, the zone's readings are buffered and objects
+        it owned are re-adopted by any zone that observes them.
+        """
+        self._require_failover()
+        if zone_id not in self.zones:
+            raise KeyError(f"unknown zone {zone_id!r}")
+        if zone_id in self._failed:
+            raise ValueError(f"zone {zone_id!r} is already failed")
+        now = self._resolve_epoch(at)
+        self._failed.add(zone_id)
+        closures: list[EventMessage] = []
+        for tag in sorted(t for t, z in self._owner.items() if z == zone_id):
+            state = self._open.get(tag)
+            if state is None:
+                continue
+            for container in sorted(state.containments):
+                closures.append(
+                    end_containment(tag, container, state.containments[container], now)
+                )
+            if state.location is not None:
+                place, vs = state.location
+                closures.append(end_location(tag, place, vs, now))
+        self._track_messages(closures)
+        self.quarantine.warn(
+            WarningKind.ZONE_FAILED,
+            now,
+            detail=f"zone {zone_id!r} failed; {len(closures)} open interval(s) closed",
+        )
+        return closures
+
+    def recover_zone(self, zone_id: str, at: int | None = None) -> list[EventMessage]:
+        """Restore a failed zone from its last checkpoint and replay.
+
+        The zone's substrate is rebuilt from the last checkpoint, the
+        readings routed to it since that checkpoint (including those
+        buffered during the outage) are replayed to bring its graph and
+        estimates up to date, and fresh interval-opening messages are
+        emitted at epoch ``at`` (default: the last processed epoch) for
+        every object the zone still owns.  Objects that migrated to other
+        zones during the outage are released quietly — re-adoption already
+        happened at observation time — so no tag stays orphaned.  Returns
+        the messages to append to the merged stream.
+        """
+        self._require_failover()
+        if zone_id not in self._failed:
+            raise ValueError(f"zone {zone_id!r} is not failed")
+        now = self._resolve_epoch(at)
+        checkpoint = self._checkpoints[zone_id]
+        spire = load_checkpoint(io.BytesIO(checkpoint.data))
+        zone = self.zones[zone_id]
+        zone.spire = spire
+
+        # replay buffered epochs; their messages were either already
+        # emitted before the crash or are superseded by the fresh opens
+        # below, so they are discarded
+        for zone_readings in self._replay[zone_id]:
+            output = spire.process_epoch(zone_readings)
+            for tag in output.departed:
+                if self._owner.get(tag) == zone_id:
+                    self._owner.pop(tag)
+
+        # the compressor's notion of "last reported state" died with the
+        # zone (the coordinator closed everything at fail time): start a
+        # fresh compressor and re-open intervals for still-owned objects
+        spire.compressor = (
+            ContainmentCompressor() if spire.compression_level == 2 else RangeCompressor()
+        )
+        messages: list[EventMessage] = []
+        for tag in sorted(spire.estimates):
+            if self._owner.get(tag) != zone_id:
+                # migrated away (or departed) during the outage
+                spire.release(tag, now)
+                continue
+            estimate = spire.estimates[tag]
+            messages.extend(
+                spire.compressor.observe(tag, estimate.location, estimate.container, now)
+            )
+        # owner entries pointing at objects the replayed zone no longer
+        # tracks would be permanent orphans — drop them
+        for tag in [t for t, z in self._owner.items() if z == zone_id]:
+            if tag not in spire.estimates:
+                self._owner.pop(tag)
+
+        self._failed.discard(zone_id)
+        self._track_messages(messages)
+        self._checkpoint_zone(zone_id, now)
+        self.quarantine.warn(
+            WarningKind.ZONE_RECOVERED,
+            now,
+            detail=(
+                f"zone {zone_id!r} restored from checkpoint at epoch "
+                f"{checkpoint.epoch}; {len(messages)} interval(s) re-opened"
+            ),
+        )
+        return messages
+
+    def _require_failover(self) -> None:
+        if not self.failover_enabled:
+            raise RuntimeError(
+                "failover requires checkpointing; construct the Coordinator "
+                "with checkpoint_interval=N"
+            )
+
+    def _resolve_epoch(self, at: int | None) -> int:
+        if at is not None:
+            return at
+        if self._last_epoch is None:
+            raise ValueError("no epoch processed yet; pass an explicit 'at' epoch")
+        return self._last_epoch
+
+    def _checkpoint_zone(self, zone_id: str, epoch: int) -> None:
+        self._checkpoints[zone_id] = _ZoneCheckpoint(
+            epoch=epoch, data=_pickle_spire(self.zones[zone_id].spire)
+        )
+        self._replay[zone_id] = []
+
+    def _track_messages(self, messages: Iterable[EventMessage]) -> None:
+        """Mirror the merged stream's open intervals (for crash closures)."""
+        for msg in messages:
+            state = self._open.setdefault(msg.obj, _OpenIntervals())
+            if msg.kind is EventKind.START_LOCATION:
+                state.location = (msg.place, msg.vs)  # type: ignore[assignment]
+            elif msg.kind is EventKind.END_LOCATION:
+                state.location = None
+            elif msg.kind is EventKind.START_CONTAINMENT:
+                state.containments[msg.container] = msg.vs  # type: ignore[index]
+            elif msg.kind is EventKind.END_CONTAINMENT:
+                state.containments.pop(msg.container, None)  # type: ignore[arg-type]
+            if state.location is None and not state.containments:
+                self._open.pop(msg.obj, None)
 
     # ------------------------------------------------------------------
     # global queries
@@ -150,23 +408,29 @@ class Coordinator:
 
     def location_of(self, tag: TagId) -> int:
         """Site-wide location query: delegated to the owning zone."""
-        owner = self._owner.get(tag)
-        if owner is None:
-            from repro.model.locations import UNKNOWN_COLOR
+        from repro.model.locations import UNKNOWN_COLOR
 
+        owner = self._owner.get(tag)
+        if owner is None or owner in self._failed:
             return UNKNOWN_COLOR
         return self.zones[owner].spire.location_of(tag)
 
     def container_of(self, tag: TagId) -> TagId | None:
         """Site-wide containment query: delegated to the owning zone."""
         owner = self._owner.get(tag)
-        if owner is None:
+        if owner is None or owner in self._failed:
             return None
         return self.zones[owner].spire.container_of(tag)
 
     @property
     def tracked_objects(self) -> int:
         return len(self._owner)
+
+
+def _pickle_spire(spire: Spire) -> bytes:
+    buffer = io.BytesIO()
+    save_checkpoint(spire, buffer)
+    return buffer.getvalue()
 
 
 def partition_by_location(

@@ -1,0 +1,275 @@
+"""Seeded, schedulable fault injection over a reading stream.
+
+:class:`FaultInjector` wraps any iterable of
+:class:`~repro.readers.stream.EpochReadings` and perturbs its *delivery*:
+readers fall silent, whole epoch batches are dropped, delayed past later
+batches, or delivered twice, and readings appear from reader ids no
+deployment knows.  The output is an iterator of batches in **arrival
+order** — which under delay faults is no longer epoch order — exactly the
+transport the resilient front-end (:mod:`repro.faults.resilient`) has to
+absorb.
+
+All randomness comes from one ``numpy`` generator seeded at construction,
+so a fault run is reproducible from ``(stream, schedule, seed)``.
+
+Schedules are lists of fault specs; :func:`schedule_from_dict` builds one
+from the JSON shape the ``chaos`` CLI subcommand accepts (see
+``docs/FAULTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.model.objects import PackagingLevel, TagId
+from repro.readers.stream import EpochReadings
+
+__all__ = [
+    "ReaderOutage",
+    "DropBatches",
+    "DelayBatches",
+    "DuplicateBatches",
+    "UnknownReaderReadings",
+    "FaultSpec",
+    "FaultInjector",
+    "schedule_from_dict",
+    "ALL_FAULT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class ReaderOutage:
+    """Reader ``reader_id`` reports nothing in ``[start, start + duration)``."""
+
+    reader_id: int
+    start: int
+    duration: int
+
+
+@dataclass(frozen=True)
+class DropBatches:
+    """Each batch in ``[start, end)`` is lost entirely with probability ``rate``."""
+
+    rate: float
+    start: int = 0
+    end: int | None = None
+
+
+@dataclass(frozen=True)
+class DelayBatches:
+    """Each batch in ``[start, end)`` is held back 1..``max_delay`` arrival
+    slots with probability ``rate``, arriving after younger batches."""
+
+    rate: float
+    max_delay: int = 3
+    start: int = 0
+    end: int | None = None
+
+
+@dataclass(frozen=True)
+class DuplicateBatches:
+    """Each batch in ``[start, end)`` is delivered twice with probability ``rate``."""
+
+    rate: float
+    start: int = 0
+    end: int | None = None
+
+
+@dataclass(frozen=True)
+class UnknownReaderReadings:
+    """With probability ``rate`` an epoch gains readings attributed to
+    ``reader_id`` — an id no deployment maps.  The injected tags echo tags
+    already present in the epoch when possible (a mis-routed report),
+    otherwise fabricated item tags starting at ``serial_base``."""
+
+    reader_id: int
+    rate: float
+    start: int = 0
+    end: int | None = None
+    serial_base: int = 900_000
+
+
+FaultSpec = (
+    ReaderOutage | DropBatches | DelayBatches | DuplicateBatches | UnknownReaderReadings
+)
+
+#: every fault kind the injector implements (tests iterate this)
+ALL_FAULT_KINDS: tuple[type, ...] = (
+    ReaderOutage,
+    DropBatches,
+    DelayBatches,
+    DuplicateBatches,
+    UnknownReaderReadings,
+)
+
+
+def _in_window(epoch: int, start: int, end: int | None) -> bool:
+    return epoch >= start and (end is None or epoch < end)
+
+
+def _copy_batch(batch: EpochReadings) -> EpochReadings:
+    return EpochReadings(
+        epoch=batch.epoch,
+        by_reader={rid: list(tags) for rid, tags in batch.by_reader.items()},
+    )
+
+
+class FaultInjector:
+    """Applies a fault schedule to a reading stream.
+
+    Iterating yields perturbed :class:`EpochReadings` in arrival order.
+    The source batches are never mutated.
+    """
+
+    def __init__(
+        self,
+        stream: Iterable[EpochReadings],
+        schedule: Sequence[FaultSpec],
+        seed: int = 0,
+    ) -> None:
+        self._stream = stream
+        self._schedule = list(schedule)
+        self._rng = np.random.default_rng(seed)
+        #: batches dropped by the schedule (epoch numbers), for reports
+        self.dropped_epochs: list[int] = []
+        #: batches delivered out of order (epoch numbers), for reports
+        self.delayed_epochs: list[int] = []
+        #: batches delivered twice (epoch numbers), for reports
+        self.duplicated_epochs: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[EpochReadings]:
+        # (release_slot, insertion_seq, batch) min-ordering via sorted scan;
+        # the pending list stays tiny (bounded by in-flight delayed batches)
+        pending: list[tuple[int, int, EpochReadings]] = []
+        seq = 0
+        slot = 0
+        for batch in self._stream:
+            slot += 1
+            batch = self._apply_content_faults(batch)
+            if batch is not None:
+                delay = self._delay_for(batch.epoch)
+                if delay > 0:
+                    self.delayed_epochs.append(batch.epoch)
+                    pending.append((slot + delay, seq, batch))
+                    seq += 1
+                    batch = None
+                else:
+                    yield batch
+                    if self._duplicate(batch.epoch):
+                        self.duplicated_epochs.append(batch.epoch)
+                        yield _copy_batch(batch)
+            # release delayed batches whose slot has come — after the current
+            # batch (that is what makes them out of order), but on every slot
+            # even if the current batch was dropped or held, so a batch
+            # delayed d slots arrives at most d epochs behind the frontier
+            pending, due = self._split_due(pending, slot)
+            yield from due
+        # end of stream: flush whatever is still in flight
+        pending.sort(key=lambda item: (item[0], item[1]))
+        for _slot, _seq, held in pending:
+            yield held
+
+    # ------------------------------------------------------------------
+
+    def _split_due(
+        self, pending: list[tuple[int, int, EpochReadings]], slot: int
+    ) -> tuple[list[tuple[int, int, EpochReadings]], list[EpochReadings]]:
+        due = sorted(
+            (item for item in pending if item[0] <= slot),
+            key=lambda item: (item[0], item[1]),
+        )
+        remaining = [item for item in pending if item[0] > slot]
+        return remaining, [batch for _slot, _seq, batch in due]
+
+    def _apply_content_faults(self, batch: EpochReadings) -> EpochReadings | None:
+        """Outages, drops and unknown-reader injection for one batch."""
+        epoch = batch.epoch
+        copied = False
+        for spec in self._schedule:
+            if isinstance(spec, DropBatches) and _in_window(epoch, spec.start, spec.end):
+                if self._rng.random() < spec.rate:
+                    self.dropped_epochs.append(epoch)
+                    return None
+            elif isinstance(spec, ReaderOutage):
+                if (
+                    _in_window(epoch, spec.start, spec.start + spec.duration)
+                    and spec.reader_id in batch.by_reader
+                ):
+                    if not copied:
+                        batch = _copy_batch(batch)
+                        copied = True
+                    batch.by_reader.pop(spec.reader_id, None)
+            elif isinstance(spec, UnknownReaderReadings) and _in_window(
+                epoch, spec.start, spec.end
+            ):
+                if self._rng.random() < spec.rate:
+                    if not copied:
+                        batch = _copy_batch(batch)
+                        copied = True
+                    batch.add(spec.reader_id, self._ghost_tags(batch, spec))
+        return batch
+
+    def _ghost_tags(
+        self, batch: EpochReadings, spec: UnknownReaderReadings
+    ) -> list[TagId]:
+        present = sorted(batch.tags_seen())
+        if present:
+            count = min(len(present), 3)
+            picks = self._rng.choice(len(present), size=count, replace=False)
+            return [present[i] for i in sorted(int(p) for p in picks)]
+        serial = spec.serial_base + int(self._rng.integers(0, 1000))
+        return [TagId(PackagingLevel.ITEM, serial)]
+
+    def _delay_for(self, epoch: int) -> int:
+        for spec in self._schedule:
+            if isinstance(spec, DelayBatches) and _in_window(epoch, spec.start, spec.end):
+                if self._rng.random() < spec.rate:
+                    return int(self._rng.integers(1, spec.max_delay + 1))
+        return 0
+
+    def _duplicate(self, epoch: int) -> bool:
+        for spec in self._schedule:
+            if isinstance(spec, DuplicateBatches) and _in_window(epoch, spec.start, spec.end):
+                if self._rng.random() < spec.rate:
+                    return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# JSON schedule format (docs/FAULTS.md)
+# ---------------------------------------------------------------------------
+
+_KIND_TO_SPEC: dict[str, type] = {
+    "reader_outage": ReaderOutage,
+    "drop_batches": DropBatches,
+    "delay_batches": DelayBatches,
+    "duplicate_batches": DuplicateBatches,
+    "unknown_reader": UnknownReaderReadings,
+}
+
+
+def schedule_from_dict(entries: Iterable[Mapping]) -> list[FaultSpec]:
+    """Build a fault schedule from a list of ``{"kind": ..., ...}`` dicts.
+
+    Unknown kinds and unexpected fields raise ``ValueError`` so a typo in a
+    schedule file fails loudly instead of silently injecting nothing.
+    """
+    schedule: list[FaultSpec] = []
+    for entry in entries:
+        fields = dict(entry)
+        kind = fields.pop("kind", None)
+        spec_type = _KIND_TO_SPEC.get(kind)
+        if spec_type is None:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {sorted(_KIND_TO_SPEC)}"
+            )
+        try:
+            schedule.append(spec_type(**fields))
+        except TypeError as exc:
+            raise ValueError(f"bad fields for fault kind {kind!r}: {exc}") from exc
+    return schedule

@@ -1,0 +1,196 @@
+"""Resilient ingestion front-end: re-sequencing, dedup, gap synthesis.
+
+:class:`ResilientStream` sits between an unreliable transport (e.g. a
+:class:`~repro.faults.injector.FaultInjector`, or a real network) and the
+strictly-ordered pipeline.  It restores the contract
+:class:`~repro.core.pipeline.Spire` assumes — epochs exactly once, in
+order, gap-free — by:
+
+* holding arriving batches in a **bounded reorder buffer** and releasing
+  them in epoch order once the **watermark** passes (epoch ``e`` is
+  released only after a batch for an epoch beyond ``e + max_delay``
+  arrives, so any batch that shows up at most ``max_delay`` epochs behind
+  the frontier is re-sequenced losslessly);
+* **suppressing duplicates** — a batch for an epoch already released (or
+  already buffered) is dropped with a warning;
+* **synthesizing empty epochs** for bounded gaps, so a dropped batch
+  degrades into "no reader interrogated" (which inference already treats
+  as uncertainty) instead of a hole in the epoch sequence;
+* **quarantining** readings from reader ids outside the deployment, and
+  whole batches that arrive behind the watermark, with structured
+  :class:`~repro.faults.warnings.IngestWarning` records instead of
+  exceptions.
+
+Iterate the stream to drain it; call :meth:`flush` semantics are built into
+iteration (the buffer empties when the source ends).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.faults.warnings import IngestWarning, Quarantine, WarningKind
+from repro.readers.stream import EpochReadings
+
+__all__ = ["ResilientStream"]
+
+
+class ResilientStream:
+    """Re-sequencing, deduplicating, gap-filling wrapper over a faulty source.
+
+    Args:
+        source: Iterable of :class:`EpochReadings` in arbitrary arrival
+            order (bounded delay).
+        max_delay: Watermark lag in epochs.  A batch arriving more than
+            ``max_delay`` epochs after a younger batch is late and is
+            quarantined; anything within the bound is re-sequenced.
+        known_readers: Reader ids the deployment maps.  Readings from any
+            other id are quarantined.  ``None`` disables the check.
+        first_epoch: Epoch the output sequence starts at (gaps before the
+            first arrival are synthesized from here).  ``None`` starts at
+            the first epoch that arrives.
+    """
+
+    def __init__(
+        self,
+        source: Iterable[EpochReadings],
+        max_delay: int = 0,
+        known_readers: Iterable[int] | None = None,
+        first_epoch: int | None = None,
+    ) -> None:
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self._source = source
+        self._max_delay = max_delay
+        self._known = frozenset(known_readers) if known_readers is not None else None
+        self._first_epoch = first_epoch
+        self.quarantine = Quarantine()
+        self._buffer: dict[int, EpochReadings] = {}
+        self._next_epoch: int | None = first_epoch
+        #: epochs released with real (non-synthesized) content, pruned to a
+        #: bounded recency window — used to tell duplicates from late data
+        self._released_real: set[int] = set()
+        #: count of synthesized empty epochs (for reports)
+        self.synthesized_epochs = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def warnings(self) -> list[IngestWarning]:
+        return self.quarantine.warnings
+
+    def __iter__(self) -> Iterator[EpochReadings]:
+        for batch in self._source:
+            batch = self._screen_readers(batch)
+            accepted = self._accept(batch)
+            if not accepted:
+                continue
+            # release an epoch only once a batch more than max_delay epochs
+            # newer has arrived: a batch delayed exactly max_delay epochs
+            # (arriving just after its epoch + max_delay) is still in time
+            watermark = max(self._buffer) - self._max_delay - 1
+            yield from self._release_until(watermark)
+        # source exhausted: drain the buffer completely
+        if self._buffer:
+            yield from self._release_until(max(self._buffer))
+
+    # ------------------------------------------------------------------
+
+    def _screen_readers(self, batch: EpochReadings) -> EpochReadings:
+        """Strip (and quarantine) readings from unknown reader ids."""
+        if self._known is None:
+            return batch
+        bad = [rid for rid in batch.by_reader if rid not in self._known]
+        if not bad:
+            return batch
+        clean = EpochReadings(
+            epoch=batch.epoch,
+            by_reader={
+                rid: list(tags) for rid, tags in batch.by_reader.items() if rid in self._known
+            },
+        )
+        for rid in bad:
+            for tag in batch.by_reader[rid]:
+                self.quarantine.hold(tag, rid, batch.epoch, WarningKind.UNKNOWN_READER)
+            self.quarantine.warn(
+                WarningKind.UNKNOWN_READER,
+                batch.epoch,
+                reader_id=rid,
+                detail=f"{len(batch.by_reader[rid])} reading(s) quarantined",
+            )
+        return clean
+
+    def _accept(self, batch: EpochReadings) -> bool:
+        """Admit one batch to the reorder buffer; False if suppressed."""
+        epoch = batch.epoch
+        if self._next_epoch is None:
+            self._next_epoch = epoch
+        if epoch < self._next_epoch:
+            # behind the emission frontier: duplicate of released data, or
+            # data that arrived later than the watermark allows
+            if epoch in self._released_real:
+                self.quarantine.warn(
+                    WarningKind.DUPLICATE_BATCH,
+                    epoch,
+                    detail="batch for an already-released epoch suppressed",
+                )
+            else:
+                for reading in batch.readings():
+                    self.quarantine.hold(
+                        reading.tag, reading.reader_id, epoch, WarningKind.LATE_BATCH
+                    )
+                self.quarantine.warn(
+                    WarningKind.LATE_BATCH,
+                    epoch,
+                    detail=(
+                        f"arrived behind the watermark (frontier {self._next_epoch}); "
+                        f"{batch.reading_count} reading(s) quarantined"
+                    ),
+                )
+            return False
+        if epoch in self._buffer:
+            self.quarantine.warn(
+                WarningKind.DUPLICATE_BATCH,
+                epoch,
+                detail="batch for a buffered epoch suppressed",
+            )
+            return False
+        self._buffer[epoch] = batch
+        return True
+
+    def _release_until(self, watermark: int) -> Iterator[EpochReadings]:
+        """Emit every epoch up to ``watermark`` in order, filling gaps."""
+        assert self._next_epoch is not None
+        while self._next_epoch <= watermark:
+            epoch = self._next_epoch
+            batch = self._buffer.pop(epoch, None)
+            if batch is None:
+                gap_end = min(watermark, self._gap_end(epoch, watermark))
+                self.quarantine.warn(
+                    WarningKind.GAP_SYNTHESIZED,
+                    epoch,
+                    detail=f"synthesized empty epochs [{epoch}, {gap_end}]",
+                )
+                while self._next_epoch <= gap_end:
+                    self.synthesized_epochs += 1
+                    yield EpochReadings(epoch=self._next_epoch)
+                    self._next_epoch += 1
+                continue
+            self._released_real.add(epoch)
+            self._next_epoch += 1
+            yield batch
+        self._prune_released()
+
+    def _gap_end(self, start: int, watermark: int) -> int:
+        """Last epoch of the gap run beginning at ``start``."""
+        epoch = start
+        while epoch + 1 <= watermark and (epoch + 1) not in self._buffer:
+            epoch += 1
+        return epoch
+
+    def _prune_released(self) -> None:
+        """Keep the duplicate-detection window bounded."""
+        assert self._next_epoch is not None
+        horizon = self._next_epoch - (4 * self._max_delay + 16)
+        if len(self._released_real) > 8 * (self._max_delay + 4):
+            self._released_real = {e for e in self._released_real if e >= horizon}

@@ -92,3 +92,42 @@ class TestValidation:
             pickle.dump({"version": 1, "spire": "nope"}, fp)
         with pytest.raises(CheckpointError, match="Spire instance"):
             load_checkpoint(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        """A checkpoint cut short mid-payload (the failure atomic writes
+        prevent) raises CheckpointError rather than a bare pickle error."""
+        spire = _warm_spire()
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(spire, path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(_warm_spire(), path)
+        save_checkpoint(_warm_spire(), path)  # overwrite goes through a temp too
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.ckpt"]
+
+    def test_failed_write_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        import pickle
+
+        import repro.core.checkpoint as ckpt
+
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(_warm_spire(), path)
+        before = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(_warm_spire(), path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.ckpt"]
+        assert isinstance(load_checkpoint(path), Spire)

@@ -122,3 +122,32 @@ class TestEvaluate:
         rc = main(["evaluate", *SIM_ARGS, "--smurf"])
         assert rc == 0
         assert "SMURF baseline" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_reports_degradation(self, capsys):
+        rc = main(["chaos", *SIM_ARGS, "--outage-start", "80",
+                   "--outage-epochs", "40", "--fault-seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault schedule" in out
+        assert "degradation" in out
+        assert "well-formedness (fault-free): ok" in out
+        assert "well-formedness (faulted): ok" in out
+
+    def test_chaos_schedule_file(self, tmp_path, capsys):
+        schedule = tmp_path / "faults.json"
+        schedule.write_text(json.dumps([
+            {"kind": "drop_batches", "rate": 0.05},
+            {"kind": "duplicate_batches", "rate": 0.05},
+        ]))
+        rc = main(["chaos", *SIM_ARGS, "--schedule", str(schedule)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DropBatches" in out and "DuplicateBatches" in out
+
+    def test_chaos_max_degradation_gate(self, capsys):
+        # a negative bound no run can satisfy forces the failure path
+        rc = main(["chaos", *SIM_ARGS, "--max-degradation", "-101"])
+        assert rc == 1
+        assert "exceeds" in capsys.readouterr().err
