@@ -11,7 +11,9 @@ for it once.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
+from statistics import median
 
 from repro.baselines.smurf import SmurfParams
 from repro.core.params import InferenceParams
@@ -22,6 +24,7 @@ from repro.experiments.runner import (
     run_smurf,
     run_spire,
 )
+from repro.experiments.table3 import table3_config
 from repro.metrics.accuracy import ScoringPolicy
 from repro.simulator.config import SimulationConfig
 from repro.simulator.warehouse import SimulationResult, WarehouseSimulator
@@ -112,25 +115,11 @@ def output_config(read_rate: float, seed: int = 17) -> SimulationConfig:
 def scale_config(cases_per_pallet: int, duration: int, seed: int = 41) -> SimulationConfig:
     """High-injection workload for Table III / Fig. 10 graph growth.
 
-    The injection rate is chosen so the receiving belt (one case at a time,
-    one epoch each) keeps up — cases_per_pallet/pallet_period must stay
-    below 1 case/epoch or the dock queue (and the dock reader's quadratic
-    edge-creation cost) grows without bound.
+    Delegates to :func:`repro.experiments.table3.table3_config` so the
+    benchmark suite, the ``repro-spire bench`` subcommand and the CI
+    perf-smoke job all measure exactly the same trace.
     """
-    return SimulationConfig(
-        duration=duration,
-        pallet_period=2 * cases_per_pallet,
-        cases_per_pallet_min=cases_per_pallet,
-        cases_per_pallet_max=cases_per_pallet,
-        items_per_case=20,
-        read_rate=0.85,
-        shelf_read_period=60,
-        num_shelves=8,
-        shelving_time_mean=10 * duration,  # nothing leaves: the graph grows
-        shelving_time_jitter=0,
-        belt_dwell=1,
-        seed=seed,
-    )
+    return table3_config(cases_per_pallet, duration, seed)
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +163,74 @@ def get_truth_stream(config: SimulationConfig) -> list:
     if config not in _TRUTH_CACHE:
         _TRUTH_CACHE[config] = ground_truth_stream(get_sim(config))
     return _TRUTH_CACHE[config]
+
+
+# ---------------------------------------------------------------------------
+# micro-timing (no pytest-benchmark required)
+# ---------------------------------------------------------------------------
+
+
+class Stopwatch:
+    """Accumulating monotonic timer for hand-rolled benchmark loops.
+
+    Use as a context manager around the timed region; ``seconds`` sums all
+    entries, ``laps`` records each one::
+
+        watch = Stopwatch()
+        for readings in stream:
+            with watch:
+                spire.process_epoch(readings)
+        print(watch.seconds, watch.mean)
+    """
+
+    def __init__(self) -> None:
+        self.laps: list[float] = []
+        self._entered_at = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._entered_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.laps.append(time.perf_counter() - self._entered_at)
+
+    @property
+    def seconds(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        return self.seconds / len(self.laps) if self.laps else 0.0
+
+    @property
+    def median(self) -> float:
+        return median(self.laps) if self.laps else 0.0
+
+
+def time_callable(fn, *, warmup: int = 1, rounds: int = 5) -> dict:
+    """Median-of-``rounds`` wall time of ``fn()`` after ``warmup`` calls.
+
+    A minimal stand-in for ``benchmark.pedantic`` that needs no pytest
+    plugin: warmup rounds populate caches (bytecode, memoised traces)
+    without being counted, then the median of the measured rounds damps
+    scheduler noise.  Returns ``{"median_s", "min_s", "max_s", "rounds",
+    "result"}`` where ``result`` is the last call's return value.
+    """
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    timings = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - t0)
+    return {
+        "median_s": median(timings),
+        "min_s": min(timings),
+        "max_s": max(timings),
+        "rounds": rounds,
+        "result": result,
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -18,65 +18,32 @@ times differ from the paper's, and the update/inference split differs too
 (our Fig.-4 statistics pass costs about as much as inference; the paper
 found inference dominant).  Milestones are scaled down by default
 (SPIRE_BENCH_SCALE=paper raises them).
+
+The sweep itself lives in :mod:`repro.experiments.table3` (shared with the
+``repro-spire bench`` subcommand and the CI perf-smoke job); this test
+drives it once and checks the shape of the result — no pytest-benchmark
+fixture involved.
 """
 
-import pytest
-
-from repro.core.params import InferenceParams
-from repro.core.pipeline import Deployment, Spire
+from repro.experiments.table3 import (
+    DEFAULT_CASES_PER_PALLET,
+    duration_for,
+    run_sweep,
+)
 
 from benchmarks._shared import PAPER_SCALE, Table, get_sim, scale_config
 
 MILESTONES = (
     [25_000, 55_000, 95_000, 135_000, 175_000] if PAPER_SCALE else [2_000, 4_000, 8_000, 12_000]
 )
-#: with a pallet every 2*cases epochs and nothing leaving the shelves, the
-#: graph grows by ~cases*(items+1)+1 objects per pallet period
-CASES_PER_PALLET = 5
-GROWTH_PER_EPOCH = (1 + CASES_PER_PALLET * 21) / (2 * CASES_PER_PALLET)
-DURATION = int(MILESTONES[-1] / GROWTH_PER_EPOCH) + 200
+CASES_PER_PALLET = DEFAULT_CASES_PER_PALLET
+DURATION = duration_for(MILESTONES, CASES_PER_PALLET)
 
 
-def run_experiment() -> list[dict]:
+def test_table3_update_and_inference_cost():
     sim = get_sim(scale_config(CASES_PER_PALLET, DURATION))
-    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
-    spire = Spire(deployment, InferenceParams(), compression_level=2)
-
-    rows: list[dict] = []
-    window = {"update": 0.0, "inference": 0.0, "epochs": 0,
-              "complete_update": 0.0, "complete_inference": 0.0, "completes": 0}
-    pending = list(MILESTONES)
-    for readings in sim.stream:
-        if not pending:
-            break
-        output = spire.process_epoch(readings)
-        window["update"] += output.update_seconds
-        window["inference"] += output.inference_seconds
-        window["epochs"] += 1
-        if output.complete:
-            window["complete_update"] += output.update_seconds
-            window["complete_inference"] += output.inference_seconds
-            window["completes"] += 1
-        nodes = spire.graph.node_count
-        if nodes >= pending[0] and window["completes"] >= 2:
-            rows.append(
-                {
-                    "nodes": nodes,
-                    "edges": spire.graph.edge_count,
-                    "avg_update": window["update"] / window["epochs"],
-                    "avg_inference": window["inference"] / window["epochs"],
-                    "complete_update": window["complete_update"] / window["completes"],
-                    "complete_inference": window["complete_inference"] / window["completes"],
-                }
-            )
-            pending.pop(0)
-            window = {k: 0.0 for k in window}
-    return rows
-
-
-@pytest.mark.benchmark(group="table3")
-def test_table3_update_and_inference_cost(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    sweep = run_sweep(sim, MILESTONES)
+    rows = sweep["milestones"]
 
     table = Table(
         "Table III: per-epoch costs (s) of graph update and inference",
@@ -91,27 +58,30 @@ def test_table3_update_and_inference_cost(benchmark):
     )
     for row in rows:
         table.add(
-            row["nodes"],
-            row["edges"],
-            row["avg_update"],
-            row["avg_inference"],
-            row["avg_update"] + row["avg_inference"],
-            row["complete_update"] + row["complete_inference"],
+            row.nodes,
+            row.edges,
+            row.avg_update_s,
+            row.avg_inference_s,
+            row.avg_update_s + row.avg_inference_s,
+            row.complete_epoch_s,
         )
     table.show()
+    hits, misses = sweep["cache_hits"], sweep["cache_misses"]
+    print(f"decision cache: {hits} hits / {misses} misses "
+          f"({hits / max(hits + misses, 1):.1%})")
 
     assert len(rows) >= 3, "graph never reached enough milestones"
     # averaged per-epoch cost stays well inside the 1 s epoch at bench scale
     if not PAPER_SCALE:
         for row in rows:
-            assert row["avg_update"] + row["avg_inference"] < 0.5
+            assert row.avg_update_s + row.avg_inference_s < 0.5
     # update and inference are the same order of magnitude (the paper found
     # inference dominant in its Java prototype; see the module docstring)
     for row in rows[1:]:
-        ratio = row["avg_inference"] / max(row["avg_update"], 1e-9)
+        ratio = row.avg_inference_s / max(row.avg_update_s, 1e-9)
         assert 0.2 < ratio < 10.0
     # costs grow with the graph
     first, last = rows[0], rows[-1]
-    assert (last["avg_update"] + last["avg_inference"]) > (
-        first["avg_update"] + first["avg_inference"]
+    assert (last.avg_update_s + last.avg_inference_s) > (
+        first.avg_update_s + first.avg_inference_s
     )

@@ -12,7 +12,10 @@ Subcommands cover the trace lifecycle:
 * ``chaos`` — run the same simulation fault-free and under a fault
   schedule (reader outages, dropped/delayed/duplicated batches, unknown
   readers) through the resilient ingestion front-end, and report the
-  event-stream F-measure degradation.
+  event-stream F-measure degradation;
+* ``bench`` — run the Table III per-epoch cost sweep and write the
+  ``BENCH_table3.json`` payload (optionally gating against a committed
+  baseline; see docs/BENCHMARKS.md).
 
 Examples::
 
@@ -22,6 +25,8 @@ Examples::
     repro-spire query events.bin --object case:3 --at 500
     repro-spire query events.bin --object case:3 --path
     repro-spire chaos --duration 600 --outage-epochs 50 --drop-rate 0.02 --delay-rate 0.05
+    repro-spire bench -o BENCH_table3.json --compare-full
+    repro-spire bench --milestones 1000 2000 --check-against benchmarks/baselines/perf_smoke.json
 """
 
 from __future__ import annotations
@@ -318,6 +323,57 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the Table III speed sweep and write ``BENCH_table3.json``."""
+    from repro.experiments import table3
+
+    milestones = args.milestones or list(table3.DEFAULT_MILESTONES)
+    payload = table3.run_table3(
+        milestones=milestones,
+        cases_per_pallet=args.cases,
+        seed=args.seed,
+        compare_full=args.compare_full,
+    )
+    rows = payload["incremental"]["milestones"]
+    print(f"workload: {payload['workload']['duration']} epochs, "
+          f"{args.cases} cases/pallet, seed {args.seed}")
+    print(f"{'milestone':>9}  {'nodes':>6}  {'edges':>7}  "
+          f"{'avg/epoch':>10}  {'complete':>10}")
+    for row in rows:
+        print(f"{row['milestone']:>9}  {row['nodes']:>6}  {row['edges']:>7}  "
+              f"{row['avg_epoch_s'] * 1000:>8.2f}ms  "
+              f"{row['complete_epoch_s'] * 1000:>8.1f}ms")
+    hits, misses = payload["incremental"]["cache_hits"], payload["incremental"]["cache_misses"]
+    print(f"decision cache: {hits} hits / {misses} misses "
+          f"({hits / max(hits + misses, 1):.1%}); peak RSS {payload['peak_rss_kb']} kB")
+    if args.compare_full:
+        for entry in payload["speedup_vs_full_scan"]:
+            print(f"speedup vs full scan @ {entry['milestone']}: "
+                  f"avg {entry['avg_epoch']:.2f}x, complete {entry['complete_epoch']:.2f}x")
+
+    exit_code = 0
+    if args.check_against:
+        baseline_path = Path(args.check_against)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        problems = table3.check_regression(
+            payload, table3.load_payload(baseline_path), args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"regression: {problem}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"regression check vs {baseline_path}: ok "
+                  f"(tolerance {args.max_regression:.0%})")
+
+    if args.output:
+        table3.write_payload(payload, args.output)
+        print(f"wrote {args.output}")
+    return exit_code
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Answer point/path/tree queries over a persisted event stream."""
     with Path(args.events).open("rb") as fp:
@@ -412,6 +468,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--max-degradation", type=float, default=None,
                        help="fail (exit 1) if F-measure degrades by more than this many points")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the Table III speed sweep (writes BENCH_table3.json)"
+    )
+    bench.add_argument(
+        "--milestones", type=int, nargs="+", default=None,
+        help="node-count milestones to window costs at (default: 2k 4k 8k 12k)",
+    )
+    bench.add_argument("--cases", type=int, default=5, help="cases per pallet")
+    bench.add_argument("--seed", type=int, default=41)
+    bench.add_argument("-o", "--output", default=None,
+                       help="write the JSON payload here (e.g. BENCH_table3.json)")
+    bench.add_argument("--compare-full", action="store_true",
+                       help="also run the full-scan pipeline and report speedups")
+    bench.add_argument("--check-against", default=None,
+                       help="baseline payload to gate against (exit 1 on regression)")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="allowed fractional avg-epoch regression vs the baseline")
+    bench.set_defaults(func=cmd_bench)
 
     query = subparsers.add_parser("query", help="query a persisted event stream")
     query.add_argument("events", help="event stream file written by 'interpret'")

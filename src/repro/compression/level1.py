@@ -31,7 +31,7 @@ from repro.events.messages import (
 from repro.model.objects import TagId
 
 
-@dataclass
+@dataclass(slots=True)
 class ObjectState:
     """Last reported state of one object inside a compressor.
 
@@ -102,6 +102,14 @@ class RangeCompressor:
     def state_of(self, tag: TagId) -> ObjectState | None:
         """Current reported state of ``tag`` (read-only use)."""
         return self._states.get(tag)
+
+    def forget(self, tag: TagId) -> None:
+        """Drop ``tag``'s state without emitting anything.
+
+        Only safe when the object has no open intervals (nothing to close);
+        used by staleness eviction, which checks exactly that.
+        """
+        self._states.pop(tag, None)
 
     @property
     def tracked_objects(self) -> int:

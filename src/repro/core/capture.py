@@ -109,8 +109,30 @@ class GraphUpdater:
         #: the edge statistics: the missing read is explained by the outage
         #: and must not erode containment evidence or confirmations.
         self.suppressed_colors: frozenset[int] = frozenset()
+        # registration-time reader cache (see register_readers)
+        self._registered: dict[int, ReaderInfo] | None = None
+        self._derived: dict[int, tuple[ReaderInfo, int | None]] = {}
 
     # ------------------------------------------------------------------
+
+    def register_readers(self, readers: dict[int, ReaderInfo]) -> None:
+        """Cache per-reader derived values at registration time.
+
+        Derives once what :meth:`apply_epoch` would otherwise recompute per
+        epoch: the singulation *child* level a special reader confirms
+        parents at, bundled with the info record so the per-epoch loop does
+        a single dict lookup per reporting reader.
+        """
+        self._registered = readers
+        self._derived = {
+            reader_id: (
+                info,
+                info.singulation_level - 1
+                if info.singulation_level is not None
+                else None,
+            )
+            for reader_id, info in readers.items()
+        }
 
     def begin_epoch(self) -> None:
         """Start a new epoch: uncolor all nodes, reset per-epoch state."""
@@ -124,12 +146,16 @@ class GraphUpdater:
         now: int,
     ) -> None:
         """Apply a full (deduplicated) epoch of readings, one reader at a time."""
+        if readers is not self._registered:
+            self.register_readers(readers)
+        derived = self._derived
         self.begin_epoch()
         for reader_id in sorted(readings.by_reader):
-            info = readers.get(reader_id)
-            if info is None:
+            entry = derived.get(reader_id)
+            if entry is None:
                 raise KeyError(f"reading from unknown reader id {reader_id}")
-            self.apply_reader(readings.by_reader[reader_id], info, now)
+            self.apply_reader(readings.by_reader[reader_id], entry[0], now)
+        self.graph.finalize_epoch()
 
     def apply_reader(self, tags: list[TagId], info: ReaderInfo, now: int) -> None:
         """The ``graph_update(G, R_k)`` procedure of Fig. 4 for one reader."""
@@ -147,7 +173,7 @@ class GraphUpdater:
                 newly_colored.append(node)
 
         if info.is_exit:
-            self.exiting.update(tag for tag in tags)
+            self.exiting.update(tags)
 
         confirmation = (
             Confirmation.from_readings(tags, info.singulation_level)
@@ -181,77 +207,178 @@ class GraphUpdater:
         If the adjacent layer has no node of this color, the edge is drawn
         to the next higher/lower layer that does (§III-B step 2), so e.g. an
         item whose case was missed can still be tied to a co-located pallet.
+
+        Candidates are taken in tag order: the colored-at index holds sets,
+        whose iteration order follows object identity hashes — letting that
+        order leak into edge insertion order (and through dict-order
+        tie-breaking, into container choices) makes otherwise identical
+        runs diverge between processes.
+
+        **Confirmation-aware filtering** (DESIGN.md §8): a child bound to a
+        different parent by a standing, conflict-free special-reader
+        confirmation draws no new candidate edge.  While the confirmation is
+        unconflicted the confirmed edge only ever receives co-location
+        pushes (a contradicting push records a conflict in the same breath),
+        so its Eq. 2 confidence stays at the ``(1 - beta) + beta`` ceiling
+        and strictly dominates any rival's ``beta``-bounded confidence —
+        the rival could never be chosen, but would be maintained forever
+        when the pair keeps sharing a location (e.g. co-shelved objects).
+        The first conflict, or the confirmed parent leaving the graph,
+        reopens normal candidate generation.
         """
         graph = self.graph
+        tag = node.tag
         above = graph.closest_colored_level(node.level, color, direction=+1)
         if above is not None:
-            for parent in list(graph.colored_at(above, color)):
-                graph.add_edge(parent, node, now)
+            confirmed = self._binding_parent(node)
+            if confirmed is not None:
+                if confirmed.color == color and confirmed.level > node.level:
+                    graph.add_edge(confirmed, node, now)
+            else:
+                for parent in sorted(graph.colored_at(above, color), key=lambda n: n.tag):
+                    graph.add_edge(parent, node, now)
         below = graph.closest_colored_level(node.level, color, direction=-1)
         if below is not None:
-            for child in list(graph.colored_at(below, color)):
-                graph.add_edge(node, child, now)
+            for child in sorted(graph.colored_at(below, color), key=lambda n: n.tag):
+                confirmed = self._binding_parent(child)
+                if confirmed is None or confirmed.tag == tag:
+                    graph.add_edge(node, child, now)
+
+    def _binding_parent(self, node: GraphNode) -> GraphNode | None:
+        """The node's confirmed parent, when that confirmation still binds:
+        conflict-free and the parent still in the graph (see
+        :meth:`_add_candidate_edges`)."""
+        confirmed = node.confirmed_parent
+        if confirmed is None or node.confirmed_conflicts:
+            return None
+        return self.graph.get(confirmed)
 
     # ------------------------------------------------------------------
     # steps 3 + 4
     # ------------------------------------------------------------------
 
     def _refresh_edges(self, node: GraphNode, confirmation: Confirmation, now: int) -> None:
-        """Drop outdated edges of ``node`` and update edge statistics."""
+        """Drop outdated edges of ``node`` and update edge statistics.
+
+        ``node`` is colored (the caller iterates this epoch's colored
+        nodes), which lets the parent-side and child-side loops specialise
+        the co-location and skip tests instead of re-deriving them per edge
+        via :meth:`GraphEdge.other`.  Removals are collected and applied
+        after the loops so the edge dicts can be iterated without snapshot
+        copies; per-edge work is independent, so deferral does not change
+        behaviour.
+        """
         graph = self.graph
         size = self.params.history_size
-        for edge in list(node.edges()):
-            other = edge.other(node)
+        mask = (1 << size) - 1
+        color = node.color
+        tag = node.tag
+        parent_of = confirmation.parent_of
+        top = confirmation.top_container
+        suppressed = self.suppressed_colors
+        dirty_add = graph._dirty.add
+        removals: list = []
 
-            # §III-B cost analysis: an edge whose two endpoints share this
-            # epoch's color is visited only once, from the higher packaging
-            # level (the parent endpoint).  Both endpoints of a same-colored
-            # edge are colored by the same reader (one reader per location),
-            # so the parent-side visit within this call does the full work.
-            if (
-                other.is_colored
-                and other.color == node.color
-                and edge.parent is not node
-            ):
-                continue
+        # node as the parent endpoint: same-colored edges are visited only
+        # once, from here — the higher packaging level (§III-B cost
+        # analysis; both endpoints of a same-colored edge are colored by
+        # the same reader, so this visit does the full work).  The history
+        # push and version bump (GraphEdge.push_history + Graph.mark_changed)
+        # are inlined: this loop touches every standing edge of every
+        # colored node each epoch and the call dispatch alone dominates it.
+        for edge in node.children.values():
+            child = edge.child
+            co_located = child.color == color
 
             # Step 3 (lines 15-20): removal applies to pre-existing edges.
             if edge.created_at < now:
-                if other.is_colored and other.color != node.color:
-                    graph.remove_edge(edge)
+                if child.color is not None and not co_located:
+                    removals.append(edge)
                     continue
-                child = edge.child
-                if confirmation.top_container == child.tag:
+                child_tag = child.tag
+                if top == child_tag:
                     # the child is confirmed to be a top-level container
-                    graph.remove_edge(edge)
+                    removals.append(edge)
                     continue
-                confirmed = confirmation.parent_of.get(child.tag)
-                if confirmed is not None and confirmed != edge.parent.tag:
+                confirmed = parent_of.get(child_tag)
+                if confirmed is not None and confirmed != tag:
                     # the child has a different confirmed parent this epoch
-                    graph.remove_edge(edge)
+                    removals.append(edge)
                     continue
 
             # Step 4 (lines 21-31): update statistics once per epoch.
             if edge.update_time < now:
-                co_located = (
-                    edge.parent.is_colored
-                    and edge.child.is_colored
-                    and edge.parent.color == edge.child.color
-                )
-                if not co_located and self._outage_explains(other):
+                if not co_located and suppressed and self._outage_explains(child):
                     # graceful degradation: the partner was last seen at a
                     # location whose reader is down, so this epoch carries
                     # no co-location evidence either way
                     edge.update_time = now
                     continue
-                edge.push_history(co_located, size)
+                old = edge.history
+                new = ((old << 1) | 1) & mask if co_located else (old << 1) & mask
+                edge.history = new
+                if edge.filled < size:
+                    edge.filled += 1
+                    child.version += 1
+                    dirty_add(child)
+                elif new != old:
+                    child.version += 1
+                    dirty_add(child)
                 if co_located:
-                    if confirmation.parent_of.get(edge.child.tag) == edge.parent.tag:
-                        edge.child.set_confirmed_parent(edge.parent.tag, now)
-                else:
-                    if edge.child.confirmed_parent == edge.parent.tag:
-                        edge.child.record_conflict()
+                    if parent_of.get(child.tag) == tag:
+                        if child.confirmed_parent != tag or child.confirmed_conflicts:
+                            child.version += 1
+                            dirty_add(child)
+                        child.set_confirmed_parent(tag, now)
+                elif child.confirmed_parent == tag:
+                    child.record_conflict()
+                    child.version += 1
+                    dirty_add(child)
                 edge.update_time = now
+
+        # node as the child endpoint: a parent sharing this epoch's color
+        # was (or will be) handled by its own parent-side visit above, so
+        # only differently-colored or unobserved parents remain — never a
+        # co-location.
+        for edge in node.parents.values():
+            parent = edge.parent
+            if parent.color == color:
+                continue
+
+            if edge.created_at < now:
+                if parent.color is not None:
+                    removals.append(edge)
+                    continue
+                if top == tag:
+                    removals.append(edge)
+                    continue
+                confirmed = parent_of.get(tag)
+                if confirmed is not None and confirmed != parent.tag:
+                    removals.append(edge)
+                    continue
+
+            if edge.update_time < now:
+                if suppressed and self._outage_explains(parent):
+                    edge.update_time = now
+                    continue
+                old = edge.history
+                new = (old << 1) & mask
+                edge.history = new
+                if edge.filled < size:
+                    edge.filled += 1
+                    node.version += 1
+                    dirty_add(node)
+                elif new != old:
+                    node.version += 1
+                    dirty_add(node)
+                if node.confirmed_parent == parent.tag:
+                    node.record_conflict()
+                    node.version += 1
+                    dirty_add(node)
+                edge.update_time = now
+
+        for edge in removals:
+            graph.remove_edge(edge)
 
     def _outage_explains(self, other: GraphNode) -> bool:
         """True when ``other`` is unobserved and its last known location's
@@ -284,6 +411,7 @@ class GraphUpdater:
                 continue
             if child.confirmed_parent != parent_tag:
                 child.set_confirmed_parent(parent_tag, now)
+                graph.mark_changed(child)
             # drop alternative parent edges contradicted by the confirmation
             for edge in list(child.parents.values()):
                 if edge.parent.tag != parent_tag and edge.created_at < now:

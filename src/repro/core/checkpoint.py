@@ -23,7 +23,8 @@ from typing import BinaryIO
 from repro.core.pipeline import Spire
 
 #: bump when the pickled object graph changes shape
-CHECKPOINT_VERSION = 1
+#: (2: node/graph change-tracking slots + expiry heap, DESIGN.md §8)
+CHECKPOINT_VERSION = 2
 
 _MAGIC = b"SPIREckpt"
 

@@ -84,13 +84,32 @@ def infer_edges(node: GraphNode, params: InferenceParams) -> GraphEdge | None:
     if not parents:
         return None
     beta = effective_beta(node, params)
+    memory_weight = 1.0 - beta
+    confirmed = node.confirmed_parent
+    alpha = params.alpha
+    history_size = params.history_size
 
     best: GraphEdge | None = None
     z = 0.0
     for edge in parents.values():
-        memory = 1.0 if edge.parent.tag == node.confirmed_parent else 0.0
-        weight = history_weight(edge, params)
-        confidence = (1.0 - beta) * memory + beta * weight
+        # Eq. 1 inlined for the paper's alpha = 0 (all positions equal:
+        # popcount over filled positions); other alphas take the general
+        # Zipf-weighted path.
+        history = edge.history
+        if history == 0:
+            weight = 0.0
+        elif alpha == 0.0:
+            filled = edge.filled
+            weight = history.bit_count() / (
+                filled if filled <= history_size else history_size
+            )
+        else:
+            weight = history_weight(edge, params)
+        confidence = (
+            memory_weight + beta * weight
+            if edge.parent.tag == confirmed
+            else beta * weight
+        )
         edge.confidence = confidence
         edge.prob = confidence  # normalised below
         z += confidence

@@ -25,7 +25,7 @@ class LocationSource(Enum):
     WITHHELD = "withheld"   # partial inference declined to report (§IV-D)
 
 
-@dataclass
+@dataclass(slots=True)
 class Estimate:
     """Location and containment estimate for one object at one epoch.
 

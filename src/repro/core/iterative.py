@@ -11,6 +11,15 @@ from any colored node, whose belief simply decays toward "unknown");
 *partial* inference visits only nodes within ``l`` hops of a colored node
 and withholds "unknown" results, since those may merely reflect readers
 that did not interrogate this epoch (§IV-D).
+
+In **incremental** mode (DESIGN.md §8) the per-node containment decision —
+edge inference, weak-parent pruning and the credibility floor — is cached
+on the node and reused while the node's :attr:`~repro.core.graph.GraphNode.
+version` is unchanged.  The decision's inputs are exactly the version's
+bump sites (parent edge set, edge histories, confirmation state) and are
+independent of epoch age, so a cache hit returns bit-identical values to a
+recomputation; node inference (the location belief) depends on decay age
+and this epoch's neighbour colors and therefore always runs fresh.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from repro.core.graph import UNKNOWN_COLOR, Graph, GraphNode
 from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
 from repro.core.node_inference import infer_node
 from repro.core.params import InferenceParams
+from repro.model.objects import TagId
 
 
 class IterativeInference:
@@ -27,7 +37,9 @@ class IterativeInference:
 
     ``color_periods`` maps location colors to reader interrogation periods;
     node inference measures its decay age in these units (see
-    :mod:`repro.core.node_inference`).
+    :mod:`repro.core.node_inference`).  ``incremental`` enables the cached
+    containment decisions described in the module docstring; the visit
+    schedule and every emitted estimate are identical either way.
     """
 
     def __init__(
@@ -35,15 +47,21 @@ class IterativeInference:
         graph: Graph,
         params: InferenceParams,
         color_periods: dict[int, int] | None = None,
+        incremental: bool = False,
     ) -> None:
         self.graph = graph
         self.params = params
         self.color_periods = color_periods or {}
+        self.incremental = incremental
         #: locations whose readers are presumed dead this epoch (set by the
         #: pipeline from the reader-health monitor); unobserved objects last
         #: seen there stop decaying toward "unknown" — see
         #: :func:`repro.core.node_inference.infer_node`.
         self.suppressed_colors: frozenset[int] = frozenset()
+        #: containment decisions served from cache / recomputed (cumulative;
+        #: for diagnostics and tests)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -88,8 +106,12 @@ class IterativeInference:
         """Unvisited neighbours of the current frontier, in tag order."""
         layer: dict[GraphNode, None] = {}
         for node in frontier:
-            for edge in node.edges():
-                neighbour = edge.other(node)
+            for edge in node.parents.values():
+                neighbour = edge.parent
+                if neighbour not in visited:
+                    layer[neighbour] = None
+            for edge in node.children.values():
+                neighbour = edge.child
                 if neighbour not in visited:
                     layer[neighbour] = None
         for node in layer:
@@ -112,8 +134,7 @@ class IterativeInference:
         # layer must not feed each other, §IV-C).
         beliefs = []
         for node in layer:
-            best = infer_edges(node, self.params)
-            self._prune(node, best)
+            container, container_prob = self._containment_of(node)
             belief = infer_node(
                 node,
                 effective_colors,
@@ -122,11 +143,13 @@ class IterativeInference:
                 self.color_periods,
                 self.suppressed_colors,
             )
-            beliefs.append((node, best, belief))
-        for node, best, belief in beliefs:
+            beliefs.append((node, container, container_prob, belief))
+        for node, container, container_prob, belief in beliefs:
             if belief.color != UNKNOWN_COLOR:
                 effective_colors[node] = belief.color
-            result.add(self._estimate_inferred(node, best, belief, complete))
+            result.add(
+                self._estimate_inferred(node, container, container_prob, belief, complete)
+            )
         return layer
 
     def _infer_layer_nodes(
@@ -141,8 +164,7 @@ class IterativeInference:
         """Inference for nodes disconnected from every colored node."""
         for node in nodes:
             visited.add(node)
-            best = infer_edges(node, self.params)
-            self._prune(node, best)
+            container, container_prob = self._containment_of(node)
             belief = infer_node(
                 node,
                 effective_colors,
@@ -151,33 +173,68 @@ class IterativeInference:
                 self.color_periods,
                 self.suppressed_colors,
             )
-            result.add(self._estimate_inferred(node, best, belief, complete))
+            result.add(
+                self._estimate_inferred(node, container, container_prob, belief, complete)
+            )
 
     # ------------------------------------------------------------------
 
-    def _estimate_colored(self, node: GraphNode) -> Estimate:
+    def _containment_of(self, node: GraphNode) -> tuple[TagId | None, float]:
+        """The node's containment decision: ``(container tag, probability)``.
+
+        Runs edge inference, weak-parent pruning and the credibility floor,
+        caching the outcome against the node's version.  A cache hit means
+        no decision input changed since the last computation, so recomputing
+        would reproduce the cached values bit for bit — including the prune
+        outcome: every surviving parent edge either met the threshold or was
+        exempt (argmax / confirmed), and unchanged inputs yield unchanged
+        confidences.  The version is re-read *after* pruning because edge
+        removal bumps it.
+        """
+        if self.incremental and node.decision_version == node.version:
+            self.cache_hits += 1
+            return node.decision_container, node.decision_prob
+        self.cache_misses += 1
         best = infer_edges(node, self.params)
-        self._prune(node, best)
+        for edge in prune_weak_parents(node, best, self.params):
+            self.graph.remove_edge(edge)
         best = self._credible(best)
+        if best is None:
+            container, prob = None, 0.0
+        else:
+            container, prob = best.parent.tag, best.prob
+        node.decision_container = container
+        node.decision_prob = prob
+        node.decision_version = node.version
+        return container, prob
+
+    def _estimate_colored(self, node: GraphNode) -> Estimate:
+        container, container_prob = self._containment_of(node)
         return Estimate(
             tag=node.tag,
             location=node.color,  # type: ignore[arg-type]
             location_prob=1.0,
             source=LocationSource.OBSERVED,
-            container=best.parent.tag if best is not None else None,
-            container_prob=best.prob if best is not None else 0.0,
+            container=container,
+            container_prob=container_prob,
         )
 
-    def _estimate_inferred(self, node, best, belief, complete: bool) -> Estimate:
+    def _estimate_inferred(
+        self,
+        node: GraphNode,
+        container: TagId | None,
+        container_prob: float,
+        belief,
+        complete: bool,
+    ) -> Estimate:
         withheld = not complete and belief.color == UNKNOWN_COLOR
-        best = self._credible(best)
         return Estimate(
             tag=node.tag,
             location=belief.color,
             location_prob=belief.prob,
             source=LocationSource.WITHHELD if withheld else LocationSource.INFERRED,
-            container=best.parent.tag if best is not None else None,
-            container_prob=best.prob if best is not None else 0.0,
+            container=container,
+            container_prob=container_prob,
         )
 
     def _credible(self, best):
@@ -191,7 +248,3 @@ class IterativeInference:
         if best is not None and threshold > 0.0 and best.confidence < threshold:
             return None
         return best
-
-    def _prune(self, node: GraphNode, best) -> None:
-        for edge in prune_weak_parents(node, best, self.params):
-            self.graph.remove_edge(edge)

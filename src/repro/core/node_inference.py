@@ -101,9 +101,17 @@ def infer_node(
     if gamma > 0.0:
         propagated: dict[int, float] = {}
         z2 = 0.0
-        for edge in node.edges():
-            neighbour = edge.other(node)
-            color = effective_colors.get(neighbour)
+        get_color = effective_colors.get
+        # parent edges first, then child edges — the accumulation order of
+        # node.edges(), preserved so float summation is unchanged
+        for edge in node.parents.values():
+            color = get_color(edge.parent)
+            if color is None or color == UNKNOWN_COLOR:
+                continue
+            propagated[color] = propagated.get(color, 0.0) + edge.prob
+            z2 += edge.prob
+        for edge in node.children.values():
+            color = get_color(edge.child)
             if color is None or color == UNKNOWN_COLOR:
                 continue
             propagated[color] = propagated.get(color, 0.0) + edge.prob

@@ -77,7 +77,7 @@ class Deployment:
         return periods
 
 
-@dataclass
+@dataclass(slots=True)
 class CurrentEstimate:
     """Carried-forward state of one object in the estimate store."""
 
@@ -108,6 +108,12 @@ class EpochOutput:
     update_seconds: float = 0.0
     #: wall-clock cost of inference + conflict resolution this epoch
     inference_seconds: float = 0.0
+    #: size of the graph's dirty set this epoch (nodes whose color state,
+    #: edges or read evidence changed — DESIGN.md §8)
+    dirty_nodes: int = 0
+    #: objects evicted by staleness retention this epoch (see
+    #: ``Spire(retention_epochs=...)``)
+    evicted: list[TagId] = field(default_factory=list)
 
 
 class Spire:
@@ -120,6 +126,8 @@ class Spire:
         compression_level: int = 2,
         complete_period: int | None = None,
         health: ReaderHealthMonitor | bool | None = None,
+        incremental: bool = True,
+        retention_epochs: int | None = None,
     ) -> None:
         """Build a substrate for ``deployment``.
 
@@ -132,19 +140,37 @@ class Spire:
         tolerance.  While the monitor flags a location's readers as dead,
         inference stops decaying posteriors of objects last seen there
         (graceful degradation instead of spurious missing-object events).
+
+        ``incremental`` enables cached containment decisions (DESIGN.md §8):
+        nodes whose decision inputs did not change reuse the previous
+        decision instead of re-running edge inference.  The output stream is
+        identical either way; ``False`` forces the full recompute path (the
+        correctness oracle the equivalence tests and benchmarks compare
+        against).
+
+        ``retention_epochs`` (opt-in) evicts objects not observed for that
+        many epochs, provided they are currently reported missing and have
+        no open event intervals — eviction is then invisible in the output
+        unless the object later returns (it would re-enter as new).  Keeps
+        node/estimate/compressor state bounded on long runs.
         """
         if compression_level not in (1, 2):
             raise ValueError(f"compression_level must be 1 or 2, got {compression_level}")
         if complete_period is not None and complete_period < 1:
             raise ValueError(f"complete_period must be >= 1, got {complete_period}")
+        if retention_epochs is not None and retention_epochs < 1:
+            raise ValueError(f"retention_epochs must be >= 1, got {retention_epochs}")
         self.deployment = deployment
         self.params = params or InferenceParams()
         self.graph = Graph()
         self.dedup = Deduplicator()
         self.updater = GraphUpdater(self.graph, self.params)
+        self.updater.register_readers(deployment.readers)
         self.inference = IterativeInference(
-            self.graph, self.params, deployment.color_periods()
+            self.graph, self.params, deployment.color_periods(),
+            incremental=incremental,
         )
+        self.incremental = incremental
         self.compressor = (
             ContainmentCompressor() if compression_level == 2 else RangeCompressor()
         )
@@ -155,8 +181,10 @@ class Spire:
             if complete_period is not None
             else deployment.complete_inference_period
         )
+        self._retention = retention_epochs
         self._epochs_processed = 0
         self._last_epoch: int | None = None
+        self._last_suppressed: frozenset[int] = frozenset()
         if health is True:
             health = ReaderHealthMonitor(deployment.readers)
         self.health: ReaderHealthMonitor | None = health or None
@@ -183,6 +211,18 @@ class Spire:
 
         t0 = perf_counter()
         self.updater.apply_epoch(clean, self.deployment.readers, now)
+        if self.health is not None:
+            suppressed = self.updater.suppressed_colors
+            if suppressed != self._last_suppressed:
+                # outage onset or recovery: the decay behaviour of every
+                # object last seen at an affected location changes, so
+                # those nodes join this epoch's dirty set (their location
+                # beliefs are always recomputed fresh; this keeps the
+                # dirty-set accounting honest across fault transitions)
+                self.graph.mark_recent_colors_dirty(
+                    suppressed ^ self._last_suppressed
+                )
+                self._last_suppressed = suppressed
         t1 = perf_counter()
 
         complete = now % self._complete_period == 0
@@ -190,8 +230,10 @@ class Spire:
         resolve_conflicts(result)
         t2 = perf_counter()
 
+        dirty_nodes = self.graph.dirty_count
         messages = self._apply_result(result, now)
         departed = self._retire_exited(now, messages)
+        evicted = self._evict_stale(now) if self._retention is not None else []
         self._epochs_processed += 1
         return EpochOutput(
             epoch=now,
@@ -201,6 +243,8 @@ class Spire:
             departed=departed,
             update_seconds=t1 - t0,
             inference_seconds=t2 - t1,
+            dirty_nodes=dirty_nodes,
+            evicted=evicted,
         )
 
     def run(self, stream: ReadingStream | Iterable[EpochReadings]) -> list[EpochOutput]:
@@ -295,11 +339,14 @@ class Spire:
         if record.get("recent_color") is not None and node.recent_color is None:
             node.recent_color = record["recent_color"]
             node.seen_at = record["seen_at"]
+            self.graph.mark_dirty(node)
         confirmed = record.get("confirmed_parent")
         if confirmed is not None and node.confirmed_parent is None:
             node.confirmed_parent = confirmed
             node.confirmed_at = record.get("confirmed_at", now)
             node.confirmed_conflicts = record.get("confirmed_conflicts", 0)
+            # confirmation state is a containment-decision input
+            self.graph.mark_changed(node)
 
     def _retire_exited(self, now: int, messages: list[EventMessage]) -> list[TagId]:
         """Remove nodes of objects read at a proper exit channel (§IV-C)."""
@@ -313,3 +360,35 @@ class Spire:
             self.dedup.forget(tag)
             departed.append(tag)
         return departed
+
+    def _evict_stale(self, now: int) -> list[TagId]:
+        """Evict objects unobserved for ``retention_epochs`` (opt-in).
+
+        Pops only due candidates from the graph's expiry heap — cost is
+        proportional to the number of candidates, never the graph size.  An
+        object is evicted only when its stored location is already unknown
+        and its compressor state holds no open interval, so nothing needs
+        closing and the output stream is unaffected (unless the object
+        reappears later, in which case it re-enters as brand new).
+        Ineligible candidates are deferred a full retention period.
+        """
+        assert self._retention is not None
+        cutoff = now - self._retention
+        evicted: list[TagId] = []
+        for node in self.graph.pop_stale(cutoff):
+            tag = node.tag
+            current = self.estimates.get(tag)
+            state = self.compressor.state_of(tag)
+            reported_gone = current is None or current.location == UNKNOWN_COLOR
+            open_intervals = state is not None and (
+                state.location is not None or state.containment is not None
+            )
+            if reported_gone and not open_intervals:
+                self.graph.remove_node(tag)
+                self.estimates.pop(tag, None)
+                self.dedup.forget(tag)
+                self.compressor.forget(tag)
+                evicted.append(tag)
+            else:
+                self.graph.defer_expiry(node, now + self._retention)
+        return evicted

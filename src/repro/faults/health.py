@@ -46,6 +46,14 @@ class ReaderHealthMonitor:
             raise ValueError(f"silence tolerance k must be >= 1, got {k}")
         self._readers = dict(readers)
         self.k = k
+        # derived at registration time (not per epoch): per-reader silence
+        # limit in epochs, and the color each reader maps to
+        self._silence_limit: dict[int, float] = {
+            reader_id: k * info.period for reader_id, info in self._readers.items()
+        }
+        self._color_of: dict[int, int] = {
+            reader_id: info.color for reader_id, info in self._readers.items()
+        }
         self._last_report: dict[int, int] = {}
         self._baseline: int | None = None
         self._down: set[int] = set()
@@ -72,12 +80,15 @@ class ReaderHealthMonitor:
                         detail="reader reporting again; suppression lifted",
                     )
                 )
-        for reader_id, info in self._readers.items():
-            if reader_id in self._down:
+        last_report = self._last_report
+        baseline = self._baseline
+        down = self._down
+        for reader_id, limit in self._silence_limit.items():
+            if reader_id in down:
                 continue
-            silent_for = now - self._last_report.get(reader_id, self._baseline)
-            if silent_for > self.k * info.period:
-                self._down.add(reader_id)
+            silent_for = now - last_report.get(reader_id, baseline)
+            if silent_for > limit:
+                down.add(reader_id)
                 self.events.append(
                     IngestWarning(
                         kind=WarningKind.READER_SILENT,
@@ -85,7 +96,7 @@ class ReaderHealthMonitor:
                         reader_id=reader_id,
                         detail=(
                             f"no report for {silent_for} epochs "
-                            f"(> {self.k} x period {info.period})"
+                            f"(> {self.k} x period {self._readers[reader_id].period})"
                         ),
                     )
                 )
@@ -107,9 +118,9 @@ class ReaderHealthMonitor:
         """
         live: set[int] = set()
         candidates: set[int] = set()
-        for reader_id, info in self._readers.items():
+        for reader_id, color in self._color_of.items():
             if reader_id in self._down:
-                candidates.add(info.color)
+                candidates.add(color)
             else:
-                live.add(info.color)
+                live.add(color)
         return frozenset(candidates - live)

@@ -5,11 +5,15 @@ functionality is *deduplication* (Section II, final paragraph): when nearby
 readers both report a tag in the same epoch, the tag is assigned to the
 reader that read it most recently.
 
-Within an epoch, "most recently" is resolved by sub-epoch arrival order
-(:attr:`repro.readers.stream.Reading.seq`); across epochs the deduplicator
-remembers each tag's last assignment so ties (identical seq, e.g. when a
-caller builds readings without seq info) fall back to the sticky previous
-assignment, then to the highest reader id for determinism.
+Within an epoch, "most recently" is sub-epoch arrival order: readings are
+ordered by ascending reader id and then list position, exactly the order
+:meth:`repro.readers.stream.EpochReadings.readings` assigns its strictly
+increasing ``seq`` numbers in.  Because ``seq`` strictly increases over
+that traversal, the *last* occurrence of a tag always wins — so the
+deduplicator processes the per-reader batches directly, without
+materialising a ``Reading`` triplet per raw read.  Across epochs the
+deduplicator remembers each tag's last assignment (consumed by zone
+handoff; see :meth:`forget`).
 """
 
 from __future__ import annotations
@@ -34,28 +38,31 @@ class Deduplicator:
         """Return a copy of ``epoch_readings`` with each tag reported once.
 
         The winning reader for a multiply-read tag is the one whose report
-        arrived last within the epoch (highest ``seq``); the original input
-        is not modified.
+        arrived last within the epoch; the original input is not modified.
+        Output tags keep their first-occurrence order (each winner list is
+        ordered by when the tag was *first* reported, matching the
+        insertion-order semantics of the winner map).
         """
-        # latest (seq, reader) per tag this epoch
-        winner: dict[TagId, tuple[int, int]] = {}
-        for reading in epoch_readings.readings():
-            key = (reading.seq, reading.reader_id)
-            prev = winner.get(reading.tag)
-            if prev is None or key > prev:
-                # break exact seq ties toward the sticky previous assignment
-                if (
-                    prev is not None
-                    and reading.seq == prev[0]
-                    and self._last_reader.get(reading.tag) == prev[1]
-                ):
-                    continue
-                winner[reading.tag] = key
+        source = epoch_readings.by_reader
+        # tag -> winning reader; later occurrences overwrite the value but
+        # keep the tag's insertion position, preserving output order
+        winner: dict[TagId, int] = {}
+        for reader_id in sorted(source):
+            tags = source[reader_id]
+            for tag in tags:
+                winner[tag] = reader_id
 
         clean = EpochReadings(epoch=epoch_readings.epoch)
-        for tag, (_seq, reader_id) in winner.items():
-            clean.add(reader_id, [tag])
-            self._last_reader[tag] = reader_id
+        out = clean.by_reader
+        last = self._last_reader
+        for tag, reader_id in winner.items():
+            bucket = out.get(reader_id)
+            if bucket is None:
+                out[reader_id] = [tag]
+            else:
+                bucket.append(tag)
+            last[tag] = reader_id
+        clean.cache_tag_map(winner)
         return clean
 
     def forget(self, tag: TagId) -> None:

@@ -48,6 +48,11 @@ class EpochReadings:
 
     epoch: int
     by_reader: dict[int, list[TagId]] = field(default_factory=dict)
+    # lazily built tag -> winning reader map (excluded from equality/repr;
+    # invalidated by add())
+    _tag_map: dict[TagId, int] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def add(self, reader_id: int, tags: Iterable[TagId]) -> None:
         """Append ``tags`` to the given reader's reading set."""
@@ -55,6 +60,25 @@ class EpochReadings:
         if not tags:
             return
         self.by_reader.setdefault(reader_id, []).extend(tags)
+        self._tag_map = None
+
+    def cache_tag_map(self, tag_map: dict[TagId, int]) -> None:
+        """Install a precomputed tag→reader map (used by the deduplicator,
+        whose winner map is exactly this epoch's assignment)."""
+        self._tag_map = tag_map
+
+    def tag_to_reader(self) -> dict[TagId, int]:
+        """Map each tag to the reader that reported it (last report wins,
+        in :meth:`readings` order).  Built once and cached; deduplicated
+        epochs get the map for free from the deduplicator."""
+        tag_map = self._tag_map
+        if tag_map is None:
+            tag_map = {}
+            for reader_id in sorted(self.by_reader):
+                for tag in self.by_reader[reader_id]:
+                    tag_map[tag] = reader_id
+            self._tag_map = tag_map
+        return tag_map
 
     def readings(self) -> Iterator[Reading]:
         """Flatten to raw triplets (with deterministic sub-epoch ``seq``)."""
@@ -76,6 +100,8 @@ class EpochReadings:
 
     def tags_seen(self) -> set[TagId]:
         """Distinct tags observed by any reader this epoch."""
+        if self._tag_map is not None:
+            return set(self._tag_map)
         seen: set[TagId] = set()
         for tags in self.by_reader.values():
             seen.update(tags)

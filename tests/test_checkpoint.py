@@ -86,10 +86,12 @@ class TestValidation:
     def test_non_spire_payload_rejected(self, tmp_path):
         import pickle
 
+        from repro.core.checkpoint import CHECKPOINT_VERSION
+
         path = tmp_path / "state.ckpt"
         with path.open("wb") as fp:
             fp.write(b"SPIREckpt")
-            pickle.dump({"version": 1, "spire": "nope"}, fp)
+            pickle.dump({"version": CHECKPOINT_VERSION, "spire": "nope"}, fp)
         with pytest.raises(CheckpointError, match="Spire instance"):
             load_checkpoint(path)
 

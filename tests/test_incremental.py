@@ -1,0 +1,301 @@
+"""Tests for the incremental dirty-set / decision-cache layer (DESIGN.md §8).
+
+The load-bearing property is **exact equivalence**: with ``incremental=True``
+the pipeline may reuse cached containment decisions and report dirty-set
+sizes, but every emitted event message must be byte-identical to the
+full-scan pipeline's — across clean runs, chaos-injected runs with reader
+outages, and checkpoint round-trips.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.capture import ReaderInfo
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.graph import Graph
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, Spire
+from repro.faults import (
+    DelayBatches,
+    DropBatches,
+    FaultInjector,
+    ReaderHealthMonitor,
+    ReaderOutage,
+    ResilientStream,
+)
+from repro.model.locations import UNKNOWN_COLOR
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+from tests.conftest import case, epoch_readings, item, make_deployment
+
+DOCK = ReaderInfo(reader_id=0, color=0)
+SHELF = ReaderInfo(reader_id=1, color=1, period=5)
+DEPLOYMENT = make_deployment(DOCK, SHELF)
+
+
+def _sim(seed: int, duration: int = 500) -> "WarehouseSimulator":
+    config = SimulationConfig(
+        duration=duration,
+        pallet_period=120,
+        cases_per_pallet_min=3,
+        cases_per_pallet_max=3,
+        items_per_case=5,
+        read_rate=0.85,
+        shelf_read_period=20,
+        num_shelves=2,
+        shelving_time_mean=150,
+        shelving_time_jitter=40,
+        seed=seed,
+    )
+    return WarehouseSimulator(config).run()
+
+
+def _stream_pair(sim, epochs, health: bool):
+    """Run incremental and full-scan pipelines over the same epochs."""
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    streams = []
+    spires = []
+    for incremental in (True, False):
+        spire = Spire(
+            deployment,
+            InferenceParams(),
+            compression_level=2,
+            incremental=incremental,
+            health=ReaderHealthMonitor(deployment.readers) if health else None,
+        )
+        messages = []
+        for readings in epochs:
+            messages.extend(str(m) for m in spire.process_epoch(readings).messages)
+        streams.append(messages)
+        spires.append(spire)
+    return streams, spires
+
+
+class TestEquivalence:
+    """Incremental mode must be invisible in the output."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_clean_run_byte_identical(self, seed):
+        sim = _sim(seed)
+        (inc, full), (spire_inc, spire_full) = _stream_pair(sim, sim.stream, health=False)
+        assert inc == full
+        assert spire_inc.inference.cache_hits > 0  # the cache actually engaged
+        assert spire_inc.graph.node_count == spire_full.graph.node_count
+        assert spire_inc.graph.edge_count == spire_full.graph.edge_count
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_chaos_run_byte_identical(self, seed):
+        """Fixed-seed fault injection (outage + drops + delays) through the
+        resilient front-end: the dirty-set path must reproduce the
+        full-scan event stream exactly, including suppression windows."""
+        sim = _sim(seed, duration=400)
+        shelves = [r for r in sim.layout.readers if "shelf" in r.location.name]
+        schedule = [
+            ReaderOutage(reader_id=shelves[0].reader_id, start=100, duration=60),
+            DropBatches(rate=0.03),
+            DelayBatches(rate=0.05, max_delay=3),
+        ]
+        injector = FaultInjector(sim.stream, schedule, seed=seed)
+        epochs = list(
+            ResilientStream(
+                injector,
+                max_delay=3,
+                known_readers=[r.reader_id for r in sim.layout.readers],
+            )
+        )
+        (inc, full), _ = _stream_pair(sim, epochs, health=True)
+        assert inc == full
+
+    def test_same_process_runs_deterministic(self):
+        """Two identical pipelines in one process emit identical streams
+        (guards the tag-ordered candidate iteration; identity-hash order
+        used to leak allocation addresses into tie-breaking)."""
+        sim = _sim(seed=13, duration=300)
+        deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+        streams = []
+        for _ in range(2):
+            spire = Spire(deployment, InferenceParams(), compression_level=2)
+            messages = []
+            for readings in sim.stream:
+                messages.extend(str(m) for m in spire.process_epoch(readings).messages)
+            streams.append(messages)
+        assert streams[0] == streams[1]
+
+    def test_checkpoint_roundtrip_preserves_incremental_state(self):
+        sim = _sim(seed=7, duration=240)
+        deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+        spire = Spire(deployment, InferenceParams(), incremental=True)
+        epochs = list(sim.stream)
+        for readings in epochs[:120]:
+            spire.process_epoch(readings)
+        buffer = io.BytesIO()
+        save_checkpoint(spire, buffer)
+        buffer.seek(0)
+        restored = load_checkpoint(buffer)
+        for readings in epochs[120:]:
+            a = [str(m) for m in spire.process_epoch(readings).messages]
+            b = [str(m) for m in restored.process_epoch(readings).messages]
+            assert a == b
+
+
+class TestDirtyTracking:
+    def test_new_node_is_dirty(self):
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        assert node in graph.dirty_nodes()
+        assert graph.dirty_count == 1
+
+    def test_unchanged_recolor_not_dirty(self):
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, 1, now=0)
+        graph.finalize_epoch()
+        # same color next epoch: no color-state change
+        graph.begin_epoch()
+        graph.set_color(node, 1, now=1)
+        graph.finalize_epoch()
+        assert node not in graph.dirty_nodes()
+
+    def test_color_change_is_dirty(self):
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, 1, now=0)
+        graph.finalize_epoch()
+        graph.begin_epoch()
+        graph.set_color(node, 2, now=1)
+        assert node in graph.dirty_nodes()
+
+    def test_lost_color_is_dirty(self):
+        """A node colored last epoch but unobserved this epoch changed
+        state (colored -> uncolored) and must enter the dirty set."""
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, 1, now=0)
+        graph.finalize_epoch()
+        graph.begin_epoch()
+        graph.finalize_epoch()
+        assert node in graph.dirty_nodes()
+
+    def test_edge_change_bumps_child_version_only(self):
+        graph = Graph()
+        graph.begin_epoch()
+        parent = graph.get_or_create(case(1), now=0)
+        child = graph.get_or_create(item(1), now=0)
+        v_parent, v_child = parent.version, child.version
+        edge = graph.add_edge(parent, child, now=0)
+        assert child.version == v_child + 1  # parent set is a decision input
+        assert parent.version == v_parent  # child set only feeds node inference
+        assert parent in graph.dirty_nodes()
+        graph.remove_edge(edge)
+        assert child.version == v_child + 2
+
+    def test_history_value_change_bumps_version(self):
+        graph = Graph()
+        graph.begin_epoch()
+        parent = graph.get_or_create(case(1), now=0)
+        child = graph.get_or_create(item(1), now=0)
+        edge = graph.add_edge(parent, child, now=0)
+        v = child.version
+        assert edge.push_history(True, size=4)  # filling: value changes
+        graph.mark_changed(child)
+        assert child.version == v + 1
+        for _ in range(4):
+            edge.push_history(True, size=4)
+        # saturated all-ones: another co-location push changes nothing
+        assert not edge.push_history(True, size=4)
+
+    def test_pipeline_reports_dirty_nodes(self):
+        spire = Spire(DEPLOYMENT)
+        out = spire.process_epoch(epoch_readings(0, {0: [case(1), item(1)]}))
+        assert out.dirty_nodes >= 2
+
+
+class TestDecisionCache:
+    def test_cache_hits_accumulate_on_stable_graph(self):
+        spire = Spire(DEPLOYMENT, incremental=True)
+        # saturate the edge history, then repeat identical epochs
+        for epoch in range(40):
+            spire.process_epoch(epoch_readings(epoch, {0: [case(1), item(1)]}))
+        assert spire.inference.cache_hits > 0
+
+    def test_full_scan_mode_never_hits(self):
+        spire = Spire(DEPLOYMENT, incremental=False)
+        for epoch in range(10):
+            spire.process_epoch(epoch_readings(epoch, {0: [case(1), item(1)]}))
+        assert spire.inference.cache_hits == 0
+
+
+class TestExpiryHeap:
+    def test_pop_stale_returns_only_expired(self):
+        graph = Graph()
+        graph.begin_epoch()
+        old = graph.get_or_create(item(1), now=0)
+        fresh = graph.get_or_create(item(2), now=50)
+        stale = graph.pop_stale(cutoff=10)
+        assert old in stale and fresh not in stale
+
+    def test_refreshed_node_requeued_not_yielded(self):
+        """A node re-observed since its heap entry was pushed is re-queued
+        at its true last-seen time instead of being reported stale."""
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        graph.set_color(node, 1, now=40)  # refreshes seen_at
+        assert graph.pop_stale(cutoff=10) == []
+        assert graph.pop_stale(cutoff=60) == [node]
+
+    def test_defer_expiry_postpones(self):
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        graph.defer_expiry(node, until=100)
+        assert graph.pop_stale(cutoff=50) == []
+        assert graph.pop_stale(cutoff=150) == [node]
+
+    def test_removed_node_not_yielded(self):
+        graph = Graph()
+        graph.begin_epoch()
+        node = graph.get_or_create(item(1), now=0)
+        graph.remove_node(node.tag)
+        assert graph.pop_stale(cutoff=10) == []
+
+
+class TestRetentionEviction:
+    def test_requires_positive_retention(self):
+        with pytest.raises(ValueError, match="retention_epochs"):
+            Spire(DEPLOYMENT, retention_epochs=0)
+
+    def test_stale_unknown_object_evicted(self):
+        spire = Spire(DEPLOYMENT, retention_epochs=30)
+        spire.process_epoch(epoch_readings(0, {0: [case(1), item(1)]}))
+        evicted = []
+        for epoch in range(1, 200):
+            out = spire.process_epoch(epoch_readings(epoch, {}))
+            evicted.extend(out.evicted)
+        # once decayed to unknown and past retention, both objects go
+        assert set(evicted) == {case(1), item(1)}
+        assert spire.graph.node_count == 0
+        assert spire.location_of(item(1)) == UNKNOWN_COLOR
+
+    def test_observed_object_retained(self):
+        spire = Spire(DEPLOYMENT, retention_epochs=30)
+        for epoch in range(120):
+            out = spire.process_epoch(epoch_readings(epoch, {0: [case(1), item(1)]}))
+            assert out.evicted == []
+        assert spire.graph.node_count == 2
+
+    def test_eviction_off_by_default(self):
+        spire = Spire(DEPLOYMENT)
+        spire.process_epoch(epoch_readings(0, {0: [case(1), item(1)]}))
+        for epoch in range(1, 200):
+            out = spire.process_epoch(epoch_readings(epoch, {}))
+            assert out.evicted == []
+        assert spire.graph.node_count == 2

@@ -52,7 +52,7 @@ class TestRunSpire:
     def test_custom_params_change_results(self, small_sim):
         default = run_spire(small_sim, score=False)
         eager = run_spire(
-            small_sim, params=InferenceParams(theta=6.0), score=False
+            small_sim, params=InferenceParams(prune_threshold=0.45), score=False
         )
         assert len(default.messages) != len(eager.messages)
 
