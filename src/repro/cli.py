@@ -260,28 +260,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if args.dup_rate > 0:
             schedule.append(DuplicateBatches(rate=args.dup_rate))
 
-    # fault-free baseline
-    baseline = Spire(deployment, InferenceParams(), compression_level=args.compression)
-    baseline_messages = []
-    for epoch_readings in sim.stream:
-        baseline_messages.extend(baseline.process_epoch(epoch_readings).messages)
-
-    # faulted run: injector -> resilient front-end -> substrate with health
     injector = FaultInjector(sim.stream, schedule, seed=args.fault_seed)
     resilient = ResilientStream(
         injector,
         max_delay=args.max_delay,
         known_readers=[r.reader_id for r in sim.layout.readers],
     )
-    faulted = Spire(
-        deployment,
-        InferenceParams(),
-        compression_level=args.compression,
-        health=ReaderHealthMonitor(deployment.readers, k=args.health_k),
-    )
-    faulted_messages = []
-    for epoch_readings in resilient:
-        faulted_messages.extend(faulted.process_epoch(epoch_readings).messages)
+
+    faulted = None
+    faulted_coordinator = None
+    if args.workers:
+        # zone-sharded engine: both runs go through ParallelCoordinator so
+        # the degradation isolates the faults, not the execution model
+        from repro.distributed import ParallelCoordinator, partition_by_location
+        from repro.experiments.table3 import scaling_zone_assignment
+
+        def _make_coordinator():
+            zones = partition_by_location(
+                sim.layout.readers,
+                scaling_zone_assignment(config.num_shelves),
+                sim.layout.registry,
+                compression_level=args.compression,
+            )
+            return ParallelCoordinator(zones, checkpoint_interval=50, workers=args.workers)
+
+        baseline_messages = []
+        with _make_coordinator() as baseline_coordinator:
+            for epoch_readings in sim.stream:
+                baseline_messages.extend(
+                    baseline_coordinator.process_epoch(epoch_readings).messages
+                )
+        faulted_messages = []
+        faulted_coordinator = _make_coordinator()
+        with faulted_coordinator:
+            for epoch_readings in resilient:
+                faulted_messages.extend(
+                    faulted_coordinator.process_epoch(epoch_readings).messages
+                )
+            faulted_stats = faulted_coordinator.stats
+    else:
+        # fault-free baseline
+        baseline = Spire(deployment, InferenceParams(), compression_level=args.compression)
+        baseline_messages = []
+        for epoch_readings in sim.stream:
+            baseline_messages.extend(baseline.process_epoch(epoch_readings).messages)
+
+        # faulted run: injector -> resilient front-end -> substrate with health
+        faulted = Spire(
+            deployment,
+            InferenceParams(),
+            compression_level=args.compression,
+            health=ReaderHealthMonitor(deployment.readers, k=args.health_k),
+        )
+        faulted_messages = []
+        for epoch_readings in resilient:
+            faulted_messages.extend(faulted.process_epoch(epoch_readings).messages)
 
     f_baseline = f_measure(baseline_messages, reference, tolerance)
     f_faulted = f_measure(faulted_messages, reference, tolerance)
@@ -296,10 +329,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{len(injector.duplicated_epochs)} duplicated batch(es)")
     print(f"absorbed: {resilient.synthesized_epochs} epoch(s) synthesized; warnings "
           f"{resilient.quarantine.counts() or '{}'}")
-    if faulted.health is not None:
+    if faulted is not None and faulted.health is not None:
         silent = sum(1 for w in faulted.health.events if w.kind == "reader_silent")
         print(f"reader health: {silent} silent transition(s), "
               f"{len(faulted.health.events) - silent} recovery transition(s)")
+    if faulted_coordinator is not None:
+        print(f"parallel engine: {args.workers} worker(s), "
+              f"{len(faulted_coordinator.zones)} zones")
+        for line in faulted_stats.summary_lines():
+            print(f"  {line}")
     print(f"F-measure (tolerance {tolerance} epochs):")
     print(f"  fault-free   {f_baseline:8.4f}  ({len(baseline_messages)} events)")
     print(f"  under faults {f_faulted:8.4f}  ({len(faulted_messages)} events)")
@@ -352,6 +390,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"avg {entry['avg_epoch']:.2f}x, complete {entry['complete_epoch']:.2f}x")
 
     exit_code = 0
+    if args.workers:
+        scaling = table3.run_scaling(
+            milestones=milestones,
+            worker_counts=tuple(args.workers),
+            cases_per_pallet=args.cases,
+            seed=args.seed,
+        )
+        payload["scaling"] = scaling
+        serial = scaling["serial_fast_checkpoints"]
+        print(f"scaling sweep over {scaling['workload']['zones']} zones "
+              f"(machine has {scaling['machine']['cpu_count']} CPU(s)):")
+        print(f"  {'config':>24}  {'total':>8}  {'msg/s':>8}  stream sha256")
+        for label, run in (
+            ("serial (pickle ckpt)", scaling["serial_pickle_checkpoints"]),
+            ("serial (fast ckpt)", serial),
+            *((f"{run['workers']} worker(s)", run) for run in scaling["parallel"].values()),
+        ):
+            rate = run["messages"] / max(run["total_s"], 1e-12)
+            print(f"  {label:>24}  {run['total_s']:>7.2f}s  {rate:>8.0f}  "
+                  f"{run['stream_sha256'][:16]}")
+        print(f"  streams identical: {scaling['streams_identical']}")
+        if "checkpoint_codecs" in scaling:
+            ckpt = scaling["checkpoint_codecs"]
+            print(f"  checkpoint codec @ {ckpt['nodes']} nodes: encode "
+                  f"{ckpt['encode_speedup']:.2f}x, decode {ckpt['decode_speedup']:.2f}x "
+                  f"faster than pickle")
+        for name, run in scaling["parallel"].items():
+            ipc = run["ipc"]
+            print(f"  {name}: {ipc['bytes_to_workers']} B out / "
+                  f"{ipc['bytes_from_workers']} B back, fan-out {ipc['fanout_s']:.2f}s, "
+                  f"fan-in wait {ipc['fanin_wait_s']:.2f}s, "
+                  f"{ipc['checkpoints']} in-worker checkpoint(s) "
+                  f"in {ipc['checkpoint_s']:.2f}s")
+        if not scaling["streams_identical"]:
+            print("error: parallel merged stream diverged from serial", file=sys.stderr)
+            exit_code = 1
+        if args.check_parallel:
+            problems = table3.check_parallel_throughput(
+                scaling,
+                workers_key=f"workers_{args.workers[0]}",
+                tolerance=args.parallel_tolerance,
+            )
+            if problems:
+                for problem in problems:
+                    print(f"parallel gate: {problem}", file=sys.stderr)
+                exit_code = 1
+            else:
+                print(f"parallel throughput gate (workers={args.workers[0]}, "
+                      f"tolerance {args.parallel_tolerance:.0%}): ok")
+
     if args.check_against:
         baseline_path = Path(args.check_against)
         if not baseline_path.exists():
@@ -467,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reader-health silence tolerance in interrogation periods")
     chaos.add_argument("--max-degradation", type=float, default=None,
                        help="fail (exit 1) if F-measure degrades by more than this many points")
+    chaos.add_argument(
+        "--workers", type=int, default=None,
+        help="run both the fault-free and the faulted pipeline through a "
+             "zone-sharded ParallelCoordinator with this many workers",
+    )
     chaos.set_defaults(func=cmd_chaos)
 
     bench = subparsers.add_parser(
@@ -486,6 +579,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline payload to gate against (exit 1 on regression)")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed fractional avg-epoch regression vs the baseline")
+    bench.add_argument(
+        "--workers", type=int, nargs="+", default=None,
+        help="also run the multi-worker scaling sweep at these worker counts "
+             "(e.g. --workers 1 2 4 8); adds a 'scaling' section to the payload",
+    )
+    bench.add_argument(
+        "--check-parallel", action="store_true",
+        help="with --workers: fail unless the first worker count's throughput "
+             "is within --parallel-tolerance of the serial run and streams match",
+    )
+    bench.add_argument("--parallel-tolerance", type=float, default=0.25,
+                       help="allowed fractional throughput shortfall vs serial")
     bench.set_defaults(func=cmd_bench)
 
     query = subparsers.add_parser("query", help="query a persisted event stream")

@@ -1,0 +1,483 @@
+"""Fast, slots-aware binary serialization of a running :class:`Spire`.
+
+The pickle-based checkpoint format (:mod:`repro.core.checkpoint`) walks the
+whole object graph recursively.  At production scale that is slow *and*
+fragile: the node ↔ edge reference chains of a 6k-node containment graph
+exceed CPython's default recursion limit, so ``pickle.dump`` raises
+``RecursionError`` exactly when checkpoints matter most.  This module
+replaces the whole-object round-trip with a versioned, field-batched
+encoder that writes the ``__slots__`` of the hot objects (graph nodes,
+edges, estimates, compressor states) into flat ``struct``/``array``
+sections — no recursion, a few Python-level loops, and a fraction of the
+bytes.
+
+Only the small configuration objects (deployment, inference params, the
+reader-health monitor) still go through pickle, inside one length-prefixed
+blob; they are bounded by the reader count, not the object population.
+
+**Fidelity contract**: decoding must reproduce the source substrate
+*bit-for-bit* with respect to future output — including dict insertion
+orders.  ``node.parents`` / ``node.children`` iteration order feeds float
+accumulation in edge and node inference, so edges are stored in
+children-insertion order (restoring every ``children`` dict) plus a
+per-node parent-key list (restoring every ``parents`` dict).  Sets
+(``_colored``, ``_dirty``, the ``_by_level_color`` index) are rebuilt from
+node state; their iteration order is identity-based and never reaches the
+output (guarded by the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import sys
+from array import array
+
+from repro.compression.level1 import ObjectState, RangeCompressor
+from repro.compression.level2 import ContainmentCompressor
+from repro.core.graph import GraphEdge, GraphNode
+from repro.core.pipeline import CurrentEstimate, Spire
+from repro.model.objects import TagId
+
+#: bump when the section layout changes shape
+FAST_FORMAT_VERSION = 1
+
+#: sentinel for "None" in signed int fields (colors are small ints and
+#: UNKNOWN_COLOR is -1, so any huge negative works)
+_NONE = -(1 << 62)
+
+#: edge history bit-vectors are split into two signed-63-bit halves; the
+#: default history size is 32 bits, so this bound is far from real configs
+_MAX_HISTORY_BITS = 124
+_HIST_LO_BITS = 62
+_HIST_LO_MASK = (1 << _HIST_LO_BITS) - 1
+
+_HEADER = struct.Struct("<BB")  # format version, byteorder (1 = little)
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_NODE_INTS = 12
+_EDGE_INTS = 7
+_ESTIMATE_INTS = 5
+_STATE_INTS = 7
+
+_BYTEORDER_CODE = 1 if sys.byteorder == "little" else 0
+
+
+class FastCheckpointError(ValueError):
+    """Raised when a substrate cannot be encoded or bytes cannot be decoded."""
+
+
+def _opt(value: int | None) -> int:
+    return _NONE if value is None else value
+
+
+def _opt_back(value: int) -> int | None:
+    return None if value == _NONE else value
+
+
+def _opt_key(tag: TagId | None) -> int:
+    return 0 if tag is None else tag.key()
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def _write_ints(out: bytearray, count: int, ints: array) -> None:
+    out += _U64.pack(count)
+    out += ints.tobytes()
+
+
+def _write_floats(out: bytearray, floats: array) -> None:
+    out += floats.tobytes()
+
+
+def encode_spire(spire: Spire) -> bytes:
+    """Serialise ``spire`` into the fast binary checkpoint payload."""
+    params = spire.params
+    if params.history_size > _MAX_HISTORY_BITS:
+        raise FastCheckpointError(
+            f"history_size {params.history_size} exceeds the fast-codec bound "
+            f"of {_MAX_HISTORY_BITS} bits"
+        )
+    compressor = spire.compressor
+    if isinstance(compressor, ContainmentCompressor):
+        inner = compressor._inner
+    elif isinstance(compressor, RangeCompressor):
+        inner = compressor
+    else:
+        raise FastCheckpointError(
+            f"unsupported compressor type {type(compressor).__name__}"
+        )
+
+    graph = spire.graph
+    config = {
+        "deployment": spire.deployment,
+        "params": params,
+        "compression_level": spire.compression_level,
+        "complete_period": spire._complete_period,
+        "retention": spire._retention,
+        "incremental": spire.incremental,
+        "health": spire.health,
+        "epochs_processed": spire._epochs_processed,
+        "last_epoch": spire._last_epoch,
+        "last_suppressed": spire._last_suppressed,
+        "cache_hits": spire.inference.cache_hits,
+        "cache_misses": spire.inference.cache_misses,
+        "inference_suppressed": spire.inference.suppressed_colors,
+        "updater_suppressed": spire.updater.suppressed_colors,
+        "updater_exiting": sorted(spire.updater.exiting),
+        "compressor_emit": (inner._emit_location, inner._emit_containment),
+        "expiry_seq": graph._expiry_seq,
+    }
+    blob = pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+
+    out = bytearray()
+    out += _HEADER.pack(FAST_FORMAT_VERSION, _BYTEORDER_CODE)
+    out += _U64.pack(len(blob))
+    out += blob
+
+    # --- nodes (graph insertion order) ---------------------------------
+    nodes = list(graph._nodes.values())
+    ints = array("q")
+    floats = array("d")
+    ext = ints.extend
+    for n in nodes:
+        ext((
+            n.tag.key(),
+            _opt(n.color),
+            _opt(n.prev_color),
+            _opt(n.recent_color),
+            n.seen_at,
+            _opt_key(n.confirmed_parent),
+            n.confirmed_at,
+            n.confirmed_conflicts,
+            n.created_at,
+            n.version,
+            _opt_key(n.decision_container),
+            n.decision_version,
+        ))
+        floats.append(n.decision_prob)
+    _write_ints(out, len(nodes), ints)
+    _write_floats(out, floats)
+
+    # --- edges (children-insertion order per parent, parents in node
+    # order) + per-node parents-insertion order ------------------------
+    ints = array("q")
+    floats = array("d")
+    ext = ints.extend
+    edge_count = 0
+    for parent in nodes:
+        pk = parent.tag.key()
+        for edge in parent.children.values():
+            history = edge.history
+            ext((
+                pk,
+                edge.child.tag.key(),
+                history & _HIST_LO_MASK,
+                history >> _HIST_LO_BITS,
+                edge.filled,
+                edge.created_at,
+                edge.update_time,
+            ))
+            floats.extend((edge.prob, edge.confidence))
+            edge_count += 1
+    _write_ints(out, edge_count, ints)
+    _write_floats(out, floats)
+
+    order = array("q")
+    ext = order.extend
+    for n in nodes:
+        parents = n.parents
+        ext((len(parents),))
+        if parents:
+            ext(t.key() for t in parents)
+    _write_ints(out, len(order), order)
+
+    # --- graph side state ----------------------------------------------
+    _write_ints(
+        out,
+        len(graph._dirty),
+        array("q", sorted(n.tag.key() for n in graph._dirty)),
+    )
+    heap = array("q")
+    ext = heap.extend
+    for at, seq, tag in graph._expiry:
+        ext((at, seq, tag.key()))
+    _write_ints(out, len(graph._expiry), heap)
+    holds = array("q")
+    ext = holds.extend
+    for tag, until in graph._expiry_hold.items():
+        ext((tag.key(), until))
+    _write_ints(out, len(graph._expiry_hold), holds)
+
+    # --- estimate store (insertion order) ------------------------------
+    ints = array("q")
+    ext = ints.extend
+    for tag, est in spire.estimates.items():
+        ext((
+            tag.key(),
+            est.location,
+            _opt_key(est.container),
+            1 if est.observed else 0,
+            est.updated_at,
+        ))
+    _write_ints(out, len(spire.estimates), ints)
+
+    # --- compressor states (insertion order) ---------------------------
+    ints = array("q")
+    ext = ints.extend
+    for tag, state in inner._states.items():
+        loc = state.location
+        cont = state.containment
+        ext((
+            tag.key(),
+            loc[0] if loc is not None else _NONE,
+            loc[1] if loc is not None else _NONE,
+            _opt(state.last_place),
+            1 if state.is_missing else 0,
+            cont[0].key() if cont is not None else 0,
+            cont[1] if cont is not None else _NONE,
+        ))
+    _write_ints(out, len(inner._states), ints)
+
+    # --- dedup sticky assignments (insertion order) --------------------
+    ints = array("q")
+    ext = ints.extend
+    for tag, reader_id in spire.dedup._last_reader.items():
+        ext((tag.key(), reader_id))
+    _write_ints(out, len(spire.dedup._last_reader), ints)
+
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+class _Cursor:
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def u64(self) -> int:
+        (value,) = _U64.unpack_from(self.data, self.offset)
+        self.offset += 8
+        return value
+
+    def ints(self, count: int) -> array:
+        arr = array("q")
+        end = self.offset + 8 * count
+        arr.frombytes(self.data[self.offset : end])
+        self.offset = end
+        return arr
+
+    def floats(self, count: int) -> array:
+        arr = array("d")
+        end = self.offset + 8 * count
+        arr.frombytes(self.data[self.offset : end])
+        self.offset = end
+        return arr
+
+    def blob(self) -> bytes:
+        length = self.u64()
+        end = self.offset + length
+        chunk = self.data[self.offset : end]
+        self.offset = end
+        return chunk
+
+
+def decode_spire(data: bytes) -> Spire:
+    """Rebuild a substrate from :func:`encode_spire` output."""
+    if len(data) < _HEADER.size:
+        raise FastCheckpointError("truncated fast checkpoint (no header)")
+    version, byteorder = _HEADER.unpack_from(data, 0)
+    if version != FAST_FORMAT_VERSION:
+        raise FastCheckpointError(
+            f"fast checkpoint format {version} incompatible with "
+            f"{FAST_FORMAT_VERSION}"
+        )
+    if byteorder != _BYTEORDER_CODE:
+        raise FastCheckpointError(
+            "fast checkpoint written on a machine with different byte order"
+        )
+    cur = _Cursor(data)
+    cur.offset = _HEADER.size
+    try:
+        config = pickle.loads(cur.blob())
+    except Exception as exc:
+        raise FastCheckpointError(f"corrupt config blob: {exc}") from exc
+
+    spire = Spire(
+        config["deployment"],
+        config["params"],
+        compression_level=config["compression_level"],
+        complete_period=config["complete_period"],
+        health=config["health"],
+        incremental=config["incremental"],
+        retention_epochs=config["retention"],
+    )
+    spire._epochs_processed = config["epochs_processed"]
+    spire._last_epoch = config["last_epoch"]
+    spire._last_suppressed = config["last_suppressed"]
+    spire.inference.cache_hits = config["cache_hits"]
+    spire.inference.cache_misses = config["cache_misses"]
+    spire.inference.suppressed_colors = config["inference_suppressed"]
+    spire.updater.suppressed_colors = config["updater_suppressed"]
+    spire.updater.exiting = set(config["updater_exiting"])
+    emit_location, emit_containment = config["compressor_emit"]
+    if spire.compression_level == 1 and (emit_location, emit_containment) != (True, True):
+        spire.compressor = RangeCompressor(emit_location, emit_containment)
+    inner = (
+        spire.compressor._inner
+        if isinstance(spire.compressor, ContainmentCompressor)
+        else spire.compressor
+    )
+
+    from_key = TagId.from_key
+    graph = spire.graph
+    graph._expiry_seq = config["expiry_seq"]
+
+    # --- nodes ----------------------------------------------------------
+    node_count = cur.u64()
+    ints = cur.ints(node_count * _NODE_INTS)
+    floats = cur.floats(node_count)
+    nodes_by_key: dict[int, GraphNode] = {}
+    graph_nodes = graph._nodes
+    colored = graph._colored
+    by_level_color = graph._by_level_color
+    new_node = GraphNode.__new__
+    base = 0
+    for i in range(node_count):
+        key = ints[base]
+        tag = from_key(key)
+        node = new_node(GraphNode)
+        node.tag = tag
+        node.level = tag.level.value
+        node.color = _opt_back(ints[base + 1])
+        node.prev_color = _opt_back(ints[base + 2])
+        node.recent_color = _opt_back(ints[base + 3])
+        node.seen_at = ints[base + 4]
+        cp = ints[base + 5]
+        node.confirmed_parent = from_key(cp) if cp else None
+        node.confirmed_at = ints[base + 6]
+        node.confirmed_conflicts = ints[base + 7]
+        node.created_at = ints[base + 8]
+        node.version = ints[base + 9]
+        dc = ints[base + 10]
+        node.decision_container = from_key(dc) if dc else None
+        node.decision_version = ints[base + 11]
+        node.decision_prob = floats[i]
+        node.parents = {}
+        node.children = {}
+        graph_nodes[tag] = node
+        nodes_by_key[key] = node
+        if node.color is not None:
+            colored.add(node)
+            by_level_color[node.level].setdefault(node.color, set()).add(node)
+        base += _NODE_INTS
+    graph._prev_colored = [n for n in graph_nodes.values() if n.prev_color is not None]
+
+    # --- edges ----------------------------------------------------------
+    edge_count = cur.u64()
+    ints = cur.ints(edge_count * _EDGE_INTS)
+    floats = cur.floats(edge_count * 2)
+    edges_by_pair: dict[tuple[int, int], GraphEdge] = {}
+    new_edge = GraphEdge.__new__
+    base = 0
+    fbase = 0
+    for _ in range(edge_count):
+        pk = ints[base]
+        ck = ints[base + 1]
+        parent = nodes_by_key[pk]
+        child = nodes_by_key[ck]
+        edge = new_edge(GraphEdge)
+        edge.parent = parent
+        edge.child = child
+        edge.history = (ints[base + 3] << _HIST_LO_BITS) | ints[base + 2]
+        edge.filled = ints[base + 4]
+        edge.created_at = ints[base + 5]
+        edge.update_time = ints[base + 6]
+        edge.prob = floats[fbase]
+        edge.confidence = floats[fbase + 1]
+        parent.children[child.tag] = edge
+        edges_by_pair[(pk, ck)] = edge
+        base += _EDGE_INTS
+        fbase += 2
+    graph._edge_count = edge_count
+
+    # parents dicts, in their original insertion order
+    order_len = cur.u64()
+    order = cur.ints(order_len)
+    pos = 0
+    for node in graph_nodes.values():
+        count = order[pos]
+        pos += 1
+        ck = node.tag.key()
+        parents = node.parents
+        for _ in range(count):
+            pk = order[pos]
+            pos += 1
+            edge = edges_by_pair[(pk, ck)]
+            parents[edge.parent.tag] = edge
+
+    # --- graph side state ----------------------------------------------
+    dirty_count = cur.u64()
+    dirty = cur.ints(dirty_count)
+    graph._dirty = {nodes_by_key[key] for key in dirty}
+    heap_count = cur.u64()
+    heap = cur.ints(heap_count * 3)
+    graph._expiry = [
+        (heap[i], heap[i + 1], from_key(heap[i + 2]))
+        for i in range(0, heap_count * 3, 3)
+    ]
+    hold_count = cur.u64()
+    holds = cur.ints(hold_count * 2)
+    graph._expiry_hold = {
+        from_key(holds[i]): holds[i + 1] for i in range(0, hold_count * 2, 2)
+    }
+
+    # --- estimate store -------------------------------------------------
+    est_count = cur.u64()
+    ints = cur.ints(est_count * _ESTIMATE_INTS)
+    estimates = spire.estimates
+    base = 0
+    for _ in range(est_count):
+        container = ints[base + 2]
+        estimates[from_key(ints[base])] = CurrentEstimate(
+            location=ints[base + 1],
+            container=from_key(container) if container else None,
+            observed=bool(ints[base + 3]),
+            updated_at=ints[base + 4],
+        )
+        base += _ESTIMATE_INTS
+
+    # --- compressor states ----------------------------------------------
+    state_count = cur.u64()
+    ints = cur.ints(state_count * _STATE_INTS)
+    states = inner._states
+    base = 0
+    for _ in range(state_count):
+        loc_place = ints[base + 1]
+        cont_key = ints[base + 5]
+        states[from_key(ints[base])] = ObjectState(
+            location=(loc_place, ints[base + 2]) if loc_place != _NONE else None,
+            last_place=_opt_back(ints[base + 3]),
+            is_missing=bool(ints[base + 4]),
+            containment=(from_key(cont_key), ints[base + 6]) if cont_key else None,
+        )
+        base += _STATE_INTS
+
+    # --- dedup sticky assignments ---------------------------------------
+    dedup_count = cur.u64()
+    ints = cur.ints(dedup_count * 2)
+    last_reader = spire.dedup._last_reader
+    for i in range(0, dedup_count * 2, 2):
+        last_reader[from_key(ints[i])] = ints[i + 1]
+
+    return spire

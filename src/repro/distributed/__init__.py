@@ -15,6 +15,21 @@ with replay of buffered epochs, and orphan-tag re-adoption, so the merged
 stream survives a zone crash well-formed (see ``docs/FAULTS.md``).
 """
 
-from repro.distributed.coordinator import Coordinator, EpochResult, HandoffRecord, Zone
+from repro.distributed.coordinator import (
+    Coordinator,
+    EpochResult,
+    HandoffRecord,
+    Zone,
+    partition_by_location,
+)
+from repro.distributed.parallel import ParallelCoordinator, WorkerStats
 
-__all__ = ["Coordinator", "EpochResult", "Zone", "HandoffRecord"]
+__all__ = [
+    "Coordinator",
+    "EpochResult",
+    "Zone",
+    "HandoffRecord",
+    "ParallelCoordinator",
+    "WorkerStats",
+    "partition_by_location",
+]

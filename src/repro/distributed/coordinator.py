@@ -36,13 +36,12 @@ what a networked deployment would serialise.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.compression.level1 import RangeCompressor
 from repro.compression.level2 import ContainmentCompressor
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import dumps_spire, loads_spire
 from repro.core.params import InferenceParams
 from repro.core.pipeline import Deployment, Spire
 from repro.events.messages import EventKind, EventMessage, end_containment, end_location
@@ -121,6 +120,10 @@ class Coordinator:
         checkpoint_interval: Checkpoint every zone after this many epochs,
             enabling :meth:`fail_zone` / :meth:`recover_zone`.  ``None``
             (default) disables failover bookkeeping entirely.
+        checkpoint_codec: Serialization codec for zone checkpoints —
+            ``"fast"`` (default, the flat binary encoder) or ``"pickle"``
+            (the original whole-object round-trip, kept for comparison
+            benchmarks; it cannot handle production-scale graphs).
     """
 
     def __init__(
@@ -128,6 +131,7 @@ class Coordinator:
         zones: Iterable[Zone],
         strict: bool = False,
         checkpoint_interval: int | None = None,
+        checkpoint_codec: str = "fast",
     ) -> None:
         self.zones: dict[str, Zone] = {}
         self._zone_of_reader: dict[int, str] = {}
@@ -146,6 +150,9 @@ class Coordinator:
             raise ValueError("a coordinator needs at least one zone")
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError(f"checkpoint_interval must be >= 1, got {checkpoint_interval}")
+        if checkpoint_codec not in ("fast", "pickle"):
+            raise ValueError(f"unknown checkpoint codec {checkpoint_codec!r}")
+        self.checkpoint_codec = checkpoint_codec
         self.strict = strict
         self.quarantine = Quarantine()
         self._owner: dict[TagId, str] = {}
@@ -161,7 +168,7 @@ class Coordinator:
         if self.failover_enabled:
             for zone_id, zone in self.zones.items():
                 self._checkpoints[zone_id] = _ZoneCheckpoint(
-                    epoch=None, data=_pickle_spire(zone.spire)
+                    epoch=None, data=dumps_spire(zone.spire, codec=checkpoint_codec)
                 )
                 self._replay[zone_id] = []
 
@@ -176,14 +183,12 @@ class Coordinator:
         """Zones currently marked failed."""
         return frozenset(self._failed)
 
-    def process_epoch(self, readings: EpochReadings) -> EpochResult:
-        """Coordinate one epoch across all (live) zones."""
+    def _split_by_zone(self, readings: EpochReadings) -> dict[str, EpochReadings]:
+        """Dedup, split by owning zone, quarantine the unroutable, retain
+        for replay.  Shared by the serial and parallel epoch loops."""
         now = readings.epoch
-        self._last_epoch = now
-        warnings_before = len(self.quarantine.warnings)
         clean = self._dedup.process(readings)
 
-        # split by owning zone; quarantine readings no zone can take
         per_zone: dict[str, EpochReadings] = {
             zone_id: EpochReadings(epoch=now) for zone_id in self.zones
         }
@@ -207,6 +212,14 @@ class Coordinator:
         if self.failover_enabled:
             for zone_id, zone_readings in per_zone.items():
                 self._replay[zone_id].append(zone_readings)
+        return per_zone
+
+    def process_epoch(self, readings: EpochReadings) -> EpochResult:
+        """Coordinate one epoch across all (live) zones."""
+        now = readings.epoch
+        self._last_epoch = now
+        warnings_before = len(self.quarantine.warnings)
+        per_zone = self._split_by_zone(readings)
 
         # migrations: a tag observed in a zone that does not own it
         result = EpochResult(epoch=now, messages=[])
@@ -315,9 +328,34 @@ class Coordinator:
             raise ValueError(f"zone {zone_id!r} is not failed")
         now = self._resolve_epoch(at)
         checkpoint = self._checkpoints[zone_id]
-        spire = load_checkpoint(io.BytesIO(checkpoint.data))
-        zone = self.zones[zone_id]
-        zone.spire = spire
+        spire, messages = self._rebuild_spire(zone_id, checkpoint, now)
+        self.zones[zone_id].spire = spire
+
+        self._failed.discard(zone_id)
+        self._track_messages(messages)
+        self._checkpoint_zone(zone_id, now)
+        self.quarantine.warn(
+            WarningKind.ZONE_RECOVERED,
+            now,
+            detail=(
+                f"zone {zone_id!r} restored from checkpoint at epoch "
+                f"{checkpoint.epoch}; {len(messages)} interval(s) re-opened"
+            ),
+        )
+        return messages
+
+    def _rebuild_spire(
+        self, zone_id: str, checkpoint: "_ZoneCheckpoint", now: int
+    ) -> tuple[Spire, list[EventMessage]]:
+        """Rebuild a failed zone's substrate from ``checkpoint`` + replay.
+
+        Returns the fresh substrate and the interval re-opening messages.
+        Mutates coordinator ownership (departures during replay, migration
+        pruning) but does **not** install the substrate anywhere — the
+        serial coordinator assigns it to the in-process zone, the parallel
+        coordinator ships it to a worker.
+        """
+        spire = loads_spire(checkpoint.data)
 
         # replay buffered epochs; their messages were either already
         # emitted before the crash or are superseded by the fresh opens
@@ -349,19 +387,7 @@ class Coordinator:
         for tag in [t for t, z in self._owner.items() if z == zone_id]:
             if tag not in spire.estimates:
                 self._owner.pop(tag)
-
-        self._failed.discard(zone_id)
-        self._track_messages(messages)
-        self._checkpoint_zone(zone_id, now)
-        self.quarantine.warn(
-            WarningKind.ZONE_RECOVERED,
-            now,
-            detail=(
-                f"zone {zone_id!r} restored from checkpoint at epoch "
-                f"{checkpoint.epoch}; {len(messages)} interval(s) re-opened"
-            ),
-        )
-        return messages
+        return spire, messages
 
     def _require_failover(self) -> None:
         if not self.failover_enabled:
@@ -379,7 +405,8 @@ class Coordinator:
 
     def _checkpoint_zone(self, zone_id: str, epoch: int) -> None:
         self._checkpoints[zone_id] = _ZoneCheckpoint(
-            epoch=epoch, data=_pickle_spire(self.zones[zone_id].spire)
+            epoch=epoch,
+            data=dumps_spire(self.zones[zone_id].spire, codec=self.checkpoint_codec),
         )
         self._replay[zone_id] = []
 
@@ -427,23 +454,23 @@ class Coordinator:
         return len(self._owner)
 
 
-def _pickle_spire(spire: Spire) -> bytes:
-    buffer = io.BytesIO()
-    save_checkpoint(spire, buffer)
-    return buffer.getvalue()
-
-
 def partition_by_location(
     readers: Iterable[Reader],
     assignment: Mapping[str, Iterable[str]],
     registry: LocationRegistry | None = None,
     params: InferenceParams | None = None,
     compression_level: int = 2,
+    quarantine: Quarantine | None = None,
 ) -> list[Zone]:
     """Build zones from a ``zone id -> location names`` assignment.
 
     Every reader must land in exactly one zone; raises ``ValueError`` for
-    unassigned or doubly-assigned locations.
+    unassigned or doubly-assigned locations.  The returned list has one
+    zone per assignment entry, **in assignment order** — a zone whose
+    locations matched no reader raises ``ValueError`` by default (a worker
+    pool sized to the assignment would silently under-use a worker), or is
+    kept as an empty zone with a :data:`WarningKind.EMPTY_ZONE` warning
+    when a ``quarantine`` is supplied to collect it.
     """
     readers = list(readers)
     location_to_zone: dict[str, str] = {}
@@ -460,8 +487,20 @@ def partition_by_location(
             raise ValueError(f"reader at {reader.location.name!r} assigned to no zone")
         by_zone[zone_id].append(reader)
 
+    for zone_id, zone_readers in by_zone.items():
+        if not zone_readers:
+            if quarantine is None:
+                raise ValueError(
+                    f"zone {zone_id!r} has no readers; pass a quarantine to "
+                    "keep it as an (empty) zone instead"
+                )
+            quarantine.warn(
+                WarningKind.EMPTY_ZONE,
+                0,
+                detail=f"zone {zone_id!r} matched no reader; kept empty",
+            )
+
     return [
         Zone.build(zone_id, zone_readers, registry, params, compression_level)
         for zone_id, zone_readers in by_zone.items()
-        if zone_readers
     ]

@@ -1,0 +1,554 @@
+"""Multi-core sharded execution: persistent zone workers.
+
+:class:`ParallelCoordinator` runs the same contract as the serial
+:class:`~repro.distributed.coordinator.Coordinator`, but each zone's
+substrate lives inside a **persistent worker process**.  Workers are
+spawned once; zone state stays resident between epochs, so the per-epoch
+cost is two compact binary frames per **worker** on a pipe (all its
+zones' pre-partitioned readings out, their event messages back) — never a
+pickled graph.
+
+Determinism is the design constraint: the merged event stream is
+**byte-identical** to the serial coordinator's.  The protocol preserves
+every ordering the serial code path depends on:
+
+* migration detection runs coordinator-side over the same structures in
+  the same order; releases and adoptions are batched **per zone in global
+  migration order**, which commutes with the serial interleaving (a
+  release touches only the released object's state, an adoption only
+  appends to the target zone's structures);
+* release closures are re-assembled into global migration order before
+  any zone output;
+* zone outputs are concatenated in sorted-zone order (the serial merge
+  order) — the fan-in receives one batched reply per worker (each worker
+  answers its pipe FIFO) and then merges per zone in that order;
+* epoch frames preserve reader/tag insertion order, so each worker's
+  deduplication sees exactly the bytes the in-process substrate would.
+
+Checkpoints move into the workers: the coordinator sets a flag on the
+epoch message when a zone's replay buffer reaches the checkpoint
+interval, and the worker returns a checkpoint blob (fast codec by
+default) captured right after it processed the epoch — the epoch loop no
+longer stalls on serialization.  ``fail_zone`` / ``recover_zone`` keep
+their semantics: recovery rebuilds the zone substrate coordinator-side
+from the last checkpoint plus the replay buffer (shared code with the
+serial coordinator) and installs the rebuilt state into the worker —
+respawning the worker process first if it died.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.checkpoint import dumps_spire, loads_spire
+from repro.distributed import wire
+from repro.distributed.coordinator import (
+    Coordinator,
+    EpochResult,
+    Zone,
+    _ZoneCheckpoint,
+)
+from repro.events.messages import EventMessage
+from repro.faults.warnings import WarningKind
+from repro.model.objects import TagId
+from repro.readers.codec import decode_epoch_frame, encode_epoch_frame
+from repro.readers.stream import EpochReadings
+
+
+def _worker_main(conn) -> None:
+    """Worker process: serve zone substrates over a duplex pipe, FIFO."""
+    spires: dict[int, object] = {}
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except EOFError:
+            return
+        msg_type = data[0] if data else 0
+        try:
+            if msg_type == wire.MSG_EPOCH:
+                results = []
+                for zone_index, flags, frame in wire.decode_epoch_batch(data):
+                    readings, _ = decode_epoch_frame(frame)
+                    spire = spires[zone_index]
+                    start = time.perf_counter()
+                    output = spire.process_epoch(readings)
+                    busy_s = time.perf_counter() - start
+                    checkpoint = None
+                    checkpoint_s = 0.0
+                    if flags & wire.FLAG_CHECKPOINT:
+                        codec = (
+                            "pickle" if flags & wire.FLAG_CHECKPOINT_PICKLE else "fast"
+                        )
+                        start = time.perf_counter()
+                        checkpoint = dumps_spire(spire, codec=codec)
+                        checkpoint_s = time.perf_counter() - start
+                    results.append(
+                        (
+                            zone_index,
+                            wire.encode_epoch_result(
+                                output.messages,
+                                output.departed,
+                                busy_s,
+                                checkpoint_s,
+                                checkpoint,
+                            ),
+                        )
+                    )
+                reply = wire.encode_epoch_batch_result(results)
+            elif msg_type == wire.MSG_RELEASE:
+                zone_index, now, tags = wire.decode_release(data)
+                spire = spires[zone_index]
+                releases = []
+                for tag in tags:
+                    record, closing = spire.release(tag, now)
+                    releases.append((wire.encode_record(record), closing))
+                reply = wire.encode_release_result(releases)
+            elif msg_type == wire.MSG_ADOPT:
+                zone_index, now, records = wire.decode_adopt(data)
+                spire = spires[zone_index]
+                for record in records:
+                    spire.adopt(record, now)
+                reply = wire.encode_ok()
+            elif msg_type == wire.MSG_QUERY:
+                zone_index, kind, tag = wire.decode_query(data)
+                spire = spires[zone_index]
+                if kind == wire.QUERY_LOCATION:
+                    value = spire.location_of(tag)
+                elif kind == wire.QUERY_CONTAINER:
+                    container = spire.container_of(tag)
+                    value = 0 if container is None else container.key()
+                else:
+                    raise ValueError(f"unknown query kind {kind}")
+                reply = wire.encode_query_result(value)
+            elif msg_type == wire.MSG_INSTALL:
+                zone_index, checkpoint = wire.decode_install(data)
+                spires[zone_index] = loads_spire(checkpoint)
+                reply = wire.encode_ok()
+            elif msg_type == wire.MSG_STOP:
+                conn.send_bytes(wire.encode_ok())
+                return
+            else:
+                raise ValueError(f"unknown message type {msg_type}")
+        except BaseException:
+            conn.send_bytes(wire.encode_error(traceback.format_exc()))
+            return
+        conn.send_bytes(reply)
+
+
+@dataclass
+class WorkerStats:
+    """Observability counters for one coordinated run (all zones)."""
+
+    epochs: int = 0
+    bytes_to_workers: int = 0
+    bytes_from_workers: int = 0
+    fanout_s: float = 0.0  #: time spent encoding + writing requests
+    fanin_wait_s: float = 0.0  #: time blocked waiting on worker replies
+    checkpoint_s: float = 0.0  #: in-worker checkpoint time (sum)
+    checkpoints: int = 0
+    busy_s: dict[str, float] = field(default_factory=dict)  #: per-zone compute
+    zone_epochs: dict[str, int] = field(default_factory=dict)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable block for the ``bench`` subcommand."""
+        lines = [
+            f"epochs coordinated      {self.epochs}",
+            f"bytes over pipes        {self.bytes_to_workers} out / "
+            f"{self.bytes_from_workers} back",
+            f"fan-out / fan-in wait   {self.fanout_s:.3f}s / {self.fanin_wait_s:.3f}s",
+            f"checkpoints (in-worker) {self.checkpoints} in {self.checkpoint_s:.3f}s",
+        ]
+        for zone_id in sorted(self.busy_s):
+            epochs = self.zone_epochs.get(zone_id, 0) or 1
+            lines.append(
+                f"zone {zone_id:<12} busy {self.busy_s[zone_id]:.3f}s "
+                f"({1e3 * self.busy_s[zone_id] / epochs:.3f} ms/epoch)"
+            )
+        return lines
+
+
+class _Worker:
+    """Coordinator-side handle to one worker process."""
+
+    def __init__(self, ctx, index: int) -> None:
+        self.index = index
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True, name=f"spire-worker-{index}"
+        )
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+        self.conn.close()
+
+
+class ParallelCoordinator(Coordinator):
+    """Drop-in parallel variant of :class:`Coordinator`.
+
+    Args:
+        zones: The site partition, exactly as for the serial coordinator.
+        workers: Number of worker processes (clamped to the zone count;
+            default: one per zone).  Zones are assigned round-robin in
+            sorted-zone-id order.
+        start_method: ``multiprocessing`` start method; default ``"fork"``
+            where available (workers inherit the loaded library), else the
+            platform default.
+
+    All other arguments match the serial coordinator.  The merged event
+    stream, handoffs, warnings, ownership and query results are
+    byte-for-byte identical to a serial run over the same input.
+    """
+
+    def __init__(
+        self,
+        zones: Iterable[Zone],
+        strict: bool = False,
+        checkpoint_interval: int | None = None,
+        checkpoint_codec: str = "fast",
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(
+            zones,
+            strict=strict,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_codec=checkpoint_codec,
+        )
+        ordered = sorted(self.zones)
+        self._zone_index: dict[str, int] = {z: i for i, z in enumerate(ordered)}
+        if workers is None:
+            workers = len(ordered)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.num_workers = min(workers, len(ordered))
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._worker_of_zone: dict[str, _Worker] = {}
+        self._workers: list[_Worker] = []
+        self._closed = False
+        self.stats = WorkerStats()
+
+        try:
+            self._workers = [_Worker(self._ctx, i) for i in range(self.num_workers)]
+            for i, zone_id in enumerate(ordered):
+                self._worker_of_zone[zone_id] = self._workers[i % self.num_workers]
+            # ship each zone's pristine substrate to its worker, then drop
+            # the in-process copy: worker state is authoritative from here
+            for zone_id in ordered:
+                blob = dumps_spire(self.zones[zone_id].spire, codec="fast")
+                self._send(zone_id, wire.encode_install(self._zone_index[zone_id], blob))
+            for zone_id in ordered:
+                wire.expect_ok(self._recv(zone_id))
+            for zone_id in ordered:
+                self.zones[zone_id].spire = None  # type: ignore[assignment]
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, zone_id: str, payload: bytes) -> None:
+        self._worker_of_zone[zone_id].conn.send_bytes(payload)
+        self.stats.bytes_to_workers += len(payload)
+
+    def _recv(self, zone_id: str) -> bytes:
+        data = self._worker_of_zone[zone_id].conn.recv_bytes()
+        self.stats.bytes_from_workers += len(data)
+        return data
+
+    def close(self) -> None:
+        """Stop all workers; the coordinator is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                if worker.alive:
+                    worker.conn.send_bytes(wire.encode_stop())
+                    worker.conn.recv_bytes()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            finally:
+                worker.kill()
+
+    def __enter__(self) -> "ParallelCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # the parallel epoch loop
+    # ------------------------------------------------------------------
+
+    def process_epoch(self, readings: EpochReadings) -> EpochResult:
+        """Coordinate one epoch: fan out to workers, fan in in merge order."""
+        now = readings.epoch
+        self._last_epoch = now
+        warnings_before = len(self.quarantine.warnings)
+        per_zone = self._split_by_zone(readings)
+        result = EpochResult(epoch=now, messages=[])
+
+        # migration detection is coordinator-local: it reads only the
+        # ownership map and the split readings, in the serial iteration
+        # order, so the detected list (and its order) matches exactly
+        migrations: list[tuple[TagId, str, str, bool]] = []
+        for zone_id, zone_readings in per_zone.items():
+            if zone_id in self._failed:
+                continue
+            for tag in zone_readings.tags_seen():
+                owner = self._owner.get(tag)
+                if owner is None:
+                    self._owner[tag] = zone_id
+                elif owner != zone_id:
+                    migrations.append((tag, owner, zone_id, owner not in self._failed))
+                    self._owner[tag] = zone_id
+                    result.handoffs.append((tag, owner, zone_id))
+        if migrations:
+            self._apply_migrations(migrations, now, result.messages)
+
+        # fan out: one batch per worker carrying all of its live zones'
+        # shares (a single pipe round-trip per worker per epoch); the
+        # checkpoint decision replicates the serial post-epoch rule (the
+        # replay buffer was appended pre-fan-out, so it is decidable now)
+        start = time.perf_counter()
+        order = sorted(per_zone)
+        checkpointing: set[str] = set()
+        batches: dict[int, tuple[_Worker, list[tuple[int, int, bytes]]]] = {}
+        for zone_id in order:
+            if zone_id in self._failed:
+                continue
+            flags = 0
+            if (
+                self.failover_enabled
+                and len(self._replay[zone_id]) >= self._checkpoint_interval  # type: ignore[operator]
+            ):
+                flags = wire.FLAG_CHECKPOINT
+                if self.checkpoint_codec == "pickle":
+                    flags |= wire.FLAG_CHECKPOINT_PICKLE
+                checkpointing.add(zone_id)
+            frame = encode_epoch_frame(per_zone[zone_id])
+            worker = self._worker_of_zone[zone_id]
+            batches.setdefault(worker.index, (worker, []))[1].append(
+                (self._zone_index[zone_id], flags, frame)
+            )
+        for worker, entries in batches.values():
+            payload = wire.encode_epoch_batch(entries)
+            worker.conn.send_bytes(payload)
+            self.stats.bytes_to_workers += len(payload)
+        self.stats.fanout_s += time.perf_counter() - start
+
+        # fan in: one reply per worker (each worker answers FIFO), then
+        # merge per zone in the serial merge order (sorted zone ids)
+        start = time.perf_counter()
+        results_by_index: dict[int, bytes] = {}
+        for worker, _entries in batches.values():
+            data = worker.conn.recv_bytes()
+            self.stats.bytes_from_workers += len(data)
+            for zone_index, zone_result in wire.decode_epoch_batch_result(data):
+                results_by_index[zone_index] = zone_result
+        self.stats.fanin_wait_s += time.perf_counter() - start
+        for zone_id in order:
+            if zone_id in self._failed:
+                continue
+            messages, departed, busy_s, checkpoint_s, checkpoint = wire.decode_epoch_result(
+                results_by_index[self._zone_index[zone_id]]
+            )
+            result.messages.extend(messages)
+            for tag in departed:
+                self._owner.pop(tag, None)
+            self.stats.busy_s[zone_id] = self.stats.busy_s.get(zone_id, 0.0) + busy_s
+            self.stats.zone_epochs[zone_id] = self.stats.zone_epochs.get(zone_id, 0) + 1
+            if zone_id in checkpointing:
+                if checkpoint is None:
+                    raise wire.WireError(f"zone {zone_id!r} returned no checkpoint")
+                self._checkpoints[zone_id] = _ZoneCheckpoint(epoch=now, data=checkpoint)
+                self._replay[zone_id] = []
+                self.stats.checkpoint_s += checkpoint_s
+                self.stats.checkpoints += 1
+
+        if self.failover_enabled:
+            self._track_messages(result.messages)
+        self.stats.epochs += 1
+        result.warnings = self.quarantine.warnings[warnings_before:]
+        return result
+
+    def _apply_migrations(
+        self,
+        migrations: list[tuple[TagId, str, str, bool]],
+        now: int,
+        out_messages: list[EventMessage],
+    ) -> None:
+        """Release and adopt migrating tags, preserving serial ordering.
+
+        Releases are batched per owner zone and adoptions per target zone,
+        each batch in global migration order.  This commutes with the
+        serial one-at-a-time interleaving: a release only reads/removes
+        the released object's own state, and an adoption only appends to
+        the target zone's structures, so per-zone order is the only order
+        that matters — and it is preserved.  The closing messages are
+        re-assembled into global migration order before being emitted.
+        """
+        release_plan: dict[str, list[int]] = {}  # owner zone -> migration indices
+        for i, (tag, owner, _target, needs_release) in enumerate(migrations):
+            if needs_release:
+                release_plan.setdefault(owner, []).append(i)
+
+        for owner, indices in release_plan.items():
+            tags = [migrations[i][0] for i in indices]
+            self._send(owner, wire.encode_release(self._zone_index[owner], now, tags))
+
+        closings: dict[int, list[EventMessage]] = {}
+        records: dict[int, bytes] = {}
+        start = time.perf_counter()
+        for owner, indices in release_plan.items():
+            releases = wire.decode_release_result(self._recv(owner))
+            for i, (record, closing) in zip(indices, releases):
+                records[i] = record
+                closings[i] = closing
+        self.stats.fanin_wait_s += time.perf_counter() - start
+
+        adopt_plan: dict[str, list[bytes]] = {}  # target zone -> records in order
+        for i, (tag, _owner, target, needs_release) in enumerate(migrations):
+            out_messages.extend(closings.get(i, ()))
+            if needs_release:
+                record = records[i]
+            else:
+                # the owner crashed: re-adopt with no exported knowledge
+                record = wire.encode_record({"tag": tag})
+            adopt_plan.setdefault(target, []).append(record)
+
+        for target, target_records in adopt_plan.items():
+            self._send(
+                target, wire.encode_adopt(self._zone_index[target], now, target_records)
+            )
+        start = time.perf_counter()
+        for target in adopt_plan:
+            wire.expect_ok(self._recv(target))
+        self.stats.fanin_wait_s += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+
+    def fail_zone(
+        self, zone_id: str, at: int | None = None, kill_worker: bool = False
+    ) -> list[EventMessage]:
+        """Mark a zone crashed (optionally killing its worker process).
+
+        ``kill_worker=True`` simulates a real process crash: every zone
+        hosted by the same worker loses its resident state.  The worker is
+        respawned immediately and its surviving (non-failed) zones are
+        re-installed from their checkpoints + replay buffers — exactly the
+        state they held pre-crash — while ``zone_id`` itself stays down
+        until :meth:`recover_zone`.
+        """
+        closures = super().fail_zone(zone_id, at)
+        if kill_worker:
+            self._worker_of_zone[zone_id].kill()
+            self._ensure_worker(zone_id)
+        return closures
+
+    def recover_zone(self, zone_id: str, at: int | None = None) -> list[EventMessage]:
+        """Restore a failed zone into its (possibly respawned) worker."""
+        self._require_failover()
+        if zone_id not in self._failed:
+            raise ValueError(f"zone {zone_id!r} is not failed")
+        now = self._resolve_epoch(at)
+        self._ensure_worker(zone_id)
+        checkpoint = self._checkpoints[zone_id]
+        spire, messages = self._rebuild_spire(zone_id, checkpoint, now)
+
+        blob = dumps_spire(spire, codec=self.checkpoint_codec)
+        self._send(zone_id, wire.encode_install(self._zone_index[zone_id], blob))
+        wire.expect_ok(self._recv(zone_id))
+        self._checkpoints[zone_id] = _ZoneCheckpoint(epoch=now, data=blob)
+        self._replay[zone_id] = []
+
+        self._failed.discard(zone_id)
+        self._track_messages(messages)
+        self.quarantine.warn(
+            WarningKind.ZONE_RECOVERED,
+            now,
+            detail=(
+                f"zone {zone_id!r} restored from checkpoint at epoch "
+                f"{checkpoint.epoch}; {len(messages)} interval(s) re-opened"
+            ),
+        )
+        return messages
+
+    def _ensure_worker(self, zone_id: str) -> None:
+        """Respawn ``zone_id``'s worker if its process died.
+
+        Co-hosted zones that were *not* failed are rebuilt exactly —
+        checkpoint plus deterministic replay reproduces their pre-crash
+        state, and the replayed epochs' messages were already emitted so
+        they are discarded.
+        """
+        worker = self._worker_of_zone[zone_id]
+        if worker.alive:
+            return
+        replacement = _Worker(self._ctx, worker.index)
+        self._workers[self._workers.index(worker)] = replacement
+        hosted = [z for z, w in self._worker_of_zone.items() if w is worker]
+        for hosted_zone in hosted:
+            self._worker_of_zone[hosted_zone] = replacement
+        for hosted_zone in sorted(hosted):
+            if hosted_zone in self._failed:
+                continue  # installed by recover_zone with fresh intervals
+            spire = loads_spire(self._checkpoints[hosted_zone].data)
+            for zone_readings in self._replay[hosted_zone]:
+                output = spire.process_epoch(zone_readings)
+                for tag in output.departed:
+                    if self._owner.get(tag) == hosted_zone:
+                        self._owner.pop(tag)
+            blob = dumps_spire(spire, codec=self.checkpoint_codec)
+            self._send(
+                hosted_zone, wire.encode_install(self._zone_index[hosted_zone], blob)
+            )
+            wire.expect_ok(self._recv(hosted_zone))
+
+    # ------------------------------------------------------------------
+    # global queries (RPC to the owning worker)
+    # ------------------------------------------------------------------
+
+    def location_of(self, tag: TagId) -> int:
+        from repro.model.locations import UNKNOWN_COLOR
+
+        owner = self._owner.get(tag)
+        if owner is None or owner in self._failed:
+            return UNKNOWN_COLOR
+        self._send(owner, wire.encode_query(self._zone_index[owner], wire.QUERY_LOCATION, tag))
+        return wire.decode_query_result(self._recv(owner))
+
+    def container_of(self, tag: TagId) -> TagId | None:
+        owner = self._owner.get(tag)
+        if owner is None or owner in self._failed:
+            return None
+        self._send(
+            owner, wire.encode_query(self._zone_index[owner], wire.QUERY_CONTAINER, tag)
+        )
+        key = wire.decode_query_result(self._recv(owner))
+        return None if key == 0 else TagId.from_key(key)

@@ -109,7 +109,9 @@ def decode_message(data: bytes) -> EventMessage:
     except ValueError as exc:
         raise CodecError(f"invalid packaging level in {data!r}") from exc
     partner_value = _join48(partner_low, partner_high)
-    ve: float = INFINITY if ve_raw == _VE_INFINITY else float(ve_raw)
+    # finite Ve decodes as int so a decode→str round-trip matches the
+    # original message exactly (the parallel coordinator relies on this)
+    ve: float = INFINITY if ve_raw == _VE_INFINITY else ve_raw
     if kind.is_containment:
         try:
             container = TagId(PackagingLevel((levels >> 4) & 0x0F), partner_value)

@@ -192,11 +192,14 @@ def calibrate(iterations: int = 2_000_000) -> float:
 
 
 def machine_info() -> dict:
+    import os
+
     return {
         "platform": platform.platform(),
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
     }
 
 
@@ -314,3 +317,287 @@ def check_regression(
 
 def load_payload(path: str | Path) -> dict:
     return json.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# multi-worker scaling sweep (docs/SCALING.md)
+# ---------------------------------------------------------------------------
+
+#: worker counts recorded in the scaling section of BENCH_table3.json
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+DEFAULT_CHECKPOINT_INTERVAL = 50
+
+
+def scaling_zone_assignment(num_shelves: int = 8) -> dict[str, list[str]]:
+    """Zone layout for the scaling sweep: inbound + one zone per shelf +
+    outbound, so an 8-shelf warehouse yields 10 zones (enough to occupy 8
+    workers)."""
+    assignment: dict[str, list[str]] = {"inbound": ["entry-door", "receiving-belt"]}
+    for i in range(num_shelves):
+        assignment[f"shelf-{i + 1:02d}"] = [f"shelf-{i + 1}"]
+    assignment["outbound"] = ["packaging-area", "exit-belt", "exit-door"]
+    return assignment
+
+
+def run_coordinator_sweep(
+    sim: SimulationResult,
+    milestones: tuple[int, ...] | list[int],
+    workers: int | None = None,
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    checkpoint_codec: str = "fast",
+    params: InferenceParams | None = None,
+) -> dict:
+    """Run the Table III trace through the zone coordinator and window
+    per-epoch wall cost at tracked-object milestones.
+
+    ``workers=None`` runs the serial in-process :class:`Coordinator`;
+    otherwise a :class:`ParallelCoordinator` with that many worker
+    processes.  Returns milestone rows plus the SHA-256 of the merged
+    event stream — the digest is the cross-configuration determinism
+    receipt (every row of a scaling sweep must report the same digest).
+    """
+    import hashlib
+
+    from repro.distributed import (
+        Coordinator,
+        ParallelCoordinator,
+        partition_by_location,
+    )
+    from repro.events.codec import encode_stream
+
+    zones = partition_by_location(
+        sim.layout.readers,
+        scaling_zone_assignment(sim.config.num_shelves),
+        sim.layout.registry,
+        params=params,
+    )
+    if workers is None:
+        coordinator = Coordinator(
+            zones,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_codec=checkpoint_codec,
+        )
+    else:
+        coordinator = ParallelCoordinator(
+            zones,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_codec=checkpoint_codec,
+            workers=workers,
+        )
+    # whole-object pickling recurses through node<->edge chains; the legacy
+    # codec needs head-room on production-scale graphs
+    old_limit = sys.getrecursionlimit()
+    if checkpoint_codec == "pickle":
+        sys.setrecursionlimit(1_000_000)
+    try:
+        digest = hashlib.sha256()
+        pending = sorted(milestones)
+        rows: list[dict] = []
+        win_wall = 0.0
+        win_epochs = 0
+        messages = 0
+        started = time.perf_counter()
+        for readings in sim.stream:
+            t0 = time.perf_counter()
+            result = coordinator.process_epoch(readings)
+            win_wall += time.perf_counter() - t0
+            win_epochs += 1
+            messages += len(result.messages)
+            digest.update(encode_stream(result.messages))
+            if pending and coordinator.tracked_objects >= pending[0]:
+                rows.append(
+                    {
+                        "milestone": pending.pop(0),
+                        "objects": coordinator.tracked_objects,
+                        "epoch": readings.epoch,
+                        "epochs_in_window": win_epochs,
+                        "avg_epoch_s": win_wall / win_epochs,
+                    }
+                )
+                win_wall = 0.0
+                win_epochs = 0
+        total_s = time.perf_counter() - started
+    finally:
+        sys.setrecursionlimit(old_limit)
+        if workers is not None:
+            coordinator.close()
+    out = {
+        "workers": workers,
+        "checkpoint_codec": checkpoint_codec,
+        "milestones": rows,
+        "messages": messages,
+        "total_s": total_s,
+        "stream_sha256": digest.hexdigest(),
+        "tracked_objects": coordinator.tracked_objects,
+    }
+    if workers is not None:
+        stats = coordinator.stats
+        out["ipc"] = {
+            "bytes_to_workers": stats.bytes_to_workers,
+            "bytes_from_workers": stats.bytes_from_workers,
+            "fanout_s": stats.fanout_s,
+            "fanin_wait_s": stats.fanin_wait_s,
+            "checkpoints": stats.checkpoints,
+            "checkpoint_s": stats.checkpoint_s,
+        }
+    return out
+
+
+def benchmark_checkpoint_codecs(sim: SimulationResult, repeats: int = 3) -> dict:
+    """Time ``dumps_spire`` / ``loads_spire`` for both codecs over the
+    grown Table III substrate (the checkpoint a zone worker would cut)."""
+    from repro.core.checkpoint import dumps_spire, loads_spire
+    from repro.core.pipeline import Deployment, Spire
+
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    spire = Spire(deployment, InferenceParams(), compression_level=2, incremental=True)
+    for readings in sim.stream:
+        spire.process_epoch(readings)
+
+    out: dict = {"nodes": spire.graph.node_count, "edges": spire.graph.edge_count}
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1_000_000)
+    try:
+        for codec in ("pickle", "fast"):
+            encode_s = decode_s = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                blob = dumps_spire(spire, codec=codec)
+                encode_s = min(encode_s, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                loads_spire(blob)
+                decode_s = min(decode_s, time.perf_counter() - t0)
+            out[codec] = {
+                "encode_s": encode_s,
+                "decode_s": decode_s,
+                "bytes": len(blob),
+            }
+    finally:
+        sys.setrecursionlimit(old_limit)
+    out["encode_speedup"] = out["pickle"]["encode_s"] / max(
+        out["fast"]["encode_s"], 1e-12
+    )
+    out["decode_speedup"] = out["pickle"]["decode_s"] / max(
+        out["fast"]["decode_s"], 1e-12
+    )
+    return out
+
+
+def run_scaling(
+    milestones: tuple[int, ...] | list[int] = DEFAULT_MILESTONES,
+    worker_counts: tuple[int, ...] | list[int] = DEFAULT_WORKER_COUNTS,
+    cases_per_pallet: int = DEFAULT_CASES_PER_PALLET,
+    seed: int = DEFAULT_SEED,
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    benchmark_checkpoints: bool = True,
+) -> dict:
+    """The multi-worker scaling sweep recorded in ``BENCH_table3.json``.
+
+    Runs the Table III workload through the serial coordinator twice —
+    once in the seed configuration (pickle checkpoints, the only codec
+    before the fast encoder existed) and once with fast checkpoints — and
+    through :class:`ParallelCoordinator` at each worker count.  Attaches
+    per-milestone and end-to-end speedups against both serial rows, a
+    checkpoint codec micro-benchmark, and the shared stream digest (all
+    configurations must produce byte-identical output or the payload is
+    marked non-deterministic).
+    """
+    config = table3_config(cases_per_pallet, duration_for(milestones, cases_per_pallet), seed)
+    sim = WarehouseSimulator(config).run()
+    payload: dict = {
+        "workload": {
+            "milestones": list(milestones),
+            "cases_per_pallet": cases_per_pallet,
+            "duration": config.duration,
+            "seed": seed,
+            "checkpoint_interval": checkpoint_interval,
+            "zones": len(scaling_zone_assignment(config.num_shelves)),
+        },
+        "machine": machine_info(),
+        "calibration_s": calibrate(),
+    }
+    serial_pickle = run_coordinator_sweep(
+        sim, milestones, workers=None,
+        checkpoint_interval=checkpoint_interval, checkpoint_codec="pickle",
+    )
+    serial_fast = run_coordinator_sweep(
+        sim, milestones, workers=None,
+        checkpoint_interval=checkpoint_interval, checkpoint_codec="fast",
+    )
+    payload["serial_pickle_checkpoints"] = serial_pickle
+    payload["serial_fast_checkpoints"] = serial_fast
+    runs = {}
+    for count in worker_counts:
+        runs[f"workers_{count}"] = run_coordinator_sweep(
+            sim, milestones, workers=count,
+            checkpoint_interval=checkpoint_interval, checkpoint_codec="fast",
+        )
+    payload["parallel"] = runs
+
+    digests = {serial_pickle["stream_sha256"], serial_fast["stream_sha256"]}
+    digests.update(run["stream_sha256"] for run in runs.values())
+    payload["streams_identical"] = len(digests) == 1
+    payload["stream_sha256"] = serial_fast["stream_sha256"]
+
+    payload["speedups"] = {
+        label: {
+            name: {
+                "total": baseline["total_s"] / max(run["total_s"], 1e-12),
+                "milestones": _scaling_speedups(baseline["milestones"], run["milestones"]),
+            }
+            for name, run in runs.items()
+        }
+        for label, baseline in (
+            ("vs_serial_pickle_checkpoints", serial_pickle),
+            ("vs_serial_fast_checkpoints", serial_fast),
+        )
+    }
+    if benchmark_checkpoints:
+        payload["checkpoint_codecs"] = benchmark_checkpoint_codecs(sim)
+    payload["peak_rss_kb"] = peak_rss_kb()
+    return payload
+
+
+def _scaling_speedups(before_rows: list[dict], after_rows: list[dict]) -> list[dict]:
+    by_milestone = {row["milestone"]: row for row in before_rows}
+    out = []
+    for after in after_rows:
+        before = by_milestone.get(after["milestone"])
+        if before is None:
+            continue
+        out.append(
+            {
+                "milestone": after["milestone"],
+                "avg_epoch": before["avg_epoch_s"] / max(after["avg_epoch_s"], 1e-12),
+            }
+        )
+    return out
+
+
+def check_parallel_throughput(
+    current: dict, workers_key: str = "workers_2", tolerance: float = 0.25
+) -> list[str]:
+    """CI gate for the parallel path: the merged-stream throughput of the
+    given parallel configuration must be within ``tolerance`` of the
+    serial (fast-checkpoint) run of the *same payload*, and the streams
+    must be byte-identical.  Same-payload comparison makes the check
+    machine-independent (both runs share the calibration environment).
+
+    Returns human-readable violations (empty = pass).
+    """
+    problems: list[str] = []
+    if not current.get("streams_identical", False):
+        problems.append("parallel merged stream differs from the serial stream")
+    serial = current.get("serial_fast_checkpoints")
+    run = (current.get("parallel") or {}).get(workers_key)
+    if serial is None or run is None:
+        problems.append(f"payload is missing serial or {workers_key} scaling rows")
+        return problems
+    serial_tp = serial["messages"] / max(serial["total_s"], 1e-12)
+    parallel_tp = run["messages"] / max(run["total_s"], 1e-12)
+    if parallel_tp < serial_tp * (1.0 - tolerance):
+        problems.append(
+            f"{workers_key} throughput {parallel_tp:.0f} msg/s is more than "
+            f"{tolerance:.0%} below serial {serial_tp:.0f} msg/s"
+        )
+    return problems

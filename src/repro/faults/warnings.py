@@ -29,6 +29,7 @@ class WarningKind:
     UNMAPPED_READER = "unmapped_reader"
     ZONE_FAILED = "zone_failed"
     ZONE_RECOVERED = "zone_recovered"
+    EMPTY_ZONE = "empty_zone"
 
 
 @dataclass(frozen=True)

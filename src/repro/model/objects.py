@@ -40,6 +40,13 @@ class PackagingLevel(IntEnum):
         return [PackagingLevel(v) for v in range(self.value + 1, max_level + 1)]
 
 
+#: serial numbers fit 48 bits in every compact encoding (matches the
+#: event/reading wire formats in :mod:`repro.events.codec` and
+#: :mod:`repro.readers.codec`)
+_KEY_SERIAL_BITS = 48
+_KEY_SERIAL_MASK = (1 << _KEY_SERIAL_BITS) - 1
+
+
 class TagId(NamedTuple):
     """An EPC-style tag identifier: packaging level plus a serial number.
 
@@ -50,6 +57,20 @@ class TagId(NamedTuple):
 
     level: PackagingLevel
     serial: int
+
+    def key(self) -> int:
+        """Pack into a single unsigned 64-bit key: ``level << 48 | serial``.
+
+        Serial 0 is reserved (see :class:`TagAllocator`), so key 0 never
+        names a real object and doubles as the "no tag" sentinel in compact
+        encodings (checkpoints, the distributed wire protocol).
+        """
+        return (self.level.value << _KEY_SERIAL_BITS) | self.serial
+
+    @classmethod
+    def from_key(cls, key: int) -> "TagId":
+        """Inverse of :meth:`key`."""
+        return cls(PackagingLevel(key >> _KEY_SERIAL_BITS), key & _KEY_SERIAL_MASK)
 
     def urn(self, company_prefix: str = "0614141") -> str:
         """Render an SGTIN-flavoured URN for this tag.

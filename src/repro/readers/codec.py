@@ -99,3 +99,52 @@ def read_trace(fp: BinaryIO) -> ReadingStream:
 
 
 assert WIRE_FORMAT.size == RAW_READING_BYTES, "wire format must match the sizing constant"
+
+
+# ----------------------------------------------------------------------
+# grouped epoch frames (the distributed fan-out hot path)
+# ----------------------------------------------------------------------
+#
+# :func:`write_trace` flattens an epoch into per-reading records, which is
+# right for durable traces but loses the ``by_reader`` grouping — and the
+# pipeline's dedup semantics depend on the *order* readers and tags were
+# added in.  An epoch frame preserves that order exactly, so a decoded
+# frame is processed byte-identically to the original object:
+#
+# ``epoch(8) | n_readers(4)`` then per reader ``reader(2) | n_tags(4)``
+# followed by ``n_tags`` packed 64-bit tag keys (:meth:`TagId.key`).
+
+_FRAME_HEADER = struct.Struct("<qI")
+_FRAME_READER = struct.Struct("<HI")
+
+
+def encode_epoch_frame(readings: EpochReadings) -> bytes:
+    """Encode one epoch with its reader grouping and ordering intact."""
+    parts = [_FRAME_HEADER.pack(readings.epoch, len(readings.by_reader))]
+    for reader_id, tags in readings.by_reader.items():
+        if not 0 <= reader_id < (1 << 16):
+            raise ReadingCodecError(f"reader id {reader_id} out of 16-bit range")
+        parts.append(_FRAME_READER.pack(reader_id, len(tags)))
+        parts.append(struct.pack(f"<{len(tags)}Q", *(tag.key() for tag in tags)))
+    return b"".join(parts)
+
+
+def decode_epoch_frame(data: bytes, offset: int = 0) -> tuple[EpochReadings, int]:
+    """Decode one epoch frame starting at ``offset``.
+
+    Returns the readings and the offset just past the frame, so frames can
+    be concatenated back-to-back on a pipe.
+    """
+    try:
+        epoch, n_readers = _FRAME_HEADER.unpack_from(data, offset)
+        offset += _FRAME_HEADER.size
+        readings = EpochReadings(epoch=epoch)
+        for _ in range(n_readers):
+            reader_id, n_tags = _FRAME_READER.unpack_from(data, offset)
+            offset += _FRAME_READER.size
+            keys = struct.unpack_from(f"<{n_tags}Q", data, offset)
+            offset += 8 * n_tags
+            readings.add(reader_id, [TagId.from_key(key) for key in keys])
+    except struct.error as exc:
+        raise ReadingCodecError(f"truncated epoch frame: {exc}") from exc
+    return readings, offset

@@ -46,11 +46,22 @@ class Deduplicator:
         source = epoch_readings.by_reader
         # tag -> winning reader; later occurrences overwrite the value but
         # keep the tag's insertion position, preserving output order
-        winner: dict[TagId, int] = {}
-        for reader_id in sorted(source):
-            tags = source[reader_id]
-            for tag in tags:
-                winner[tag] = reader_id
+        cached = epoch_readings._tag_map
+        if cached is not None:
+            # upstream already resolved winners (e.g. a prior dedup pass or
+            # the coordinator's per-zone split); its insertion order is the
+            # first-occurrence order we would recompute
+            winner: dict[TagId, int] = cached
+        elif len(source) == 1:
+            # single reader: every tag trivially wins, in report order
+            ((reader_id, tags),) = source.items()
+            winner = dict.fromkeys(tags, reader_id)
+        else:
+            winner = {}
+            for reader_id in sorted(source):
+                tags = source[reader_id]
+                for tag in tags:
+                    winner[tag] = reader_id
 
         clean = EpochReadings(epoch=epoch_readings.epoch)
         out = clean.by_reader

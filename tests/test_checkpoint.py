@@ -78,9 +78,19 @@ class TestValidation:
 
         spire = _warm_spire()
         path = tmp_path / "state.ckpt"
-        save_checkpoint(spire, path)
+        save_checkpoint(spire, path, codec="pickle")
         monkeypatch.setattr(ckpt, "CHECKPOINT_VERSION", 999)
         with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_wrong_fast_version_rejected(self, tmp_path, monkeypatch):
+        import repro.core.fastcheckpoint as fast
+
+        spire = _warm_spire()
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(spire, path)  # default codec is "fast"
+        monkeypatch.setattr(fast, "FAST_FORMAT_VERSION", 999)
+        with pytest.raises(CheckpointError, match="format"):
             load_checkpoint(path)
 
     def test_non_spire_payload_rejected(self, tmp_path):
@@ -115,8 +125,6 @@ class TestAtomicWrite:
         assert sorted(p.name for p in tmp_path.iterdir()) == ["state.ckpt"]
 
     def test_failed_write_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
-        import pickle
-
         import repro.core.checkpoint as ckpt
 
         path = tmp_path / "state.ckpt"
@@ -126,7 +134,8 @@ class TestAtomicWrite:
         def explode(*args, **kwargs):
             raise OSError("disk full")
 
-        monkeypatch.setattr(pickle, "dump", explode)
+        # fail mid-write, after the temp file exists but before the replace
+        monkeypatch.setattr(ckpt.os, "fsync", explode)
         with pytest.raises(OSError, match="disk full"):
             save_checkpoint(_warm_spire(), path)
         monkeypatch.undo()
