@@ -1,0 +1,65 @@
+"""Serving layer — point-query throughput and subscription fan-out.
+
+Drives :func:`repro.experiments.serving.run_serving_bench`: the Table III
+high-injection workload grown to the 12k-object milestone behind the zone
+coordinator, with 120 concurrent standing queries (every pattern kind
+represented) evaluated on every published epoch and drained by a
+deliberately slow consumer, then a point-query storm against the live
+index — in-process and over loopback TCP.
+
+Acceptance floors (also recorded in the ``serving`` section of
+``BENCH_table3.json``):
+
+* >= 1,000 point queries/second against the live index;
+* >= 100 concurrent subscriptions sustained for the whole replay;
+* bounded queues — the max observed depth never exceeds ``max_queue``
+  (drop-oldest backpressure, not unbounded growth).
+"""
+
+from repro.experiments.serving import (
+    MIN_POINT_QUERIES_PER_S,
+    MIN_SUBSCRIPTIONS,
+    check_serving,
+    run_serving_bench,
+)
+
+from benchmarks._shared import PAPER_SCALE, Table
+
+MILESTONE = 25_000 if PAPER_SCALE else 12_000
+SUBSCRIPTIONS = 250 if PAPER_SCALE else 120
+
+
+def test_serving_throughput_and_fanout():
+    payload = run_serving_bench(milestone=MILESTONE, subscriptions=SUBSCRIPTIONS)
+
+    subs = payload["subscriptions"]
+    point = payload["point_queries"]
+    tcp = payload["tcp_queries"]
+    table = Table(
+        f"Serving layer at the {MILESTONE}-object milestone",
+        ["metric", "value"],
+    )
+    table.add("objects indexed", payload["workload"]["objects_indexed"])
+    table.add("concurrent subscriptions", subs["count"])
+    table.add("publish mean (ms)", subs["publish_mean_ms"])
+    table.add("publish p95 (ms)", subs["publish_p95_ms"])
+    table.add("notifications delivered", subs["notifications_delivered"])
+    table.add("notifications dropped", subs["notifications_dropped"])
+    table.add("max queue depth", subs["max_queue_depth"])
+    table.add("point queries/s (in-proc)", int(point["queries_per_s"]))
+    table.add("point queries/s (TCP)", int(tcp["queries_per_s"]))
+    table.show()
+
+    problems = check_serving(payload)
+    assert not problems, "; ".join(problems)
+
+    # the floors themselves, spelled out for a readable failure
+    assert point["queries_per_s"] >= MIN_POINT_QUERIES_PER_S
+    assert subs["count"] >= MIN_SUBSCRIPTIONS
+    assert subs["max_queue_depth"] <= subs["max_queue"], "queue grew past bound"
+    # the slow consumer must actually have exercised backpressure: with
+    # drain_every=8 and high-injection traffic, drops are expected, and
+    # every drop must be accounted (delivered + dropped covers the queues)
+    assert subs["notifications_delivered"] > 0
+    # TCP round trips clear the same floor with protocol overhead included
+    assert tcp["queries_per_s"] >= MIN_POINT_QUERIES_PER_S

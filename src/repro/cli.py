@@ -8,7 +8,14 @@ Subcommands cover the trace lifecycle:
   event stream and printing summary statistics;
 * ``evaluate`` — simulate + interpret + score in one go (accuracy,
   compression ratio, optional SMURF comparison);
-* ``query`` — answer point/path queries over a persisted event stream;
+* ``query`` — answer point/path queries over a persisted event stream
+  (``--index-cache`` persists the built index for instant reloads);
+* ``serve`` — replay a persisted trace through a (optionally sharded)
+  coordinator and serve continuous queries over TCP: one-shot lookups
+  against the live index plus standing-pattern subscriptions
+  (see docs/SERVING.md);
+* ``client`` — connect to a running ``serve`` instance: issue a point
+  query, follow a subscription, or dump serving statistics;
 * ``chaos`` — run the same simulation fault-free and under a fault
   schedule (reader outages, dropped/delayed/duplicated batches, unknown
   readers) through the resilient ingestion front-end, and report the
@@ -23,7 +30,10 @@ Examples::
     repro-spire interpret trace.bin -o events.bin --compression 2
     repro-spire evaluate --duration 1800 --read-rate 0.7 --smurf
     repro-spire query events.bin --object case:3 --at 500
-    repro-spire query events.bin --object case:3 --path
+    repro-spire query events.bin --object case:3 --path --index-cache events.idx
+    repro-spire serve trace.bin --port 7070 --workers 2
+    repro-spire client --port 7070 --object case:3 --at 500
+    repro-spire client --port 7070 --subscribe dwell:3:50 --count 5
     repro-spire chaos --duration 600 --outage-epochs 50 --drop-rate 0.02 --delay-rate 0.05
     repro-spire bench -o BENCH_table3.json --compare-full
     repro-spire bench --milestones 1000 2000 --check-against benchmarks/baselines/perf_smoke.json
@@ -462,11 +472,50 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _load_query_index(args: argparse.Namespace) -> EventStreamIndex:
+    """Build the query index, through the snapshot cache when requested.
+
+    The cache is keyed on the sha256 of the raw event-stream bytes plus
+    the ``--decompress`` flag: a hit skips decoding and index construction
+    entirely; a miss (or a stale/corrupt snapshot) rebuilds and rewrites.
+    """
+    import io
+
+    raw = Path(args.events).read_bytes()
+    cache = getattr(args, "index_cache", None)
+    if cache:
+        from repro.query.snapshot import (
+            SnapshotError,
+            fingerprint_stream,
+            load_index,
+            save_index,
+        )
+
+        fingerprint = fingerprint_stream(raw)
+        cache_path = Path(cache)
+        if cache_path.exists():
+            try:
+                index, meta = load_index(cache_path)
+            except SnapshotError as exc:
+                print(f"index cache unreadable ({exc}); rebuilding", file=sys.stderr)
+            else:
+                if meta.fingerprint == fingerprint and meta.decompress == args.decompress:
+                    return index
+                print("index cache stale; rebuilding", file=sys.stderr)
+        messages = list(event_codec.read_stream(io.BytesIO(raw)))
+        index = EventStreamIndex(messages, decompress=args.decompress)
+        written = save_index(
+            index, cache_path, fingerprint=fingerprint, decompress=args.decompress
+        )
+        print(f"wrote index cache {cache_path} ({written} bytes)", file=sys.stderr)
+        return index
+    messages = list(event_codec.read_stream(io.BytesIO(raw)))
+    return EventStreamIndex(messages, decompress=args.decompress)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Answer point/path/tree queries over a persisted event stream."""
-    with Path(args.events).open("rb") as fp:
-        messages = list(event_codec.read_stream(fp))
-    index = EventStreamIndex(messages, decompress=args.decompress)
+    index = _load_query_index(args)
 
     if args.path:
         for interval in index.path(args.object):
@@ -493,6 +542,171 @@ def cmd_query(args: argparse.Namespace) -> int:
         print("containment tree:")
         print(index.render_tree(top, args.at))
     return 0
+
+
+def parse_pattern(text: str):
+    """Parse a standing-pattern spec for ``client --subscribe``.
+
+    Forms: ``tail``, ``tail:PLACE``, ``object:LEVEL:SERIAL``,
+    ``place:PLACE``, ``dwell:PLACE:K``, ``missing:K``, ``anomaly:PLACE``.
+    """
+    from repro.serving.patterns import (
+        PATTERN_DWELL,
+        PATTERN_LEFT_WITHOUT_CONTAINER,
+        PATTERN_MISSING,
+        PATTERN_OBJECT,
+        PATTERN_PLACE,
+        PATTERN_TAIL,
+        PatternSpec,
+    )
+
+    parts = text.split(":")
+    try:
+        if parts[0] == "tail":
+            place = int(parts[1]) if len(parts) > 1 else None
+            return PatternSpec(PATTERN_TAIL, place=place)
+        if parts[0] == "object":
+            return PatternSpec(PATTERN_OBJECT, obj=parse_tag(":".join(parts[1:])))
+        if parts[0] == "place":
+            return PatternSpec(PATTERN_PLACE, place=int(parts[1]))
+        if parts[0] == "dwell":
+            return PatternSpec(PATTERN_DWELL, place=int(parts[1]), k=int(parts[2]))
+        if parts[0] == "missing":
+            return PatternSpec(PATTERN_MISSING, k=int(parts[1]))
+        if parts[0] == "anomaly":
+            return PatternSpec(PATTERN_LEFT_WITHOUT_CONTAINER, place=int(parts[1]))
+    except (IndexError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(f"invalid pattern {text!r}: {exc}") from exc
+    raise argparse.ArgumentTypeError(
+        f"unknown pattern {text!r}; expected tail[:PLACE], object:LEVEL:SERIAL, "
+        f"place:PLACE, dwell:PLACE:K, missing:K, or anomaly:PLACE"
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a trace through a coordinator and serve continuous queries."""
+    import asyncio
+    import itertools
+
+    from repro.distributed import (
+        Coordinator,
+        ParallelCoordinator,
+        partition_by_location,
+    )
+    from repro.experiments.table3 import scaling_zone_assignment
+    from repro.serving.server import SpireServer, pump_coordinator
+
+    trace_path = Path(args.trace)
+    sidecar = _sidecar_path(trace_path)
+    if not sidecar.exists():
+        print(f"error: missing deployment sidecar {sidecar}", file=sys.stderr)
+        return 2
+    config = SimulationConfig(**json.loads(sidecar.read_text()))
+    layout = WarehouseLayout.build(config)
+    with trace_path.open("rb") as fp:
+        stream = reading_codec.read_trace(fp)
+
+    server = SpireServer(
+        args.host, args.port, expand_level2=(args.compression == 2)
+    )
+    zones = partition_by_location(
+        layout.readers,
+        scaling_zone_assignment(config.num_shelves),
+        layout.registry,
+        compression_level=args.compression,
+        quarantine=server.engine.quarantine,
+    )
+    if args.workers:
+        coordinator = ParallelCoordinator(
+            zones, checkpoint_interval=50, workers=args.workers
+        )
+    else:
+        coordinator = Coordinator(zones, checkpoint_interval=50)
+
+    async def run() -> int:
+        epochs = stream
+        if args.max_epochs is not None:
+            epochs = itertools.islice(stream, args.max_epochs)
+        async with server:
+            print(
+                f"serving on {server.host}:{server.port} "
+                f"({len(zones)} zone(s), "
+                f"{args.workers or 'no'} worker(s), "
+                f"compression level {args.compression})"
+            )
+            pumped = await pump_coordinator(
+                server, coordinator, epochs, epoch_interval=args.epoch_interval
+            )
+            print(f"pumped {pumped} epoch(s); stream exhausted")
+            if args.linger > 0:
+                print(f"lingering {args.linger:.0f}s for queries")
+                await asyncio.sleep(args.linger)
+        return pumped
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    finally:
+        if isinstance(coordinator, ParallelCoordinator):
+            coordinator.close()
+        print("serving statistics:")
+        for line in server.engine.stats.summary_lines():
+            print(f"  {line}")
+        counts = server.engine.quarantine.counts()
+        if counts:
+            print(f"  warnings              {counts}")
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Connect to a running ``serve`` instance and query or follow it."""
+    import asyncio
+
+    from repro.serving.client import ServingError, SpireClient
+
+    async def run() -> int:
+        client = await SpireClient.connect(args.host, args.port)
+        try:
+            if args.stats:
+                for key, value in (await client.stats()).items():
+                    print(f"{key:26} {value}")
+                return 0
+            if args.subscribe is not None:
+                sub_id = await client.subscribe(parse_pattern(args.subscribe))
+                print(f"subscribed #{sub_id} to {args.subscribe}")
+                received = 0
+                while args.count is None or received < args.count:
+                    try:
+                        _, note = await client.next_notification(timeout=args.timeout)
+                    except asyncio.TimeoutError:
+                        print(f"no notification within {args.timeout:.0f}s", file=sys.stderr)
+                        return 1
+                    print(note)
+                    received += 1
+                await client.unsubscribe(sub_id)
+                return 0
+            if args.object is None or args.at is None:
+                print("error: provide --object and --at, --subscribe, or --stats",
+                      file=sys.stderr)
+                return 2
+            place = await client.location_of(args.object, args.at)
+            container = await client.container_of(args.object, args.at)
+            missing = await client.is_missing(args.object, args.at)
+            print(f"object     {args.object}")
+            print(f"location   {'L' + str(place) if place is not None else 'unknown'}")
+            print(f"container  {container if container is not None else '-'}")
+            if missing:
+                print("status     reported missing")
+            return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, ServingError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 # ---------------------------------------------------------------------------
@@ -608,7 +822,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat the input as a level-2 stream and decompress first",
     )
+    query.add_argument(
+        "--index-cache",
+        default=None,
+        help="snapshot file to persist/reload the built index (keyed on the "
+             "event file's sha256; stale or corrupt caches are rebuilt)",
+    )
     query.set_defaults(func=cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve", help="replay a trace and serve continuous queries over TCP"
+    )
+    serve.add_argument("trace", help="trace file written by 'simulate'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one and prints it)")
+    serve.add_argument("--compression", type=int, choices=(1, 2), default=2)
+    serve.add_argument("--workers", type=int, default=None,
+                       help="shard zones over this many worker processes")
+    serve.add_argument("--epoch-interval", type=float, default=0.0,
+                       help="seconds between epochs (approximate a live stream)")
+    serve.add_argument("--max-epochs", type=int, default=None,
+                       help="stop after this many epochs (default: whole trace)")
+    serve.add_argument("--linger", type=float, default=0.0,
+                       help="keep serving queries this many seconds after the "
+                            "stream is exhausted")
+    serve.set_defaults(func=cmd_serve)
+
+    client = subparsers.add_parser(
+        "client", help="connect to a running 'serve' instance"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--object", type=parse_tag, help="e.g. case:3 (with --at)")
+    client.add_argument("--at", type=int, help="epoch to query")
+    client.add_argument(
+        "--subscribe",
+        help="follow a standing pattern: tail[:PLACE], object:LEVEL:SERIAL, "
+             "place:PLACE, dwell:PLACE:K, missing:K, anomaly:PLACE",
+    )
+    client.add_argument("--count", type=int, default=None,
+                        help="with --subscribe: exit after this many notifications")
+    client.add_argument("--timeout", type=float, default=30.0,
+                        help="with --subscribe: per-notification wait (seconds)")
+    client.add_argument("--stats", action="store_true",
+                        help="print the server's serving counters and exit")
+    client.set_defaults(func=cmd_client)
     return parser
 
 

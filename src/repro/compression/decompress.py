@@ -166,6 +166,52 @@ _KIND_ORDER = {
 }
 
 
+def _step_of(msg: EventMessage) -> int:
+    """The time step a message belongs to (``Ve`` for end messages)."""
+    if msg.kind in (EventKind.END_LOCATION, EventKind.END_CONTAINMENT):
+        return int(msg.ve)
+    return msg.vs
+
+
+class StreamingLevel2Decompressor:
+    """Level-2 → level-1 decompression over an *unfinished* stream.
+
+    Wraps :class:`Level2Decompressor` with the step-grouping the batch
+    routine applies — messages of one time step are buffered until the
+    next step begins, then replayed containment-first — so a consumer can
+    feed messages as they arrive (e.g. from a network tail) and still get
+    exactly the batch routine's output.  ``feed`` returns the level-1
+    messages completed so far; call ``flush`` when the stream ends (or at
+    a known step boundary, e.g. the end of an epoch batch) to drain the
+    final buffered step.
+    """
+
+    def __init__(self) -> None:
+        self._decompressor = Level2Decompressor()
+        self._pending: list[EventMessage] = []
+        self._pending_step: int | None = None
+
+    def feed(self, msg: EventMessage) -> list[EventMessage]:
+        """Absorb one level-2 message; return completed level-1 output."""
+        out: list[EventMessage] = []
+        step = _step_of(msg)
+        if self._pending_step is not None and step != self._pending_step:
+            out = self.flush()
+        self._pending_step = step
+        self._pending.append(msg)
+        return out
+
+    def flush(self) -> list[EventMessage]:
+        """Decompress the buffered step (call at end of stream/batch)."""
+        self._pending.sort(key=lambda m: _KIND_ORDER[m.kind])
+        out: list[EventMessage] = []
+        for msg in self._pending:
+            out.extend(self._decompressor.process(msg))
+        self._pending.clear()
+        self._pending_step = None
+        return out
+
+
 def decompress_stream(messages: Iterable[EventMessage]) -> list[EventMessage]:
     """Decompress a complete level-2 stream into its level-1 equivalent.
 
@@ -174,27 +220,9 @@ def decompress_stream(messages: Iterable[EventMessage]) -> list[EventMessage]:
     the paper's decompression routine.  (For end messages the grouping key
     is ``Ve``, the time the state change happened.)
     """
-    decompressor = Level2Decompressor()
+    streaming = StreamingLevel2Decompressor()
     out: list[EventMessage] = []
-    pending: list[EventMessage] = []
-    pending_step: int | None = None
-
-    def step_of(msg: EventMessage) -> int:
-        if msg.kind in (EventKind.END_LOCATION, EventKind.END_CONTAINMENT):
-            return int(msg.ve)
-        return msg.vs
-
-    def flush() -> None:
-        pending.sort(key=lambda m: _KIND_ORDER[m.kind])
-        for msg in pending:
-            out.extend(decompressor.process(msg))
-        pending.clear()
-
     for msg in messages:
-        step = step_of(msg)
-        if pending_step is not None and step != pending_step:
-            flush()
-        pending_step = step
-        pending.append(msg)
-    flush()
+        out.extend(streaming.feed(msg))
+    out.extend(streaming.flush())
     return out

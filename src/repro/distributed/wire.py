@@ -75,6 +75,60 @@ class WireError(RuntimeError):
     """Raised on malformed frames or a worker-reported failure."""
 
 
+# ---------------------------------------------------------------------------
+# byte-stream framing
+# ---------------------------------------------------------------------------
+#
+# Pipes frame messages for free (``send_bytes``/``recv_bytes``); TCP does
+# not.  The serving front-end (:mod:`repro.serving.protocol`) carries the
+# same style of struct-packed payloads over sockets, so the length-prefix
+# framing lives here next to the payload conventions it extends.
+
+FRAME_HEADER = struct.Struct("<I")
+
+#: refuse absurd frames rather than buffering an attacker-controlled length
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Length-prefix one payload for a byte-stream transport."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental splitter for length-prefixed frames.
+
+    ``feed`` absorbs whatever chunk the transport produced (frames may be
+    split or coalesced arbitrarily) and returns the payloads completed so
+    far, in order.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        self._buffer.extend(chunk)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < FRAME_HEADER.size:
+                return frames
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+            end = FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append(bytes(self._buffer[FRAME_HEADER.size : end]))
+            del self._buffer[:end]
+
+
 def _expect(data: bytes, msg_type: int) -> None:
     if not data or data[0] != msg_type:
         got = data[0] if data else None

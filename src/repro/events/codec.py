@@ -137,6 +137,43 @@ def decode_stream(data: bytes) -> Iterator[EventMessage]:
         yield decode_message(data[offset : offset + size])
 
 
+class StreamDecoder:
+    """Incremental decoder for a byte stream arriving in arbitrary chunks.
+
+    Network transports (the serving front-end, a tailing client) deliver
+    event-stream bytes at whatever boundaries the socket produces — chunks
+    routinely split a 25-byte record.  ``feed`` buffers the partial tail
+    and yields every complete message, in order; ``finish`` asserts the
+    stream ended on a record boundary.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting the rest of a record."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[EventMessage]:
+        """Absorb ``chunk``; return the messages it completed."""
+        self._buffer.extend(chunk)
+        size = WIRE_FORMAT.size
+        n_complete = len(self._buffer) // size
+        if not n_complete:
+            return []
+        whole = bytes(self._buffer[: n_complete * size])
+        del self._buffer[: n_complete * size]
+        return [decode_message(whole[off : off + size]) for off in range(0, len(whole), size)]
+
+    def finish(self) -> None:
+        """Raise :class:`CodecError` if a partial record is still buffered."""
+        if self._buffer:
+            raise CodecError(
+                f"truncated stream: {len(self._buffer)} byte(s) of a partial record"
+            )
+
+
 def write_stream(messages: Iterable[EventMessage], fp: BinaryIO) -> int:
     """Write messages to a binary file object; returns bytes written."""
     written = 0

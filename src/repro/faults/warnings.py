@@ -30,6 +30,7 @@ class WarningKind:
     ZONE_FAILED = "zone_failed"
     ZONE_RECOVERED = "zone_recovered"
     EMPTY_ZONE = "empty_zone"
+    SUBSCRIPTION_OVERFLOW = "subscription_overflow"
 
 
 @dataclass(frozen=True)

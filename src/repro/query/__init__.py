@@ -9,5 +9,14 @@ through a location, an object's full path.
 """
 
 from repro.query.index import EventStreamIndex, Interval
+from repro.query.snapshot import SnapshotMeta, load_index, loads_index, dumps_index, save_index
 
-__all__ = ["EventStreamIndex", "Interval"]
+__all__ = [
+    "EventStreamIndex",
+    "Interval",
+    "SnapshotMeta",
+    "dumps_index",
+    "load_index",
+    "loads_index",
+    "save_index",
+]

@@ -12,16 +12,26 @@ and answers point and range queries:
 * ``visitors(place, t1, t2)`` — every object present during a window;
 * ``missing_reports(obj)`` — when the object was reported missing.
 
-The index is static: build it from a finished stream, or rebuild
-incrementally by calling :meth:`extend` as more messages arrive (messages
-must keep arriving in stream order).
+The index is **incremental**: build it from a finished stream, or keep
+calling :meth:`extend` as more messages arrive (messages must keep
+arriving in stream order).  Each ``extend`` maintains, besides the
+per-object histories, per-place and per-container *secondary indexes*
+(:class:`_SecondaryIndex`) in O(messages applied) — the inverse queries
+(``objects_at``, ``contents_of``, ``visitors``) consult only the
+intervals recorded at that place/container, found by bisection, instead
+of scanning every object the stream ever mentioned.  This is what makes
+the index servable: the standing-query engine of :mod:`repro.serving`
+extends it once per epoch and answers point queries between epochs.
+
+A populated index can be snapshotted to bytes and restored without
+replaying the stream — see :mod:`repro.query.snapshot`.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_right, insort
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, NamedTuple
 
 from repro.compression.decompress import decompress_stream
@@ -61,8 +71,89 @@ def _at(intervals: list[Interval], t: int):
     return None
 
 
+# cells are mutable [vs, ve, obj] triples so closing an interval updates the
+# vs-sorted list in place without knowing the cell's position
+_VS, _VE, _OBJ = 0, 1, 2
+
+
+@dataclass
+class _SecondaryIndex:
+    """All intervals recorded at one place (or inside one container).
+
+    Two sorted views of the same intervals allow output-sensitive point
+    and window lookups by bisection:
+
+    * ``by_start`` — every interval as a mutable ``[vs, ve, obj]`` cell,
+      sorted by ``vs`` (cells are appended when the start message arrives,
+      so stream order keeps the list sorted; ``ve`` is patched in place
+      when the end message arrives);
+    * ``by_end`` — the *closed* intervals as ``(ve, obj, vs)`` tuples,
+      sorted by ``ve`` (appended at close time, which is stream order).
+
+    A point query at ``t`` scans whichever candidate set is smaller: the
+    ``vs <= t`` prefix of ``by_start``, or the ``ve > t`` suffix of
+    ``by_end`` plus the (few) still-open cells.  Either way the scan is
+    bounded by the intervals at this one place — never by the total
+    object population.
+    """
+
+    by_start: list[list] = field(default_factory=list)
+    by_end: list[tuple[int, TagId, int]] = field(default_factory=list)
+    open: dict[TagId, list] = field(default_factory=dict)
+    #: open cells displaced by a later open interval of the same object at
+    #: the same place (only ill-formed streams produce these; kept so the
+    #: suffix-scan branch sees exactly the same intervals as the prefix)
+    shadowed: list[list] = field(default_factory=list)
+
+    def add_start(self, obj: TagId, vs: int) -> None:
+        cell = [vs, INFINITY, obj]
+        if self.by_start and self.by_start[-1][_VS] > vs:
+            insort(self.by_start, cell, key=lambda c: c[_VS])
+        else:
+            self.by_start.append(cell)
+        displaced = self.open.get(obj)
+        if displaced is not None:
+            self.shadowed.append(displaced)
+        self.open[obj] = cell
+
+    def close(self, obj: TagId, ve: int) -> None:
+        cell = self.open.pop(obj)
+        cell[_VE] = ve
+        entry = (ve, obj, cell[_VS])
+        if self.by_end and self.by_end[-1][0] > ve:
+            insort(self.by_end, entry)
+        else:
+            self.by_end.append(entry)
+
+    # ------------------------------------------------------------------
+    # candidate enumeration (callers verify / deduplicate as needed)
+    # ------------------------------------------------------------------
+
+    def candidates_at(self, t: int) -> list[TagId]:
+        """Objects with an interval here covering ``t`` (may repeat)."""
+        return self.candidates_overlapping(t, t)
+
+    def candidates_overlapping(self, t1: int, t2: int) -> list[TagId]:
+        """Objects with an interval here satisfying ``vs <= t2 < ve or
+        vs <= t2 and ve > t1`` (i.e. overlapping the closed window)."""
+        n_prefix = bisect_right(self.by_start, t2, key=lambda c: c[_VS])
+        first_live = bisect_right(self.by_end, (t1, _MAX_TAG, 0))
+        n_suffix = len(self.by_end) - first_live + len(self.open) + len(self.shadowed)
+        if n_prefix <= n_suffix:
+            return [c[_OBJ] for c in self.by_start[:n_prefix] if c[_VE] > t1]
+        out = [obj for ve, obj, vs in self.by_end[first_live:] if vs <= t2]
+        out.extend(obj for obj, cell in self.open.items() if cell[_VS] <= t2)
+        out.extend(c[_OBJ] for c in self.shadowed if c[_VS] <= t2)
+        return out
+
+
+#: greatest possible tag in tuple order, for bisecting ``(ve, obj, vs)``
+#: entries strictly by their ``ve`` component
+_MAX_TAG = (float("inf"),)
+
+
 class EventStreamIndex:
-    """Queryable index over a compressed event stream."""
+    """Queryable, incrementally maintained index over an event stream."""
 
     def __init__(
         self,
@@ -76,6 +167,10 @@ class EventStreamIndex:
         objects' location histories are explicit.
         """
         self._objects: dict[TagId, _ObjectHistory] = defaultdict(_ObjectHistory.empty)
+        self._places: dict[int, _SecondaryIndex] = defaultdict(_SecondaryIndex)
+        self._containers: dict[TagId, _SecondaryIndex] = defaultdict(_SecondaryIndex)
+        #: messages applied so far (snapshot bookkeeping / cache metadata)
+        self.messages_indexed = 0
         if decompress:
             messages = decompress_stream(list(messages))
         self.extend(messages)
@@ -86,18 +181,25 @@ class EventStreamIndex:
 
     def extend(self, messages: Iterable[EventMessage]) -> None:
         """Apply more messages (in stream order)."""
+        applied = 0
         for msg in messages:
             history = self._objects[msg.obj]
             if msg.kind is EventKind.START_LOCATION:
                 history.locations.append(Interval(msg.place, msg.vs, INFINITY))
+                self._places[msg.place].add_start(msg.obj, msg.vs)
             elif msg.kind is EventKind.END_LOCATION:
                 self._close(history.locations, msg.place, msg.vs, int(msg.ve), msg)
+                self._places[msg.place].close(msg.obj, int(msg.ve))
             elif msg.kind is EventKind.START_CONTAINMENT:
                 history.containers.append(Interval(msg.container, msg.vs, INFINITY))
+                self._containers[msg.container].add_start(msg.obj, msg.vs)
             elif msg.kind is EventKind.END_CONTAINMENT:
                 self._close(history.containers, msg.container, msg.vs, int(msg.ve), msg)
+                self._containers[msg.container].close(msg.obj, int(msg.ve))
             elif msg.kind is EventKind.MISSING:
                 history.missing_at.append(msg.vs)
+            applied += 1
+        self.messages_indexed += applied
 
     @staticmethod
     def _close(intervals: list[Interval], value, vs: int, ve: int, msg: EventMessage) -> None:
@@ -107,6 +209,30 @@ class EventStreamIndex:
         if last.ve != INFINITY or last.value != value or last.vs != vs:
             raise ValueError(f"end message does not match the open interval: {msg}")
         intervals[-1] = Interval(value, vs, ve)
+
+    def _rebuild_secondaries(self) -> None:
+        """Rebuild the per-place/per-container indexes from the histories.
+
+        Used after a snapshot restore: the restored structures are
+        query-equivalent to the live ones (tie order among equal ``vs`` /
+        ``ve`` may differ, which no query observes).
+        """
+        self._places = defaultdict(_SecondaryIndex)
+        self._containers = defaultdict(_SecondaryIndex)
+        for kind in ("locations", "containers"):
+            per_value: dict = defaultdict(list)
+            for obj, history in self._objects.items():
+                for interval in getattr(history, kind):
+                    per_value[interval.value].append((interval.vs, interval.ve, obj))
+            target = self._places if kind == "locations" else self._containers
+            for value, entries in per_value.items():
+                secondary = target[value]
+                entries.sort(key=lambda e: e[0])
+                for vs, ve, obj in entries:
+                    secondary.add_start(obj, vs)
+                    if ve != INFINITY:
+                        secondary.close(obj, int(ve))
+                secondary.by_end.sort()
 
     # ------------------------------------------------------------------
     # point queries
@@ -157,40 +283,45 @@ class EventStreamIndex:
             return False
         # missing from the report until the next location interval starts
         report = history.missing_at[index]
-        for interval in history.locations:
-            if report < interval.vs <= t:
-                return False
-        return True
+        after = bisect_right(history.locations, report, key=lambda iv: iv.vs)
+        return not (after < len(history.locations) and history.locations[after].vs <= t)
 
     # ------------------------------------------------------------------
-    # inverse and range queries
+    # inverse and range queries (secondary-index backed)
     # ------------------------------------------------------------------
 
     def contents_of(self, container: TagId, t: int) -> list[TagId]:
         """Objects directly contained in ``container`` at time ``t``."""
+        secondary = self._containers.get(container)
+        if secondary is None:
+            return []
         return sorted(
-            obj
-            for obj, history in self._objects.items()
-            if _at(history.containers, t) == container
+            {
+                obj
+                for obj in secondary.candidates_at(t)
+                if _at(self._objects[obj].containers, t) == container
+            }
         )
 
     def objects_at(self, place: int, t: int) -> list[TagId]:
         """Objects reported at location ``place`` at time ``t``."""
+        secondary = self._places.get(place)
+        if secondary is None:
+            return []
         return sorted(
-            obj
-            for obj, history in self._objects.items()
-            if _at(history.locations, t) == place
+            {
+                obj
+                for obj in secondary.candidates_at(t)
+                if _at(self._objects[obj].locations, t) == place
+            }
         )
 
     def visitors(self, place: int, t1: int, t2: int) -> list[TagId]:
         """Objects with any location interval at ``place`` overlapping [t1, t2]."""
-        out = []
-        for obj, history in self._objects.items():
-            for interval in history.locations:
-                if interval.value == place and interval.vs <= t2 and interval.ve > t1:
-                    out.append(obj)
-                    break
-        return sorted(out)
+        secondary = self._places.get(place)
+        if secondary is None:
+            return []
+        return sorted(set(secondary.candidates_overlapping(t1, t2)))
 
     def path(self, obj: TagId) -> list[Interval]:
         """The object's full location trajectory, in time order."""

@@ -1,0 +1,197 @@
+"""Snapshot and restore of a populated :class:`EventStreamIndex`.
+
+The serving layer keeps one long-lived index per stream; rebuilding it
+from the event file on every process start (what ``repro-spire query``
+used to do on every invocation) replays the whole stream.  A snapshot is
+a flat binary image of the per-object interval histories — the same
+field-batched, no-object-walk approach as the fast substrate checkpoint
+codec (:mod:`repro.core.fastcheckpoint`), sharing its magic-envelope and
+atomic-write conventions from :mod:`repro.core.checkpoint` — from which
+the index (including its secondary indexes) is restored without touching
+the stream.
+
+The header carries provenance: a fingerprint of the source event bytes
+plus the decompress flag, so a cache consumer can tell whether the
+snapshot still matches the stream file it claims to index (see the
+``--index-cache`` option of ``repro-spire query``), and the number of
+messages indexed, so an index restored from a snapshot of a stream
+prefix can be extended with the suffix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.events.messages import INFINITY
+from repro.model.objects import TagId
+from repro.query.index import EventStreamIndex, Interval, _ObjectHistory
+
+_MAGIC = b"SPIREqidx"
+SNAPSHOT_VERSION = 1
+
+#: ``Ve`` sentinel for an open interval (mirrors the wire protocol's
+#: :data:`repro.distributed.wire.NONE_SENTINEL` convention)
+_INF_SENTINEL = -(1 << 62)
+
+_HEADER = struct.Struct("<H B 32s Q I")  # version, flags, fingerprint, msgs, n objects
+_OBJECT = struct.Struct("<Q I I I")  # tag key, n locations, n containments, n missing
+_INTERVAL = struct.Struct("<q q q")  # value (color or tag key), vs, ve
+_I64 = struct.Struct("<q")
+
+_FLAG_DECOMPRESS = 1
+
+
+class SnapshotError(RuntimeError):
+    """Raised when an index snapshot cannot be written or restored."""
+
+
+@dataclass(frozen=True)
+class SnapshotMeta:
+    """Provenance stored in a snapshot header."""
+
+    fingerprint: bytes
+    decompress: bool
+    messages_indexed: int
+
+
+def fingerprint_stream(data: bytes) -> bytes:
+    """Provenance fingerprint of raw (encoded) event-stream bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def _encode_ve(ve: float) -> int:
+    return _INF_SENTINEL if ve == INFINITY else int(ve)
+
+
+def _decode_ve(ve: int) -> float:
+    return INFINITY if ve == _INF_SENTINEL else ve
+
+
+def dumps_index(
+    index: EventStreamIndex,
+    fingerprint: bytes = b"\x00" * 32,
+    decompress: bool = False,
+) -> bytes:
+    """Serialise a populated index to snapshot bytes."""
+    if len(fingerprint) != 32:
+        raise SnapshotError(f"fingerprint must be 32 bytes, got {len(fingerprint)}")
+    histories = index._objects
+    parts = [
+        _MAGIC,
+        _HEADER.pack(
+            SNAPSHOT_VERSION,
+            _FLAG_DECOMPRESS if decompress else 0,
+            fingerprint,
+            index.messages_indexed,
+            len(histories),
+        ),
+    ]
+    for obj in sorted(histories):
+        history = histories[obj]
+        parts.append(
+            _OBJECT.pack(
+                obj.key(),
+                len(history.locations),
+                len(history.containers),
+                len(history.missing_at),
+            )
+        )
+        for interval in history.locations:
+            parts.append(_INTERVAL.pack(interval.value, interval.vs, _encode_ve(interval.ve)))
+        for interval in history.containers:
+            parts.append(
+                _INTERVAL.pack(interval.value.key(), interval.vs, _encode_ve(interval.ve))
+            )
+        for report in history.missing_at:
+            parts.append(_I64.pack(report))
+    return b"".join(parts)
+
+
+def loads_index(data: bytes) -> tuple[EventStreamIndex, SnapshotMeta]:
+    """Restore an index (and its provenance) from snapshot bytes."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise SnapshotError("not an index snapshot (bad magic)")
+    offset = len(_MAGIC)
+    try:
+        version, flags, fingerprint, messages_indexed, n_objects = _HEADER.unpack_from(
+            data, offset
+        )
+    except struct.error as exc:
+        raise SnapshotError(f"truncated snapshot header: {exc}") from exc
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version} not supported (expected {SNAPSHOT_VERSION})"
+        )
+    offset += _HEADER.size
+    index = EventStreamIndex()
+    try:
+        for _ in range(n_objects):
+            key, n_loc, n_cont, n_missing = _OBJECT.unpack_from(data, offset)
+            offset += _OBJECT.size
+            history = _ObjectHistory.empty()
+            for _ in range(n_loc):
+                value, vs, ve = _INTERVAL.unpack_from(data, offset)
+                offset += _INTERVAL.size
+                history.locations.append(Interval(value, vs, _decode_ve(ve)))
+            for _ in range(n_cont):
+                value, vs, ve = _INTERVAL.unpack_from(data, offset)
+                offset += _INTERVAL.size
+                history.containers.append(Interval(TagId.from_key(value), vs, _decode_ve(ve)))
+            for _ in range(n_missing):
+                (report,) = _I64.unpack_from(data, offset)
+                offset += _I64.size
+                history.missing_at.append(report)
+            index._objects[TagId.from_key(key)] = history
+    except struct.error as exc:
+        raise SnapshotError(f"truncated snapshot body: {exc}") from exc
+    if offset != len(data):
+        raise SnapshotError(f"{len(data) - offset} trailing byte(s) after snapshot body")
+    index.messages_indexed = messages_indexed
+    index._rebuild_secondaries()
+    meta = SnapshotMeta(
+        fingerprint=fingerprint,
+        decompress=bool(flags & _FLAG_DECOMPRESS),
+        messages_indexed=messages_indexed,
+    )
+    return index, meta
+
+
+def save_index(
+    index: EventStreamIndex,
+    path: str | Path,
+    fingerprint: bytes = b"\x00" * 32,
+    decompress: bool = False,
+) -> int:
+    """Atomically write a snapshot file; returns bytes written.
+
+    Same write-temp-then-rename discipline as the substrate checkpoints:
+    a crash mid-write never leaves a truncated snapshot behind.
+    """
+    path = Path(path)
+    data = dumps_index(index, fingerprint=fingerprint, decompress=decompress)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent or Path("."), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fp.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def load_index(path: str | Path) -> tuple[EventStreamIndex, SnapshotMeta]:
+    """Restore an index from a snapshot file."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    return loads_index(data)

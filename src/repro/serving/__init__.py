@@ -1,0 +1,55 @@
+"""Continuous-query serving over the compressed event stream.
+
+SPIRE is a substrate *feeding* higher-level stream and query processors
+(§I, §V-B); this package is that layer — the follow-up systems (SASE-style
+complex event processing, the distributed RFID query processors in
+PAPERS.md) motivate its shape.  Three pieces:
+
+* :mod:`repro.serving.patterns` — standing predicates (tails, point
+  watches, dwell/missing thresholds, compound containment anomalies)
+  evaluated incrementally against each epoch's event batch;
+* :mod:`repro.serving.engine` — the subscription registry: a live
+  incremental :class:`~repro.query.index.EventStreamIndex`, per-
+  subscription bounded delivery queues with drop-oldest backpressure, and
+  serving counters;
+* :mod:`repro.serving.server` / :mod:`repro.serving.client` — an asyncio
+  TCP front-end speaking the length-prefixed binary protocol of
+  :mod:`repro.serving.protocol`, fed by a coordinator pump so serving
+  composes with sharded execution and zone failover.
+
+See docs/SERVING.md for a quickstart and DESIGN.md §10 for the
+architecture.
+"""
+
+from repro.serving.engine import ServingStats, StandingQueryEngine, Subscription
+from repro.serving.patterns import (
+    DwellExceeded,
+    LeftWithoutContainer,
+    MissingOverdue,
+    Notification,
+    ObjectWatch,
+    Pattern,
+    PlaceWatch,
+    Tail,
+    pattern_from_spec,
+)
+from repro.serving.server import SpireServer, pump_coordinator
+from repro.serving.client import SpireClient
+
+__all__ = [
+    "DwellExceeded",
+    "LeftWithoutContainer",
+    "MissingOverdue",
+    "Notification",
+    "ObjectWatch",
+    "Pattern",
+    "PlaceWatch",
+    "ServingStats",
+    "SpireClient",
+    "SpireServer",
+    "StandingQueryEngine",
+    "Subscription",
+    "Tail",
+    "pattern_from_spec",
+    "pump_coordinator",
+]

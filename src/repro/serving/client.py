@@ -1,0 +1,194 @@
+"""Asyncio client for the serving front-end.
+
+:class:`SpireClient` opens one TCP connection, runs a background reader
+task that demultiplexes the server's frames — replies resolve the future
+registered under their request id, subscription events land on a single
+``notifications`` queue as ``(sub_id, Notification)`` pairs — and exposes
+typed helpers for every query kind.  Requests may be pipelined; ids are
+assigned per-connection.
+
+    async with SpireClient.connect(host, port) as client:
+        sub = await client.subscribe(PatternSpec(PATTERN_PLACE, place=3))
+        where = await client.location_of(tag, epoch)
+        sub_id, note = await client.next_notification()
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.distributed.wire import FrameDecoder, WireError, encode_frame
+from repro.model.objects import TagId
+from repro.query.index import Interval
+from repro.serving import protocol
+from repro.serving.patterns import Notification, PatternSpec
+
+
+class ServingError(RuntimeError):
+    """The server answered a request with an error reply."""
+
+
+class SpireClient:
+    """One connection to a :class:`~repro.serving.server.SpireServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_request = 1
+        self.notifications: asyncio.Queue[tuple[int, Notification]] = asyncio.Queue()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "SpireClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        for future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    async def __aenter__(self) -> "SpireClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                chunk = await self._reader.read(65536)
+                if not chunk:
+                    break
+                for payload in self._decoder.feed(chunk):
+                    self._on_frame(payload)
+        except (ConnectionError, WireError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ServingError("connection closed"))
+
+    def _on_frame(self, payload: bytes) -> None:
+        kind = protocol.frame_type(payload)
+        if kind == protocol.FRAME_EVENT:
+            self.notifications.put_nowait(protocol.decode_event(payload))
+            return
+        if kind == protocol.FRAME_REPLY:
+            request_id, status, body = protocol.decode_reply(payload)
+            future = self._pending.pop(request_id, None)
+            if future is None or future.done():
+                return
+            if status == protocol.STATUS_OK:
+                future.set_result(body)
+            else:
+                future.set_exception(ServingError(body.decode("utf-8", "replace")))
+
+    async def _request(self, encode, *args) -> bytes:
+        request_id = self._next_request
+        self._next_request += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(encode(request_id, *args)))
+        await self._writer.drain()
+        return await future
+
+    async def _query(self, kind: int, **kwargs) -> bytes:
+        return await self._request(
+            lambda rid: protocol.encode_query(rid, kind, **kwargs)
+        )
+
+    # ------------------------------------------------------------------
+    # one-shot queries
+    # ------------------------------------------------------------------
+
+    async def location_of(self, obj: TagId, t: int) -> int | None:
+        return protocol.decode_scalar(
+            await self._query(protocol.Q_LOCATION, obj=obj, t1=t)
+        )
+
+    async def container_of(self, obj: TagId, t: int) -> TagId | None:
+        return protocol.decode_tag_value(
+            await self._query(protocol.Q_CONTAINER, obj=obj, t1=t)
+        )
+
+    async def contents_of(self, container: TagId, t: int) -> list[TagId]:
+        return protocol.decode_tag_list(
+            await self._query(protocol.Q_CONTENTS, obj=container, t1=t)
+        )
+
+    async def objects_at(self, place: int, t: int) -> list[TagId]:
+        return protocol.decode_tag_list(
+            await self._query(protocol.Q_OBJECTS_AT, place=place, t1=t)
+        )
+
+    async def visitors(self, place: int, t1: int, t2: int) -> list[TagId]:
+        return protocol.decode_tag_list(
+            await self._query(protocol.Q_VISITORS, place=place, t1=t1, t2=t2)
+        )
+
+    async def path(self, obj: TagId) -> list[Interval]:
+        return protocol.decode_path(await self._query(protocol.Q_PATH, obj=obj))
+
+    async def top_level_container(self, obj: TagId, t: int) -> TagId | None:
+        return protocol.decode_tag_value(
+            await self._query(protocol.Q_TOP_LEVEL, obj=obj, t1=t)
+        )
+
+    async def dwell_time(
+        self, obj: TagId, place: int, horizon: int | None = None
+    ) -> int | None:
+        return protocol.decode_scalar(
+            await self._query(protocol.Q_DWELL, obj=obj, place=place, t1=horizon)
+        )
+
+    async def is_missing(self, obj: TagId, t: int) -> bool:
+        return bool(
+            protocol.decode_scalar(
+                await self._query(protocol.Q_IS_MISSING, obj=obj, t1=t)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # subscriptions / diagnostics
+    # ------------------------------------------------------------------
+
+    async def subscribe(self, spec: PatternSpec, max_queue: int = 1024) -> int:
+        """Register a standing query; returns the subscription id."""
+        body = await self._request(
+            lambda rid: protocol.encode_subscribe(rid, spec, max_queue)
+        )
+        return protocol.decode_subscribed(body)
+
+    async def unsubscribe(self, sub_id: int) -> bool:
+        body = await self._request(
+            lambda rid: protocol.encode_unsubscribe(rid, sub_id)
+        )
+        return protocol.decode_subscribed(body) == sub_id
+
+    async def stats(self) -> dict:
+        body = await self._request(protocol.encode_stats_request)
+        return protocol.decode_stats_body(body)
+
+    async def next_notification(
+        self, timeout: float | None = None
+    ) -> tuple[int, Notification]:
+        """Await the next subscription match as ``(sub_id, notification)``."""
+        if timeout is None:
+            return await self.notifications.get()
+        return await asyncio.wait_for(self.notifications.get(), timeout)

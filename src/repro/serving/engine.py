@@ -1,0 +1,249 @@
+"""The standing-query engine: subscriptions over a live index.
+
+:class:`StandingQueryEngine` is the transport-free core of the serving
+layer (the asyncio server in :mod:`repro.serving.server` is a thin shell
+around it):
+
+* it owns the **live index** — an incrementally maintained
+  :class:`~repro.query.index.EventStreamIndex` extended once per epoch
+  with the coordinator's merged output (level-2 streams are expanded
+  through the streaming decompressor first, so patterns see explicit
+  per-object histories);
+* it keeps the **subscription registry**: each subscription pairs a
+  stateful :class:`~repro.serving.patterns.Pattern` instance with a
+  bounded delivery queue.  A slow consumer never stalls the epoch loop
+  and never grows memory without bound — when a queue is full the oldest
+  notification is dropped and a
+  :data:`~repro.faults.warnings.WarningKind.SUBSCRIPTION_OVERFLOW`
+  warning is recorded (at most one per subscription per epoch);
+* it records **serving counters** (:class:`ServingStats`): epochs and
+  messages published, notifications delivered/dropped, one-shot query
+  count and a log₂-bucketed latency histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compression.decompress import StreamingLevel2Decompressor
+from repro.events.messages import EventMessage
+from repro.faults.warnings import Quarantine, WarningKind
+from repro.query.index import EventStreamIndex
+from repro.serving.patterns import Notification, Pattern
+
+
+@dataclass
+class ServingStats:
+    """Observability counters for one serving session."""
+
+    epochs_published: int = 0
+    messages_published: int = 0
+    notifications_delivered: int = 0
+    notifications_dropped: int = 0
+    subscriptions_opened: int = 0
+    subscriptions_closed: int = 0
+    queries_served: int = 0
+    query_seconds: float = 0.0
+    #: one-shot query latency histogram: bucket ``b`` counts queries with
+    #: latency in ``[2^(b-1), 2^b)`` microseconds (bucket 0: < 1 µs)
+    latency_buckets: Counter = field(default_factory=Counter)
+
+    def observe_query(self, seconds: float) -> None:
+        self.queries_served += 1
+        self.query_seconds += seconds
+        micros = seconds * 1e6
+        bucket = 0
+        while micros >= 1.0:
+            micros /= 2.0
+            bucket += 1
+        self.latency_buckets[bucket] += 1
+
+    @property
+    def active_subscriptions(self) -> int:
+        return self.subscriptions_opened - self.subscriptions_closed
+
+    def latency_lines(self) -> list[str]:
+        """Render the latency histogram (one line per non-empty bucket)."""
+        lines = []
+        for bucket in sorted(self.latency_buckets):
+            upper = 2**bucket
+            share = self.latency_buckets[bucket] / max(self.queries_served, 1)
+            lines.append(
+                f"< {upper:>8} µs  {self.latency_buckets[bucket]:>8}  {share:>6.1%}"
+            )
+        return lines
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable block for the ``serve`` subcommand's shutdown."""
+        mean_us = 1e6 * self.query_seconds / max(self.queries_served, 1)
+        lines = [
+            f"epochs published        {self.epochs_published} "
+            f"({self.messages_published} event message(s))",
+            f"subscriptions           {self.active_subscriptions} active / "
+            f"{self.subscriptions_opened} opened",
+            f"notifications           {self.notifications_delivered} delivered / "
+            f"{self.notifications_dropped} dropped",
+            f"one-shot queries        {self.queries_served} "
+            f"(mean {mean_us:.1f} µs)",
+        ]
+        if self.latency_buckets:
+            lines.append("query latency histogram:")
+            lines.extend(f"  {line}" for line in self.latency_lines())
+        return lines
+
+
+class Subscription:
+    """One standing query: a pattern plus its bounded delivery queue."""
+
+    __slots__ = ("sub_id", "pattern", "queue", "max_queue", "delivered", "dropped")
+
+    def __init__(self, sub_id: int, pattern: Pattern, max_queue: int) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.sub_id = sub_id
+        self.pattern = pattern
+        self.queue: deque[Notification] = deque()
+        self.max_queue = max_queue
+        self.delivered = 0
+        self.dropped = 0
+
+    def push(self, notifications: list[Notification]) -> int:
+        """Enqueue, dropping the oldest on overflow; returns drops."""
+        dropped = 0
+        for note in notifications:
+            if len(self.queue) >= self.max_queue:
+                self.queue.popleft()
+                dropped += 1
+            self.queue.append(note)
+        self.dropped += dropped
+        return dropped
+
+    def drain(self, limit: int | None = None) -> list[Notification]:
+        """Remove and return up to ``limit`` queued notifications."""
+        n = len(self.queue) if limit is None else min(limit, len(self.queue))
+        out = [self.queue.popleft() for _ in range(n)]
+        self.delivered += len(out)
+        return out
+
+
+class StandingQueryEngine:
+    """Subscription registry + live index, fed one epoch at a time.
+
+    Args:
+        expand_level2: Expand the published stream through the streaming
+            level-2 decompressor before indexing/evaluation, so patterns
+            see explicit per-object location histories.  Use it whenever
+            the pump's substrate runs compression level 2 (the default).
+        quarantine: Destination for overflow warnings (a fresh
+            :class:`~repro.faults.warnings.Quarantine` if omitted —
+            coordinator pumps typically share theirs).
+    """
+
+    def __init__(
+        self,
+        expand_level2: bool = False,
+        quarantine: Quarantine | None = None,
+    ) -> None:
+        self.index = EventStreamIndex()
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.stats = ServingStats()
+        self.last_epoch: int | None = None
+        self._expander = StreamingLevel2Decompressor() if expand_level2 else None
+        self._subscriptions: dict[int, Subscription] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+
+    @property
+    def subscriptions(self) -> dict[int, Subscription]:
+        """Live subscriptions by id (read-only view by convention)."""
+        return self._subscriptions
+
+    def subscribe(self, pattern: Pattern, max_queue: int = 1024) -> Subscription:
+        """Register a standing query; returns its subscription handle.
+
+        The pattern is primed from the live index so threshold patterns
+        count ongoing episodes from their true start, not from the
+        subscription time.
+        """
+        sub = Subscription(self._next_id, pattern, max_queue)
+        self._next_id += 1
+        pattern.prime(self.index, self.last_epoch)
+        self._subscriptions[sub.sub_id] = sub
+        self.stats.subscriptions_opened += 1
+        return sub
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Drop a subscription; returns whether it existed."""
+        existed = self._subscriptions.pop(sub_id, None) is not None
+        if existed:
+            self.stats.subscriptions_closed += 1
+        return existed
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+
+    def publish(self, epoch: int, messages: list[EventMessage]) -> int:
+        """Apply one epoch's merged output; returns notifications queued.
+
+        Extends the live index, evaluates every subscription's pattern
+        against the (expanded) batch, and enqueues matches with
+        drop-oldest backpressure.
+        """
+        if self._expander is not None:
+            batch: list[EventMessage] = []
+            for msg in messages:
+                batch.extend(self._expander.feed(msg))
+            batch.extend(self._expander.flush())
+        else:
+            batch = list(messages)
+        self.index.extend(batch)
+        self.last_epoch = epoch
+        self.stats.epochs_published += 1
+        self.stats.messages_published += len(batch)
+
+        queued = 0
+        for sub in self._subscriptions.values():
+            notes = sub.pattern.evaluate(epoch, batch, self.index)
+            if not notes:
+                continue
+            queued += len(notes)
+            dropped = sub.push(notes)
+            if dropped:
+                self.stats.notifications_dropped += dropped
+                self.quarantine.warn(
+                    WarningKind.SUBSCRIPTION_OVERFLOW,
+                    epoch,
+                    detail=(
+                        f"subscription {sub.sub_id} queue full "
+                        f"({sub.max_queue}); dropped {dropped} oldest"
+                    ),
+                )
+        return queued
+
+    def drain(self, sub_id: int, limit: int | None = None) -> list[Notification]:
+        """Consume queued notifications for one subscription."""
+        sub = self._subscriptions.get(sub_id)
+        if sub is None:
+            return []
+        out = sub.drain(limit)
+        self.stats.notifications_delivered += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # one-shot queries
+    # ------------------------------------------------------------------
+
+    def timed_query(self, fn: Callable, *args):
+        """Run one point query against the live index, recording latency."""
+        start = time.perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            self.stats.observe_query(time.perf_counter() - start)

@@ -1,0 +1,290 @@
+"""Binary protocol of the serving front-end.
+
+Every message is one length-prefixed frame
+(:func:`repro.distributed.wire.encode_frame` /
+:class:`~repro.distributed.wire.FrameDecoder`); payloads are plain
+``struct`` packing in the style of the coordinator↔worker wire protocol,
+and tag/none conventions are shared with it
+(:data:`~repro.distributed.wire.NONE_SENTINEL`, tag key 0 = no tag).
+
+Client → server payloads start with ``op(1) | request_id(4)``; the server
+answers every request with exactly one reply frame carrying the same
+request id, so a client may pipeline requests.  Subscription matches
+arrive as unsolicited event frames tagged with the subscription id —
+clients demultiplex on the first byte.
+
+Ops:
+
+* ``OP_QUERY`` — one-shot point/range query against the live index;
+* ``OP_SUBSCRIBE`` — register a standing pattern; replies with the
+  subscription id, then event frames flow after each served epoch;
+* ``OP_UNSUBSCRIBE`` — stop a subscription (its queued frames may still
+  be in flight);
+* ``OP_STATS`` — serving counters as JSON (diagnostics, not hot path).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.distributed.wire import NONE_SENTINEL, WireError
+from repro.events.messages import INFINITY
+from repro.model.objects import TagId
+from repro.query.index import Interval
+from repro.serving.patterns import Notification, PatternSpec
+
+# ---------------------------------------------------------------------------
+# frame types / ops
+# ---------------------------------------------------------------------------
+
+OP_QUERY = 1
+OP_SUBSCRIBE = 2
+OP_UNSUBSCRIBE = 3
+OP_STATS = 4
+
+FRAME_REPLY = 64
+FRAME_EVENT = 65
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+# one-shot query kinds
+Q_LOCATION = 1
+Q_CONTAINER = 2
+Q_CONTENTS = 3
+Q_OBJECTS_AT = 4
+Q_VISITORS = 5
+Q_PATH = 6
+Q_TOP_LEVEL = 7
+Q_DWELL = 8
+Q_IS_MISSING = 9
+
+#: notification kind <-> wire code (stable; extend, never renumber)
+NOTIFY_CODES = {
+    "event": 1,
+    "object_event": 2,
+    "place_event": 3,
+    "dwell_exceeded": 4,
+    "missing_overdue": 5,
+    "left_without_container": 6,
+}
+NOTIFY_KINDS = {code: kind for kind, code in NOTIFY_CODES.items()}
+
+_REQUEST = struct.Struct("<BI")  # op, request id
+_QUERY = struct.Struct("<BQqqq")  # kind, obj key, place, t1, t2
+_SUBSCRIBE = struct.Struct("<BQqqI")  # pattern kind, obj key, place, k, max queue
+_UNSUBSCRIBE = struct.Struct("<I")  # subscription id
+_REPLY = struct.Struct("<BIB")  # frame type, request id, status
+_EVENT = struct.Struct("<BI")  # frame type, subscription id
+_NOTIFICATION = struct.Struct("<BqQqQq")  # kind, epoch, obj, place, container, value
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
+_PATH_ENTRY = struct.Struct("<qqq")  # place, vs, ve (NONE_SENTINEL = open)
+
+
+def _pack_tag(tag: TagId | None) -> int:
+    return 0 if tag is None else tag.key()
+
+
+def _unpack_tag(key: int) -> TagId | None:
+    return None if key == 0 else TagId.from_key(key)
+
+
+def _pack_place(place: int | None) -> int:
+    return NONE_SENTINEL if place is None else place
+
+
+def _unpack_place(value: int) -> int | None:
+    return None if value == NONE_SENTINEL else value
+
+
+# ---------------------------------------------------------------------------
+# client -> server
+# ---------------------------------------------------------------------------
+
+
+def encode_query(
+    request_id: int,
+    kind: int,
+    obj: TagId | None = None,
+    place: int | None = None,
+    t1: int | None = None,
+    t2: int | None = None,
+) -> bytes:
+    return _REQUEST.pack(OP_QUERY, request_id) + _QUERY.pack(
+        kind, _pack_tag(obj), _pack_place(place), _pack_place(t1), _pack_place(t2)
+    )
+
+
+def decode_query(payload: bytes) -> tuple[int, TagId | None, int | None, int | None, int | None]:
+    kind, obj_key, place, t1, t2 = _QUERY.unpack_from(payload, _REQUEST.size)
+    return (
+        kind,
+        _unpack_tag(obj_key),
+        _unpack_place(place),
+        _unpack_place(t1),
+        _unpack_place(t2),
+    )
+
+
+def encode_subscribe(request_id: int, spec: PatternSpec, max_queue: int = 1024) -> bytes:
+    return _REQUEST.pack(OP_SUBSCRIBE, request_id) + _SUBSCRIBE.pack(
+        spec.kind, _pack_tag(spec.obj), _pack_place(spec.place), spec.k, max_queue
+    )
+
+
+def decode_subscribe(payload: bytes) -> tuple[PatternSpec, int]:
+    kind, obj_key, place, k, max_queue = _SUBSCRIBE.unpack_from(payload, _REQUEST.size)
+    return PatternSpec(kind, obj=_unpack_tag(obj_key), place=_unpack_place(place), k=k), max_queue
+
+
+def encode_unsubscribe(request_id: int, sub_id: int) -> bytes:
+    return _REQUEST.pack(OP_UNSUBSCRIBE, request_id) + _UNSUBSCRIBE.pack(sub_id)
+
+
+def decode_unsubscribe(payload: bytes) -> int:
+    (sub_id,) = _UNSUBSCRIBE.unpack_from(payload, _REQUEST.size)
+    return sub_id
+
+
+def encode_stats_request(request_id: int) -> bytes:
+    return _REQUEST.pack(OP_STATS, request_id)
+
+
+def decode_request_header(payload: bytes) -> tuple[int, int]:
+    """Op and request id of a client frame."""
+    try:
+        return _REQUEST.unpack_from(payload)
+    except struct.error as exc:
+        raise WireError(f"malformed request frame: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# server -> client
+# ---------------------------------------------------------------------------
+
+
+def encode_reply(request_id: int, body: bytes = b"", status: int = STATUS_OK) -> bytes:
+    return _REPLY.pack(FRAME_REPLY, request_id, status) + body
+
+
+def encode_error_reply(request_id: int, message: str) -> bytes:
+    return encode_reply(request_id, message.encode("utf-8"), status=STATUS_ERROR)
+
+
+def decode_reply(payload: bytes) -> tuple[int, int, bytes]:
+    """Returns (request id, status, body)."""
+    _, request_id, status = _REPLY.unpack_from(payload)
+    return request_id, status, payload[_REPLY.size :]
+
+
+def encode_scalar(value: int | None) -> bytes:
+    return _I64.pack(NONE_SENTINEL if value is None else value)
+
+
+def decode_scalar(body: bytes) -> int | None:
+    (value,) = _I64.unpack_from(body)
+    return None if value == NONE_SENTINEL else value
+
+
+def encode_tag_value(tag: TagId | None) -> bytes:
+    return _I64.pack(_pack_tag(tag))
+
+
+def decode_tag_value(body: bytes) -> TagId | None:
+    (key,) = _I64.unpack_from(body)
+    return _unpack_tag(key)
+
+
+def encode_tag_list(tags: list[TagId]) -> bytes:
+    return _U32.pack(len(tags)) + struct.pack(f"<{len(tags)}Q", *(t.key() for t in tags))
+
+
+def decode_tag_list(body: bytes) -> list[TagId]:
+    (count,) = _U32.unpack_from(body)
+    keys = struct.unpack_from(f"<{count}Q", body, _U32.size)
+    return [TagId.from_key(key) for key in keys]
+
+
+def encode_path(intervals: list[Interval]) -> bytes:
+    parts = [_U32.pack(len(intervals))]
+    for interval in intervals:
+        ve = NONE_SENTINEL if interval.ve == INFINITY else int(interval.ve)
+        parts.append(_PATH_ENTRY.pack(interval.value, interval.vs, ve))
+    return b"".join(parts)
+
+
+def decode_path(body: bytes) -> list[Interval]:
+    (count,) = _U32.unpack_from(body)
+    offset = _U32.size
+    out = []
+    for _ in range(count):
+        place, vs, ve = _PATH_ENTRY.unpack_from(body, offset)
+        offset += _PATH_ENTRY.size
+        out.append(Interval(place, vs, INFINITY if ve == NONE_SENTINEL else ve))
+    return out
+
+
+def encode_stats_body(stats_dict: dict) -> bytes:
+    return json.dumps(stats_dict, sort_keys=True).encode("utf-8")
+
+
+def decode_stats_body(body: bytes) -> dict:
+    return json.loads(body.decode("utf-8"))
+
+
+def encode_subscribed(sub_id: int) -> bytes:
+    return _U32.pack(sub_id)
+
+
+def decode_subscribed(body: bytes) -> int:
+    (sub_id,) = _U32.unpack_from(body)
+    return sub_id
+
+
+def encode_event(sub_id: int, note: Notification) -> bytes:
+    code = NOTIFY_CODES.get(note.kind)
+    if code is None:
+        raise WireError(f"unknown notification kind {note.kind!r}")
+    detail = note.detail.encode("utf-8")
+    return (
+        _EVENT.pack(FRAME_EVENT, sub_id)
+        + _NOTIFICATION.pack(
+            code,
+            note.epoch,
+            _pack_tag(note.obj),
+            _pack_place(note.place),
+            _pack_tag(note.container),
+            note.value,
+        )
+        + detail
+    )
+
+
+def decode_event(payload: bytes) -> tuple[int, Notification]:
+    _, sub_id = _EVENT.unpack_from(payload)
+    code, epoch, obj_key, place, container_key, value = _NOTIFICATION.unpack_from(
+        payload, _EVENT.size
+    )
+    kind = NOTIFY_KINDS.get(code)
+    if kind is None:
+        raise WireError(f"unknown notification code {code}")
+    detail = payload[_EVENT.size + _NOTIFICATION.size :].decode("utf-8")
+    note = Notification(
+        kind=kind,
+        epoch=epoch,
+        obj=_unpack_tag(obj_key),
+        place=_unpack_place(place),
+        container=_unpack_tag(container_key),
+        value=value,
+        detail=detail,
+    )
+    return sub_id, note
+
+
+def frame_type(payload: bytes) -> int:
+    """First byte of a server frame (FRAME_REPLY or FRAME_EVENT)."""
+    if not payload:
+        raise WireError("empty frame")
+    return payload[0]

@@ -94,6 +94,122 @@ class TestInterpretAndQuery:
         rc = main(["query", str(events), "--object", "case:1"])
         assert rc == 2
 
+    def test_query_index_cache_round_trip(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        cache = tmp_path / "events.idx"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "2"])
+        capsys.readouterr()
+        args = ["query", str(events), "--object", "case:1", "--at", "30",
+                "--decompress", "--index-cache", str(cache)]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "wrote index cache" in cold.err
+        assert cache.exists() and cache.stat().st_size > 0
+        # warm run: identical answer, no rebuild
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "wrote index cache" not in warm.err
+
+    def test_query_index_cache_invalidated_by_new_stream(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        cache = tmp_path / "events.idx"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "1"])
+        base = ["query", str(events), "--object", "case:1", "--at", "30",
+                "--index-cache", str(cache)]
+        assert main(base) == 0
+        capsys.readouterr()
+        # different flag (decompress) -> stale cache -> rebuild
+        assert main([*base, "--decompress"]) == 0
+        assert "stale" in capsys.readouterr().err
+
+    def test_query_index_cache_survives_corruption(self, trace, tmp_path, capsys):
+        events = tmp_path / "events.bin"
+        cache = tmp_path / "events.idx"
+        main(["interpret", str(trace), "-o", str(events), "--compression", "1"])
+        base = ["query", str(events), "--object", "case:1", "--at", "30",
+                "--index-cache", str(cache)]
+        assert main(base) == 0
+        capsys.readouterr()
+        cache.write_bytes(b"garbage")
+        assert main(base) == 0
+        err = capsys.readouterr().err
+        assert "unreadable" in err and "wrote index cache" in err
+
+
+class TestClientPatternParsing:
+    def test_valid_patterns(self):
+        from repro.cli import parse_pattern
+        from repro.serving.patterns import (
+            PATTERN_DWELL,
+            PATTERN_LEFT_WITHOUT_CONTAINER,
+            PATTERN_MISSING,
+            PATTERN_OBJECT,
+            PATTERN_PLACE,
+            PATTERN_TAIL,
+        )
+
+        assert parse_pattern("tail").kind == PATTERN_TAIL
+        assert parse_pattern("tail:3").place == 3
+        spec = parse_pattern("object:item:5")
+        assert spec.kind == PATTERN_OBJECT
+        assert spec.obj == TagId(PackagingLevel.ITEM, 5)
+        assert parse_pattern("place:2").kind == PATTERN_PLACE
+        dwell = parse_pattern("dwell:3:10")
+        assert (dwell.kind, dwell.place, dwell.k) == (PATTERN_DWELL, 3, 10)
+        assert parse_pattern("missing:7").k == 7
+        anomaly = parse_pattern("anomaly:4")
+        assert (anomaly.kind, anomaly.place) == (PATTERN_LEFT_WITHOUT_CONTAINER, 4)
+
+    @pytest.mark.parametrize("bad", ["", "dwell:3", "object:5", "watch:1", "place:x"])
+    def test_invalid_patterns(self, bad):
+        import argparse
+
+        from repro.cli import parse_pattern
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_pattern(bad)
+
+
+class TestServeAndClient:
+    def test_serve_then_client_over_tcp(self, tmp_path, capsys):
+        """Full CLI round trip: serve a short trace, query it, follow a
+        tail subscription, read stats — all through the subcommands."""
+        import socket
+        import threading
+
+        trace = tmp_path / "trace.bin"
+        # pallets keep arriving, so tail events flow throughout the replay
+        assert main(["simulate", *SIM_ARGS, "--duration", "150",
+                     "--pallet-period", "40", "-o", str(trace)]) == 0
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        server = threading.Thread(
+            target=main,
+            args=(["serve", str(trace), "--port", str(port),
+                   "--epoch-interval", "0.05", "--linger", "10"],),
+            daemon=True,
+        )
+        server.start()
+        client_args = ["client", "--port", str(port)]
+        for attempt in range(50):
+            rc = main([*client_args, "--stats"])
+            if rc == 0:
+                break
+            import time
+
+            time.sleep(0.2)
+        assert rc == 0, "server never came up"
+        assert main([*client_args, "--subscribe", "tail", "--count", "2",
+                     "--timeout", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "subscribed" in out and "[event @" in out
+        assert main([*client_args, "--object", "case:1", "--at", "10"]) == 0
+        assert "location" in capsys.readouterr().out
+        server.join(timeout=30)
+
 
 class TestDecompress:
     def test_decompress_expands_level2(self, tmp_path, capsys):

@@ -1,0 +1,102 @@
+"""Unit tests for the query-index snapshot codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.messages import INFINITY
+from repro.query.index import EventStreamIndex
+from repro.query.snapshot import (
+    SnapshotError,
+    dumps_index,
+    fingerprint_stream,
+    load_index,
+    loads_index,
+    save_index,
+)
+
+from tests.conftest import case, item
+
+from repro.events.messages import (
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+
+L1, L2 = 0, 1
+
+
+def _index() -> EventStreamIndex:
+    return EventStreamIndex([
+        start_location(item(1), L1, 0),
+        start_location(case(1), L1, 0),
+        start_containment(item(1), case(1), 2),
+        end_location(item(1), L1, 0, 5),
+        start_location(item(1), L2, 5),
+        end_location(case(1), L1, 0, 9),
+        missing(case(1), L1, 9),
+    ])
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip_preserves_histories(self):
+        index = _index()
+        restored, meta = loads_index(dumps_index(index))
+        assert restored._objects == index._objects
+        assert meta.messages_indexed == index.messages_indexed
+        assert meta.decompress is False
+
+    def test_open_intervals_survive(self):
+        restored, _ = loads_index(dumps_index(_index()))
+        path = restored.path(item(1))
+        assert path[-1].ve == INFINITY
+        assert restored.location_of(item(1), 10_000) == L2
+
+    def test_secondary_indexes_rebuilt(self):
+        index = _index()
+        restored, _ = loads_index(dumps_index(index))
+        assert restored.objects_at(L1, 3) == index.objects_at(L1, 3)
+        assert restored.visitors(L1, 0, 100) == index.visitors(L1, 0, 100)
+        assert restored.contents_of(case(1), 3) == index.contents_of(case(1), 3)
+        assert restored.is_missing(case(1), 12) is True
+
+    def test_restored_index_is_extendable(self):
+        restored, _ = loads_index(dumps_index(_index()))
+        restored.extend([start_location(item(2), L2, 20)])
+        assert restored.location_of(item(2), 21) == L2
+        assert set(restored.objects_at(L2, 21)) == {item(1), item(2)}
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "index.snap"
+        fingerprint = fingerprint_stream(b"some event bytes")
+        written = save_index(_index(), path, fingerprint=fingerprint, decompress=True)
+        assert written == path.stat().st_size
+        restored, meta = load_index(path)
+        assert meta.fingerprint == fingerprint
+        assert meta.decompress is True
+        assert restored._objects == _index()._objects
+
+    def test_empty_index_round_trips(self):
+        restored, meta = loads_index(dumps_index(EventStreamIndex()))
+        assert restored.objects() == []
+        assert meta.messages_indexed == 0
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SnapshotError, match="magic"):
+            loads_index(b"NOTASNAP" + b"\x00" * 64)
+
+    def test_truncated_rejected(self):
+        data = dumps_index(_index())
+        with pytest.raises(SnapshotError):
+            loads_index(data[: len(data) // 2])
+
+    def test_bad_fingerprint_length_rejected(self):
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            dumps_index(_index(), fingerprint=b"short")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_index(tmp_path / "nope.snap")

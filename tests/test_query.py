@@ -220,3 +220,93 @@ class TestOverCompressedStreams:
         for tag, current in list(spire.estimates.items())[:20]:
             if current.location != UNKNOWN_COLOR:
                 assert index.location_of(tag, final_epoch) == current.location
+
+
+class TestSecondaryIndexRegression:
+    """Pin the secondary-index-backed inverse queries to the original
+    linear-scan implementation's results on a full pipeline trace."""
+
+    @staticmethod
+    def _linear_objects_at(index, place, t):
+        from repro.query.index import _at
+
+        return sorted(
+            obj
+            for obj, history in index._objects.items()
+            if _at(history.locations, t) == place
+        )
+
+    @staticmethod
+    def _linear_contents_of(index, container, t):
+        from repro.query.index import _at
+
+        return sorted(
+            obj
+            for obj, history in index._objects.items()
+            if _at(history.containers, t) == container
+        )
+
+    @staticmethod
+    def _linear_visitors(index, place, t1, t2):
+        out = []
+        for obj, history in index._objects.items():
+            for interval in history.locations:
+                if interval.value == place and interval.vs <= t2 and interval.ve > t1:
+                    out.append(obj)
+                    break
+        return sorted(out)
+
+    @pytest.fixture()
+    def pipeline_index(self, small_sim):
+        from repro.core.pipeline import Deployment, Spire
+
+        deployment = Deployment.from_readers(small_sim.layout.readers)
+        spire = Spire(deployment, compression_level=2)
+        messages = [m for out in spire.run(small_sim.stream) for m in out.messages]
+        return EventStreamIndex(messages, decompress=True), len(small_sim.stream)
+
+    def test_objects_at_matches_linear_scan(self, pipeline_index):
+        index, duration = pipeline_index
+        places = {iv.value for obj in index.objects() for iv in index.path(obj)}
+        for t in range(0, duration, 37):
+            for place in places:
+                assert index.objects_at(place, t) == self._linear_objects_at(
+                    index, place, t
+                )
+
+    def test_contents_of_matches_linear_scan(self, pipeline_index):
+        index, duration = pipeline_index
+        containers = {
+            iv.value
+            for obj in index.objects()
+            for iv in index.containment_history(obj)
+        }
+        assert containers
+        for t in range(0, duration, 37):
+            for container in containers:
+                assert index.contents_of(container, t) == self._linear_contents_of(
+                    index, container, t
+                )
+
+    def test_visitors_matches_linear_scan(self, pipeline_index):
+        index, duration = pipeline_index
+        places = {iv.value for obj in index.objects() for iv in index.path(obj)}
+        windows = [(0, duration), (50, 120), (300, 301), (duration - 40, duration)]
+        for place in places:
+            for t1, t2 in windows:
+                assert index.visitors(place, t1, t2) == self._linear_visitors(
+                    index, place, t1, t2
+                )
+
+    def test_hand_built_edge_cases_match(self, index):
+        # exact boundaries: interval ends are exclusive, starts inclusive
+        for t in (0, 4, 5, 11, 12, 15, 19, 20, 25):
+            for place in (L1, L2, L3):
+                assert index.objects_at(place, t) == self._linear_objects_at(
+                    index, place, t
+                )
+        for t1, t2 in ((0, 0), (5, 5), (12, 20), (13, 19), (21, 100)):
+            for place in (L1, L2, L3):
+                assert index.visitors(place, t1, t2) == self._linear_visitors(
+                    index, place, t1, t2
+                )

@@ -1,0 +1,320 @@
+"""Serving-layer acceptance tests: live-index equivalence and e2e TCP.
+
+Two load-bearing properties from the serving design (DESIGN.md §10):
+
+* **Live-index equivalence** — after *every* epoch of a chaos-enabled
+  simulation, the incrementally maintained index inside the standing-query
+  engine answers every query identically to a fresh batch-built
+  :class:`~repro.query.index.EventStreamIndex` over the same stream
+  prefix (three chaos seeds).
+* **End-to-end notification latency** — a TCP client subscribed to the
+  compound containment-anomaly pattern receives the expected notification
+  within one epoch of the triggering event, under a serial ``Coordinator``
+  pump and a 2-worker ``ParallelCoordinator`` pump, including across a
+  ``fail_zone``/``recover_zone`` cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.distributed import Coordinator, ParallelCoordinator, Zone
+from repro.faults import DelayBatches, DropBatches, FaultInjector, ResilientStream
+from repro.model.locations import LocationKind, LocationRegistry
+from repro.query.index import EventStreamIndex
+from repro.readers.reader import Reader
+from repro.serving.client import SpireClient
+from repro.serving.engine import StandingQueryEngine
+from repro.serving.patterns import (
+    PATTERN_LEFT_WITHOUT_CONTAINER,
+    PATTERN_PLACE,
+    PatternSpec,
+)
+from repro.serving.server import SpireServer, pump_coordinator
+from repro.simulator.config import SimulationConfig
+from repro.simulator.warehouse import WarehouseSimulator
+
+from tests.conftest import case, epoch_readings, item
+
+
+# ---------------------------------------------------------------------------
+# live-index equivalence (acceptance: property across >= 3 chaos seeds)
+# ---------------------------------------------------------------------------
+
+
+def _chaos_epochs(seed: int):
+    config = SimulationConfig(
+        duration=120,
+        pallet_period=80,
+        cases_per_pallet_min=2,
+        cases_per_pallet_max=3,
+        items_per_case=3,
+        read_rate=0.85,
+        shelf_read_period=10,
+        num_shelves=2,
+        shelving_time_mean=70,
+        shelving_time_jitter=20,
+        seed=seed,
+    )
+    sim = WarehouseSimulator(config).run()
+    schedule = [DropBatches(rate=0.04), DelayBatches(rate=0.06, max_delay=3)]
+    injector = FaultInjector(sim.stream, schedule, seed=seed + 1)
+    resilient = ResilientStream(
+        injector,
+        max_delay=3,
+        known_readers=[r.reader_id for r in sim.layout.readers],
+    )
+    return sim, list(resilient)
+
+
+def _assert_indexes_equivalent(live: EventStreamIndex, fresh: EventStreamIndex, t: int):
+    # full-history equivalence implies every point/path query agrees ...
+    assert live._objects == fresh._objects
+    # ... but the secondary indexes are maintained by a different code
+    # path (incremental vs build-time), so also pin the queries they back
+    objects = fresh.objects()
+    assert live.objects() == objects
+    places = {iv.value for obj in objects for iv in fresh.path(obj)}
+    for place in places:
+        assert live.objects_at(place, t) == fresh.objects_at(place, t)
+        assert live.visitors(place, max(0, t - 7), t) == fresh.visitors(
+            place, max(0, t - 7), t
+        )
+    for obj in objects:
+        assert live.contents_of(obj, t) == fresh.contents_of(obj, t)
+        assert live.is_missing(obj, t) == fresh.is_missing(obj, t)
+
+
+@pytest.mark.parametrize("seed", [5, 17, 29])
+def test_incremental_index_matches_fresh_build_every_epoch(seed):
+    sim, epochs = _chaos_epochs(seed)
+    zones = [
+        Zone.build("inbound", [r for r in sim.layout.readers
+                               if "shelf" not in r.location.name], sim.layout.registry),
+        Zone.build("shelves", [r for r in sim.layout.readers
+                               if "shelf" in r.location.name], sim.layout.registry),
+    ]
+    coordinator = Coordinator(zones)
+    engine = StandingQueryEngine(expand_level2=True)
+    published: list = []
+    checked = 0
+    for readings in epochs:
+        result = coordinator.process_epoch(readings)
+        engine.publish(result.epoch, result.messages)
+        published.extend(result.messages)
+        fresh = EventStreamIndex(published, decompress=True)
+        _assert_indexes_equivalent(engine.index, fresh, result.epoch)
+        checked += 1
+    assert checked == len(epochs) and engine.index.objects()
+
+
+def test_snapshot_restore_is_query_equivalent():
+    sim, epochs = _chaos_epochs(seed=5)
+    zones = [Zone.build("all", sim.layout.readers, sim.layout.registry)]
+    coordinator = Coordinator(zones)
+    engine = StandingQueryEngine(expand_level2=True)
+    for readings in epochs:
+        result = coordinator.process_epoch(readings)
+        engine.publish(result.epoch, result.messages)
+    from repro.query.snapshot import dumps_index, loads_index
+
+    restored, meta = loads_index(dumps_index(engine.index))
+    assert meta.messages_indexed == engine.index.messages_indexed
+    _assert_indexes_equivalent(restored, engine.index, engine.last_epoch)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: containment anomaly over TCP, serial + parallel pumps
+# ---------------------------------------------------------------------------
+
+
+def _anomaly_site():
+    """Two single-reader zones; both readers interrogate every epoch."""
+    registry = LocationRegistry()
+    dock = registry.create("dock", LocationKind.ENTRY_DOOR)
+    yard = registry.create("yard", LocationKind.ENTRY_DOOR)
+    reader_a = Reader(0, dock)
+    reader_b = Reader(1, yard)
+    zones = [
+        Zone.build("zone-dock", [reader_a], registry),
+        Zone.build("zone-yard", [reader_b], registry),
+    ]
+    return zones, dock, yard
+
+
+def _anomaly_epochs(anomaly_epoch: int, total: int):
+    """case 1 + item 1 sit at the dock; at ``anomaly_epoch`` the item is
+    read at the yard while the case stays — the containment anomaly.
+    item 9 keeps the yard zone busy throughout."""
+    epochs = []
+    for t in range(total):
+        if t < anomaly_epoch:
+            epochs.append(epoch_readings(t, {0: [case(1), item(1)], 1: [item(9)]}))
+        else:
+            epochs.append(epoch_readings(t, {0: [case(1)], 1: [item(9), item(1)]}))
+    return epochs
+
+
+async def _run_anomaly_scenario(make_coordinator, with_failover: bool):
+    """Pump the anomaly scenario into a server; return (note, trigger, last)."""
+    zones, dock, yard = _anomaly_site()
+    coordinator = make_coordinator(zones)
+    anomaly_epoch, total = 9, 13
+    actions = None
+    if with_failover:
+        actions = {
+            4: lambda: coordinator.fail_zone("zone-yard"),
+            6: lambda: coordinator.recover_zone("zone-yard"),
+        }
+    try:
+        async with SpireServer() as server:
+            client = await SpireClient.connect(server.host, server.port)
+            try:
+                spec = PatternSpec(PATTERN_LEFT_WITHOUT_CONTAINER, place=dock.color)
+                await client.subscribe(spec)
+                await pump_coordinator(
+                    server, coordinator, _anomaly_epochs(anomaly_epoch, total),
+                    actions=actions,
+                )
+                sub_id, note = await client.next_notification(timeout=5)
+                return note, anomaly_epoch, dock.color
+            finally:
+                await client.close()
+    finally:
+        if hasattr(coordinator, "close"):
+            coordinator.close()
+
+
+def _check_notification(note, anomaly_epoch, dock_color):
+    assert note.kind == "left_without_container"
+    assert note.obj == item(1)
+    assert note.container == case(1)
+    assert note.place == dock_color
+    # within one epoch of the triggering event
+    assert anomaly_epoch <= note.epoch <= anomaly_epoch + 1
+
+
+class TestContainmentAnomalyEndToEnd:
+    def test_serial_pump(self):
+        note, trigger, color = asyncio.run(
+            _run_anomaly_scenario(Coordinator, with_failover=False)
+        )
+        _check_notification(note, trigger, color)
+
+    def test_serial_pump_with_failover_cycle(self):
+        note, trigger, color = asyncio.run(
+            _run_anomaly_scenario(
+                lambda zones: Coordinator(zones, checkpoint_interval=2),
+                with_failover=True,
+            )
+        )
+        _check_notification(note, trigger, color)
+
+    def test_parallel_pump(self):
+        note, trigger, color = asyncio.run(
+            _run_anomaly_scenario(
+                lambda zones: ParallelCoordinator(zones, workers=2),
+                with_failover=False,
+            )
+        )
+        _check_notification(note, trigger, color)
+
+    def test_parallel_pump_with_failover_cycle(self):
+        note, trigger, color = asyncio.run(
+            _run_anomaly_scenario(
+                lambda zones: ParallelCoordinator(
+                    zones, checkpoint_interval=2, workers=2
+                ),
+                with_failover=True,
+            )
+        )
+        _check_notification(note, trigger, color)
+
+
+class TestServerPlumbing:
+    def test_one_shot_queries_and_stats_over_tcp(self):
+        async def run():
+            zones, dock, yard = _anomaly_site()
+            coordinator = Coordinator(zones)
+            async with SpireServer() as server:
+                client = await SpireClient.connect(server.host, server.port)
+                try:
+                    await pump_coordinator(
+                        server, coordinator, _anomaly_epochs(9, 13)
+                    )
+                    assert await client.location_of(item(1), 5) == dock.color
+                    assert await client.location_of(item(1), 12) == yard.color
+                    assert await client.container_of(item(1), 5) == case(1)
+                    assert await client.contents_of(case(1), 5) == [item(1)]
+                    assert item(1) in await client.objects_at(dock.color, 5)
+                    visitors = await client.visitors(dock.color, 0, 12)
+                    assert item(1) in visitors and case(1) in visitors
+                    path = await client.path(item(1))
+                    assert [iv.value for iv in path] == [dock.color, yard.color]
+                    assert not await client.is_missing(item(1), 5)
+                    stats = await client.stats()
+                    assert stats["epochs_published"] == 13
+                    assert stats["queries_served"] >= 8
+                finally:
+                    await client.close()
+
+        asyncio.run(run())
+
+    def test_unsubscribe_stops_events(self):
+        async def run():
+            zones, dock, _ = _anomaly_site()
+            coordinator = Coordinator(zones)
+            async with SpireServer() as server:
+                client = await SpireClient.connect(server.host, server.port)
+                try:
+                    sub_id = await client.subscribe(
+                        PatternSpec(PATTERN_PLACE, place=dock.color)
+                    )
+                    epochs = _anomaly_epochs(9, 13)
+                    await pump_coordinator(server, coordinator, epochs[:2])
+                    assert await client.unsubscribe(sub_id)
+                    # arrival events from epoch 0 were delivered
+                    got = await client.next_notification(timeout=5)
+                    assert got[0] == sub_id
+                    # drain whatever was in flight before the unsubscribe
+                    while not client.notifications.empty():
+                        client.notifications.get_nowait()
+                    await pump_coordinator(server, coordinator, epochs[2:4])
+                    assert client.notifications.empty()
+                    stats = await client.stats()
+                    assert stats["active_subscriptions"] == 0
+                finally:
+                    await client.close()
+
+        asyncio.run(run())
+
+    def test_connection_drop_reaps_subscriptions(self):
+        async def run():
+            zones, dock, _ = _anomaly_site()
+            coordinator = Coordinator(zones)
+            async with SpireServer() as server:
+                client = await SpireClient.connect(server.host, server.port)
+                await client.subscribe(PatternSpec(PATTERN_PLACE, place=dock.color))
+                assert server.engine.stats.active_subscriptions == 1
+                await client.close()
+                epochs = _anomaly_epochs(9, 13)
+                await pump_coordinator(server, coordinator, epochs[:3])
+                assert server.engine.stats.active_subscriptions == 0
+
+        asyncio.run(run())
+
+    def test_server_error_reply(self):
+        async def run():
+            async with SpireServer() as server:
+                client = await SpireClient.connect(server.host, server.port)
+                try:
+                    from repro.serving.client import ServingError
+
+                    with pytest.raises(ServingError):
+                        await client.subscribe(PatternSpec(99))
+                finally:
+                    await client.close()
+
+        asyncio.run(run())

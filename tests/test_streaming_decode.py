@@ -1,0 +1,186 @@
+"""Streaming front-end coverage: chunked record decoding and streaming
+level-2 decompression.
+
+The serving pump consumes the compressed stream incrementally, so both
+stages must tolerate arbitrary chunk boundaries: the 25-byte record codec
+(:class:`~repro.events.codec.StreamDecoder`) fed split mid-record, and the
+level-2 expander (:class:`~repro.compression.decompress.
+StreamingLevel2Decompressor`) fed one message at a time — each must
+reproduce its one-shot counterpart exactly.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.decompress import (
+    StreamingLevel2Decompressor,
+    decompress_stream,
+)
+from repro.compression.level2 import ContainmentCompressor
+from repro.events import codec
+from repro.events.codec import CodecError, StreamDecoder
+from repro.events.messages import (
+    end_containment,
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+
+from tests.conftest import case, item, pallet
+
+L1, L2, L3 = 0, 1, 2
+
+
+def _sample_messages():
+    return [
+        start_location(item(1), L1, 0),
+        start_location(case(1), L1, 0),
+        start_containment(item(1), case(1), 0),
+        end_location(item(1), L1, 0, 5),
+        start_location(item(1), L2, 5),
+        end_containment(item(1), case(1), 0, 5),
+        missing(item(1), L2, 9),
+        start_location(item(1), L3, 12),
+    ]
+
+
+def _level2_stream():
+    """A level-2 stream whose expansion differs from its raw form."""
+    compressor = ContainmentCompressor()
+    stream = []
+    stream += compressor.observe(item(1), L1, case(1), now=0)
+    stream += compressor.observe(case(1), L1, pallet(1), now=0)
+    stream += compressor.observe(pallet(1), L1, None, now=0)
+    stream += compressor.observe(item(1), L2, case(1), now=4)
+    stream += compressor.observe(case(1), L2, pallet(1), now=4)
+    stream += compressor.observe(pallet(1), L2, None, now=4)
+    stream += compressor.observe(item(1), L2, None, now=7)   # item leaves the case
+    stream += compressor.observe(case(1), L3, pallet(1), now=7)
+    stream += compressor.observe(pallet(1), L3, None, now=7)
+    return stream
+
+
+def _encoded():
+    buffer = io.BytesIO()
+    codec.write_stream(_sample_messages(), buffer)
+    return buffer.getvalue()
+
+
+class TestStreamDecoder:
+    def test_whole_stream_in_one_chunk(self):
+        decoder = StreamDecoder()
+        out = decoder.feed(_encoded())
+        decoder.finish()
+        assert out == _sample_messages()
+        assert decoder.pending == 0
+
+    def test_byte_at_a_time(self):
+        decoder = StreamDecoder()
+        out = []
+        for i in range(len(_encoded())):
+            out.extend(decoder.feed(_encoded()[i : i + 1]))
+        decoder.finish()
+        assert out == _sample_messages()
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 24, 25, 26, 64, 1000])
+    def test_fixed_chunk_sizes(self, chunk_size):
+        data = _encoded()
+        decoder = StreamDecoder()
+        out = []
+        for start in range(0, len(data), chunk_size):
+            out.extend(decoder.feed(data[start : start + chunk_size]))
+        decoder.finish()
+        assert out == _sample_messages()
+
+    @given(st.lists(st.integers(min_value=1, max_value=40), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_chunk_boundaries(self, sizes):
+        data = _encoded()
+        decoder = StreamDecoder()
+        out, pos = [], 0
+        for size in sizes:
+            out.extend(decoder.feed(data[pos : pos + size]))
+            pos += size
+        out.extend(decoder.feed(data[pos:]))
+        decoder.finish()
+        assert out == _sample_messages()
+
+    def test_pending_reports_buffered_bytes(self):
+        decoder = StreamDecoder()
+        decoder.feed(_encoded()[:10])   # less than one record
+        assert decoder.pending == 10
+
+    def test_finish_rejects_truncated_record(self):
+        decoder = StreamDecoder()
+        decoder.feed(_encoded()[:-3])
+        with pytest.raises(CodecError, match="truncated"):
+            decoder.finish()
+
+    def test_empty_feeds_are_harmless(self):
+        decoder = StreamDecoder()
+        assert decoder.feed(b"") == []
+        out = decoder.feed(_encoded())
+        assert decoder.feed(b"") == []
+        decoder.finish()
+        assert out == _sample_messages()
+
+
+class TestStreamingLevel2:
+    def test_message_at_a_time_matches_one_shot(self):
+        stream = _level2_stream()
+        expected = decompress_stream(stream)
+        streaming = StreamingLevel2Decompressor()
+        out = []
+        for msg in stream:
+            out.extend(streaming.feed(msg))
+        out.extend(streaming.flush())
+        assert out == expected
+        assert len(out) > len(stream)   # expansion actually added events
+
+    @pytest.mark.parametrize("split", [1, 2, 3, 5])
+    def test_flush_between_steps_is_transparent(self, split):
+        """Flushing at (epoch) boundaries mid-stream must not change the
+        output — the serving engine flushes after every published epoch."""
+        stream = _level2_stream()
+        expected = decompress_stream(stream)
+        streaming = StreamingLevel2Decompressor()
+        out = []
+        for i, msg in enumerate(stream):
+            out.extend(streaming.feed(msg))
+            if i % split == 0:
+                out.extend(streaming.flush())
+        out.extend(streaming.flush())
+        assert out == expected
+
+    def test_chunked_bytes_through_both_stages(self):
+        """The full serving ingest path: raw bytes in arbitrary chunks ->
+        StreamDecoder -> StreamingLevel2Decompressor == one-shot pipeline."""
+        stream = _level2_stream()
+        buffer = io.BytesIO()
+        codec.write_stream(stream, buffer)
+        data = buffer.getvalue()
+        expected = decompress_stream(stream)
+
+        decoder = StreamDecoder()
+        expander = StreamingLevel2Decompressor()
+        out = []
+        for start in range(0, len(data), 13):   # 13 !| 25: mid-record splits
+            for msg in decoder.feed(data[start : start + 13]):
+                out.extend(expander.feed(msg))
+        decoder.finish()
+        out.extend(expander.flush())
+        assert out == expected
+
+    def test_flush_is_idempotent(self):
+        streaming = StreamingLevel2Decompressor()
+        for msg in _level2_stream():
+            streaming.feed(msg)
+        first = streaming.flush()
+        assert streaming.flush() == []
+        assert first
