@@ -1,0 +1,57 @@
+"""Telemetry overhead — the disabled path must cost (almost) nothing.
+
+The obs substrate's contract (DESIGN.md §11) is near-zero overhead when
+disabled: every instrument call in the hot path resolves to a shared
+no-op, and whole blocks are guarded by one ``registry.enabled`` check.
+This benchmark runs the same seeded trace through a plain :class:`Spire`
+with metrics disabled (the default, NULL_REGISTRY path) and enabled
+(a live :class:`MetricRegistry`), and checks
+
+* the disabled run is not slower than the enabled one beyond timer
+  jitter (generous 15% tolerance for shared CI runners), and
+* the enabled run's own overhead stays modest (< 2x disabled — in
+  practice it is a few percent; the loose bound only guards absurd
+  regressions like per-event snapshotting).
+
+The CI perf-smoke job complements this with an absolute gate: the
+``bench`` subcommand (metrics disabled) must stay within the recorded
+regression budget of benchmarks/baselines/perf_smoke.json.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core.pipeline import Deployment, Spire
+from repro.obs.metrics import MetricRegistry
+
+from benchmarks._shared import Table, get_sim, scale_config
+
+DURATION = 400
+REPEATS = 3
+
+
+def _run_seconds(sim, registry) -> float:
+    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
+    spire = Spire(deployment, metrics=registry)
+    start = perf_counter()
+    for readings in sim.stream:
+        spire.process_epoch(readings)
+    return perf_counter() - start
+
+
+def test_disabled_metrics_cost_nothing():
+    sim = get_sim(scale_config(3, DURATION))
+    disabled = min(_run_seconds(sim, None) for _ in range(REPEATS))
+    enabled = min(_run_seconds(sim, MetricRegistry()) for _ in range(REPEATS))
+
+    table = Table(
+        "Telemetry overhead over one trace (best of 3)",
+        ["metrics", "seconds", "s/epoch"],
+    )
+    table.add("disabled", disabled, disabled / len(sim.stream))
+    table.add("enabled", enabled, enabled / len(sim.stream))
+    table.show()
+
+    assert disabled <= enabled * 1.15, (disabled, enabled)
+    assert enabled <= disabled * 2.0, (disabled, enabled)

@@ -8,9 +8,13 @@ distributed deployment the paper lists as future work (§VIII).
 Usage:  python examples/distributed_zones.py
 """
 
-from repro import SimulationConfig, WarehouseSimulator, check_well_formed
-from repro.distributed import Coordinator
-from repro.distributed.coordinator import partition_by_location
+from repro import (
+    SimulationConfig,
+    SpireConfig,
+    SpireSession,
+    WarehouseSimulator,
+    check_well_formed,
+)
 
 
 def main() -> None:
@@ -29,23 +33,19 @@ def main() -> None:
     )
     sim = WarehouseSimulator(config).run()
 
-    zones = partition_by_location(
-        sim.layout.readers,
-        {
-            "inbound": ["entry-door", "receiving-belt"],
-            "storage": ["shelf-1", "shelf-2"],
-            "outbound": ["packaging-area", "exit-belt", "exit-door"],
-        },
-        sim.layout.registry,
-    )
-    coordinator = Coordinator(zones)
+    session = SpireSession(SpireConfig.from_simulation(sim, zone_map={
+        "inbound": ["entry-door", "receiving-belt"],
+        "storage": ["shelf-1", "shelf-2"],
+        "outbound": ["packaging-area", "exit-belt", "exit-door"],
+    }))
+    coordinator = session.coordinator
+    zones = list(coordinator.zones.values())
     print(f"3 zones over {len(sim.layout.readers)} readers: "
           + ", ".join(f"{z.zone_id}({len(z.reader_ids)})" for z in zones))
 
     messages = []
     handoffs = 0
-    for readings in sim.stream:
-        result = coordinator.process_epoch(readings)
+    for result in session.process(sim.stream):
         messages.extend(result.messages)
         handoffs += len(result.handoffs)
 
@@ -61,14 +61,14 @@ def main() -> None:
               f"edges={spire.graph.edge_count:5d} "
               f"tracked={spire.tracked_objects:4d}")
 
-    # the coordinator still answers site-wide queries
+    # the session still answers site-wide queries
     registry = sim.layout.registry
     sample = sorted(sim.truth.snapshots[-1].locations)[:5]
     print("\nsite-wide queries (owner zone in brackets):")
     for tag in sample:
-        color = coordinator.location_of(tag)
+        color = session.location_of(tag)
         name = registry.by_color(color).name if color >= 0 else "unknown"
-        print(f"  {str(tag):10s} at {name:14s} [{coordinator.owner_of(tag)}]")
+        print(f"  {str(tag):10s} at {name:14s} [{session.owner_of(tag)}]")
 
 
 if __name__ == "__main__":

@@ -8,10 +8,9 @@ Usage:  python examples/quickstart.py
 """
 
 from repro import (
-    Deployment,
-    InferenceParams,
     SimulationConfig,
-    Spire,
+    SpireConfig,
+    SpireSession,
     WarehouseSimulator,
     check_well_formed,
 )
@@ -38,15 +37,14 @@ def main() -> None:
     print(f"simulated {len(sim.stream)} epochs, {sim.stream.total_readings} raw readings, "
           f"{sim.pallets_arrived} pallets in, {sim.pallets_assembled} pallets re-assembled")
 
-    # 2. Feed the raw stream to SPIRE.  The deployment description (reader
-    #    locations, special belt readers, exit doors) is the only site
-    #    knowledge SPIRE needs.
-    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
-    spire = Spire(deployment, InferenceParams(), compression_level=2)
+    # 2. Feed the raw stream to SPIRE.  A SpireSession wraps the whole
+    #    substrate behind one object; the reader layout (belt readers,
+    #    exit doors, shelves) is the only site knowledge it needs.
+    session = SpireSession(SpireConfig.from_simulation(sim))
+    spire = session.spire
 
     messages = []
-    for epoch_readings in sim.stream:
-        output = spire.process_epoch(epoch_readings)
+    for output in session.process(sim.stream):
         messages.extend(output.messages)
 
     # 3. Ask the interpretation questions of Section II: where is each
@@ -55,8 +53,8 @@ def main() -> None:
     registry = sim.layout.registry
     shown = 0
     for tag in sorted(spire.estimates):
-        location = registry.by_color(spire.location_of(tag))
-        container = spire.container_of(tag)
+        location = registry.by_color(session.location_of(tag))
+        container = session.container_of(tag)
         inside = f" inside {container}" if container else ""
         print(f"  {tag}: at {location}{inside}")
         shown += 1

@@ -12,16 +12,13 @@ Usage:  python examples/serving_quickstart.py
 
 import asyncio
 
-from repro import SimulationConfig, WarehouseSimulator
-from repro.distributed import Coordinator
-from repro.distributed.coordinator import partition_by_location
+from repro import SimulationConfig, SpireConfig, SpireSession, WarehouseSimulator
 from repro.serving.client import SpireClient
 from repro.serving.patterns import (
     PATTERN_LEFT_WITHOUT_CONTAINER,
     PATTERN_PLACE,
     PatternSpec,
 )
-from repro.serving.server import SpireServer, pump_coordinator
 
 
 async def run() -> None:
@@ -41,18 +38,13 @@ async def run() -> None:
     )
     sim = WarehouseSimulator(config).run()
     registry = sim.layout.registry
-    zones = partition_by_location(
-        sim.layout.readers,
-        {
-            "inbound": ["entry-door", "receiving-belt"],
-            "floor": ["shelf-1", "shelf-2",
-                      "packaging-area", "exit-belt", "exit-door"],
-        },
-        registry,
-    )
-    coordinator = Coordinator(zones)
+    session = SpireSession(SpireConfig.from_simulation(sim, metrics=True, zone_map={
+        "inbound": ["entry-door", "receiving-belt"],
+        "floor": ["shelf-1", "shelf-2",
+                  "packaging-area", "exit-belt", "exit-door"],
+    }))
 
-    async with SpireServer() as server:   # port 0 -> ephemeral
+    async with session.serve() as server:   # port 0 -> ephemeral
         print(f"serving on {server.host}:{server.port}")
         client = await SpireClient.connect(server.host, server.port)
         try:
@@ -69,7 +61,7 @@ async def run() -> None:
 
             # replay the trace into the server (a live deployment would
             # pump epochs as readers deliver them)
-            pumped = await pump_coordinator(server, coordinator, sim.stream)
+            pumped = await session.pump(server, sim.stream)
             print(f"pumped {pumped} epochs")
 
             # one-shot queries over the same connection (mid-trace, while
@@ -93,6 +85,15 @@ async def run() -> None:
             print(f"server: {stats['epochs_published']} epochs, "
                   f"{stats['notifications_delivered']} notifications, "
                   f"{stats['queries_served']} one-shot queries")
+
+            # the METRICS op returns a Prometheus scrape of the whole
+            # session: serving counters plus per-zone substrate counters
+            metrics_text = await client.metrics()
+            core = [line for line in metrics_text.splitlines()
+                    if line.startswith(("spire_serving_epochs", "spire_readings_total"))]
+            print("scraped metrics:")
+            for line in core:
+                print(f"  {line}")
         finally:
             await client.close()
 

@@ -17,6 +17,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.api import SpireConfig, SpireSession
 from repro.baselines.smurf import SmurfParams, SmurfPipeline
 from repro.compression.decompress import Level2Decompressor, decompress_stream
 from repro.compression.level1 import RangeCompressor
@@ -35,6 +36,7 @@ from repro.metrics.delay import detection_delays
 from repro.metrics.events import match_events
 from repro.metrics.sizing import compression_ratio, containment_only, location_only
 from repro.model.locations import Location, LocationKind, UNKNOWN_LOCATION
+from repro.obs import MetricRegistry, TraceLog, render_prometheus
 from repro.model.objects import PackagingLevel, TagId
 from repro.model.world import PhysicalWorld
 from repro.query.index import EventStreamIndex, Interval
@@ -46,6 +48,13 @@ from repro.simulator.warehouse import SimulationResult, WarehouseSimulator
 __version__ = "1.0.0"
 
 __all__ = [
+    # unified session API
+    "SpireSession",
+    "SpireConfig",
+    # telemetry
+    "MetricRegistry",
+    "TraceLog",
+    "render_prometheus",
     # core substrate
     "Spire",
     "Deployment",

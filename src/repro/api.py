@@ -1,0 +1,371 @@
+"""The unified public API: one session object over every execution mode.
+
+:class:`SpireSession` is the front door to the substrate.  It wraps the
+three execution engines — an in-process :class:`~repro.core.pipeline.Spire`,
+a zone-sharded serial :class:`~repro.distributed.coordinator.Coordinator`,
+and a multi-process :class:`~repro.distributed.parallel.ParallelCoordinator`
+— behind one constructor driven by a :class:`SpireConfig`, and threads the
+cross-cutting concerns (resilient ingestion, checkpointing, telemetry,
+trace logging, TCP serving) through whichever engine the config selects:
+
+    >>> from repro import SpireConfig, SpireSession           # doctest: +SKIP
+    >>> config = SpireConfig.from_simulation(sim, metrics=True)
+    >>> with SpireSession(config) as session:
+    ...     results = session.process(sim.stream)
+    ...     print(session.render_metrics())
+
+The old entry points (``Spire``, ``Coordinator``, ``ParallelCoordinator``,
+``SpireServer`` + ``pump_coordinator``) remain public and unchanged — the
+session is a composition layer, not a replacement.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Awaitable, Callable, Iterable, Mapping, Sequence
+
+from repro.core.checkpoint import dumps_spire
+from repro.core.params import InferenceParams
+from repro.core.pipeline import Deployment, Spire
+from repro.distributed.coordinator import Coordinator, Zone, partition_by_location
+from repro.distributed.parallel import ParallelCoordinator
+from repro.faults.resilient import ResilientStream
+from repro.model.locations import LocationRegistry
+from repro.obs.metrics import (
+    MetricRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.trace import TraceLog
+from repro.readers.reader import Reader
+from repro.readers.stream import EpochReadings
+from repro.serving.server import SpireServer, pump_coordinator
+
+if TYPE_CHECKING:
+    from repro.events.messages import EventMessage
+    from repro.model.objects import TagId
+
+__all__ = ["SpireConfig", "SpireSession"]
+
+
+@dataclass
+class SpireConfig:
+    """Everything a :class:`SpireSession` needs, in one place.
+
+    Attributes:
+        readers: The deployment's readers (non-empty).
+        registry: Location registry the readers reference (optional; a
+            minimal one is derived from the readers when omitted).
+        params: Inference parameters (paper defaults when ``None``).
+        compression_level: Output compression level (0, 1 or 2).
+        zone_map: ``zone id -> location names`` partition.  ``None`` runs
+            a single substrate (or a single ``site`` zone under workers).
+        workers: ``None`` stays in-process; an integer spawns that many
+            persistent worker processes (:class:`ParallelCoordinator`).
+        strict: Raise on readings from unmapped readers instead of
+            quarantining them.
+        resilient: Wrap input streams in a :class:`ResilientStream`
+            (re-sequencing, dedup, gap synthesis) before processing.
+        max_delay: Watermark lag for the resilient wrapper, in epochs.
+        checkpoint_interval: Checkpoint zones every N epochs, enabling
+            ``fail_zone`` / ``recover_zone``.  ``None`` disables failover.
+        checkpoint_codec: ``"fast"`` (flat binary) or ``"pickle"``.
+        host / port: Bind address for :meth:`SpireSession.serve`
+            (port 0 = ephemeral).
+        expand_level2: Serve patterns over level-2-expanded streams.
+        metrics: Enable the telemetry substrate (:mod:`repro.obs`).
+        trace_path: Write per-epoch span records (JSONL) here.  Not
+            supported with ``workers`` (spans live in worker processes).
+    """
+
+    readers: Sequence[Reader] = ()
+    registry: LocationRegistry | None = None
+    params: InferenceParams | None = None
+    compression_level: int = 2
+    zone_map: Mapping[str, Sequence[str]] | None = None
+    workers: int | None = None
+    strict: bool = False
+    resilient: bool = False
+    max_delay: int = 0
+    checkpoint_interval: int | None = None
+    checkpoint_codec: str = "fast"
+    host: str = "127.0.0.1"
+    port: int = 0
+    expand_level2: bool = True
+    metrics: bool = False
+    trace_path: str | os.PathLike | None = None
+
+    @classmethod
+    def from_simulation(cls, sim, **overrides) -> "SpireConfig":
+        """Config over a :class:`~repro.simulator.warehouse.SimulationResult`."""
+        config = cls(readers=list(sim.layout.readers), registry=sim.layout.registry)
+        return replace(config, **overrides) if overrides else config
+
+    def with_overrides(self, **overrides) -> "SpireConfig":
+        return replace(self, **overrides) if overrides else self
+
+
+class _ZoneTrace:
+    """Forwards span records to a shared :class:`TraceLog`, zone-tagged."""
+
+    __slots__ = ("_trace", "_zone_id")
+
+    def __init__(self, trace: TraceLog, zone_id: str) -> None:
+        self._trace = trace
+        self._zone_id = zone_id
+
+    def epoch(self, epoch: int, spans: Mapping[str, float], **fields) -> None:
+        self._trace.epoch(epoch, spans, zone=self._zone_id, **fields)
+
+
+class SpireSession:
+    """One running instance of the substrate, whatever its shape.
+
+    The execution mode follows from the config:
+
+    * ``workers`` set — multi-process :class:`ParallelCoordinator` over
+      the zone map (a single ``site`` zone when no map is given);
+    * ``zone_map`` set (no workers) — serial :class:`Coordinator`;
+    * neither — a plain in-process :class:`Spire`.
+
+    Use as a context manager (or call :meth:`close`) so worker processes
+    and trace files are released deterministically.
+    """
+
+    def __init__(self, config: SpireConfig) -> None:
+        readers = list(config.readers)
+        if not readers:
+            raise ValueError("SpireConfig.readers must be non-empty")
+        if config.trace_path is not None and config.workers is not None:
+            raise ValueError(
+                "trace_path is not supported with workers: span timings "
+                "live in worker processes (use metrics instead)"
+            )
+        self.config = config
+        self.registry = config.registry
+        self.metrics: MetricRegistry | None = (
+            MetricRegistry() if config.metrics else None
+        )
+        self.trace: TraceLog | None = (
+            TraceLog(config.trace_path) if config.trace_path is not None else None
+        )
+        self._closed = False
+
+        if config.workers is not None or config.zone_map is not None:
+            if config.zone_map is not None:
+                zones = partition_by_location(
+                    readers,
+                    config.zone_map,
+                    config.registry,
+                    params=config.params,
+                    compression_level=config.compression_level,
+                )
+            else:
+                zones = [
+                    Zone.build(
+                        "site",
+                        readers,
+                        config.registry,
+                        params=config.params,
+                        compression_level=config.compression_level,
+                    )
+                ]
+            if config.workers is not None:
+                self.coordinator: Coordinator | None = ParallelCoordinator(
+                    zones,
+                    strict=config.strict,
+                    checkpoint_interval=config.checkpoint_interval,
+                    checkpoint_codec=config.checkpoint_codec,
+                    workers=config.workers,
+                    metrics=self.metrics,
+                )
+            else:
+                self.coordinator = Coordinator(
+                    zones,
+                    strict=config.strict,
+                    checkpoint_interval=config.checkpoint_interval,
+                    checkpoint_codec=config.checkpoint_codec,
+                    metrics=self.metrics,
+                )
+                if self.trace is not None:
+                    for zone_id, zone in self.coordinator.zones.items():
+                        zone.spire.attach_trace(_ZoneTrace(self.trace, zone_id))
+            self.spire: Spire | None = None
+        else:
+            deployment = Deployment.from_readers(readers, config.registry)
+            self.spire = Spire(
+                deployment,
+                config.params,
+                compression_level=config.compression_level,
+                metrics=self.metrics,
+                trace=self.trace,
+            )
+            self.coordinator = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"local"``, ``"serial"`` or ``"parallel"``."""
+        if self.spire is not None:
+            return "local"
+        return "parallel" if isinstance(self.coordinator, ParallelCoordinator) else "serial"
+
+    @property
+    def engine(self):
+        """The underlying engine (a ``Spire`` or a coordinator)."""
+        return self.spire if self.spire is not None else self.coordinator
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if isinstance(self.coordinator, ParallelCoordinator):
+            self.coordinator.close()
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "SpireSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+
+    def ingest(self, stream: Iterable[EpochReadings]) -> Iterable[EpochReadings]:
+        """Apply the config's ingestion policy to a raw stream."""
+        if not self.config.resilient:
+            return stream
+        return ResilientStream(
+            stream,
+            max_delay=self.config.max_delay,
+            known_readers=[r.reader_id for r in self.config.readers],
+            metrics=self.metrics,
+        )
+
+    def process_epoch(self, readings: EpochReadings):
+        """Process one epoch; returns the engine's per-epoch result."""
+        return self.engine.process_epoch(readings)
+
+    def process(self, stream: Iterable[EpochReadings]) -> list:
+        """Run a whole stream; returns the list of per-epoch results.
+
+        Every result has ``.epoch`` and ``.messages`` regardless of mode
+        (:class:`~repro.core.pipeline.EpochOutput` locally,
+        :class:`~repro.distributed.coordinator.EpochResult` sharded).
+        """
+        return [self.process_epoch(readings) for readings in self.ingest(stream)]
+
+    # ------------------------------------------------------------------
+    # queries (site-wide in sharded modes)
+    # ------------------------------------------------------------------
+
+    def location_of(self, tag: "TagId") -> int:
+        return self.engine.location_of(tag)
+
+    def container_of(self, tag: "TagId") -> "TagId | None":
+        return self.engine.container_of(tag)
+
+    def owner_of(self, tag: "TagId") -> str | None:
+        """Owning zone id (``None`` when untracked; ``"site"``-like in local mode)."""
+        if self.coordinator is not None:
+            return self.coordinator.owner_of(tag)
+        assert self.spire is not None
+        return "local" if tag in self.spire.estimates else None
+
+    # ------------------------------------------------------------------
+    # fault operations / checkpointing
+    # ------------------------------------------------------------------
+
+    def fail_zone(self, zone_id: str, at: int | None = None) -> "list[EventMessage]":
+        if self.coordinator is None:
+            raise ValueError("fail_zone requires a sharded session (zone_map or workers)")
+        return self.coordinator.fail_zone(zone_id, at=at)
+
+    def recover_zone(self, zone_id: str, at: int | None = None) -> "list[EventMessage]":
+        if self.coordinator is None:
+            raise ValueError("recover_zone requires a sharded session (zone_map or workers)")
+        return self.coordinator.recover_zone(zone_id, at=at)
+
+    def checkpoint(self) -> dict[str, bytes]:
+        """Portable state snapshots by zone (``{"local": ...}`` in local mode).
+
+        Local and serial modes serialize live substrate state on the spot;
+        a parallel session's state lives in its workers, so it returns the
+        coordinator's most recent captured checkpoints (requires
+        ``checkpoint_interval``).
+        """
+        codec = self.config.checkpoint_codec
+        if self.spire is not None:
+            return {"local": dumps_spire(self.spire, codec=codec)}
+        assert self.coordinator is not None
+        if isinstance(self.coordinator, ParallelCoordinator):
+            stored = self.coordinator.latest_checkpoints()
+            if not stored:
+                raise ValueError(
+                    "a parallel session checkpoints in its workers; construct "
+                    "with checkpoint_interval=N to capture them"
+                )
+            return stored
+        return {
+            zone_id: dumps_spire(zone.spire, codec=codec)
+            for zone_id, zone in self.coordinator.zones.items()
+            if zone.spire is not None
+        }
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def serve(self) -> SpireServer:
+        """A TCP front-end over this session (not yet started).
+
+        Use ``async with session.serve() as server:`` then
+        :meth:`pump` to drive a stream through it while clients query.
+        """
+        return SpireServer(
+            host=self.config.host,
+            port=self.config.port,
+            expand_level2=self.config.expand_level2,
+            metrics_provider=self.metrics_snapshot if self.metrics is not None else None,
+        )
+
+    async def pump(
+        self,
+        server: SpireServer,
+        stream: Iterable[EpochReadings],
+        actions: "dict[int, Callable[[], list[EventMessage]]] | None" = None,
+        epoch_interval: float = 0.0,
+        on_epoch: "Callable[[int, int], Awaitable[None] | None] | None" = None,
+    ) -> int:
+        """Drive a stream through this session into a running server."""
+        return await pump_coordinator(
+            server,
+            self.engine,
+            self.ingest(stream),
+            actions=actions,
+            epoch_interval=epoch_interval,
+            on_epoch=on_epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Merged obs snapshot across the session (empty when disabled)."""
+        if self.metrics is None:
+            return {"series": [], "help": {}}
+        if self.coordinator is not None:
+            return self.coordinator.metrics_snapshot()
+        return merge_snapshots([self.metrics.snapshot()])
+
+    def render_metrics(self) -> str:
+        """The session's telemetry as Prometheus text exposition."""
+        return render_prometheus(self.metrics_snapshot())

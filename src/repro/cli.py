@@ -34,9 +34,16 @@ Examples::
     repro-spire serve trace.bin --port 7070 --workers 2
     repro-spire client --port 7070 --object case:3 --at 500
     repro-spire client --port 7070 --subscribe dwell:3:50 --count 5
-    repro-spire chaos --duration 600 --outage-epochs 50 --drop-rate 0.02 --delay-rate 0.05
+    repro-spire client --port 7070 --metrics
+    repro-spire chaos --epochs 600 --outage-epochs 50 --drop-rate 0.02 --delay-rate 0.05
+    repro-spire chaos --epochs 600 --workers 2 --metrics-json metrics.json
     repro-spire bench -o BENCH_table3.json --compare-full
     repro-spire bench --milestones 1000 2000 --check-against benchmarks/baselines/perf_smoke.json
+
+Cross-command flags are normalized: ``--seed``, ``--workers`` and
+``--metrics-json`` come from shared parent parsers, and the epoch-count
+knob is ``--epochs`` everywhere (the old ``--duration`` / ``--max-epochs``
+spellings still work, with a deprecation warning).
 """
 
 from __future__ import annotations
@@ -65,6 +72,65 @@ def _sidecar_path(trace_path: Path) -> Path:
     return trace_path.with_suffix(trace_path.suffix + ".json")
 
 
+# ---------------------------------------------------------------------------
+# shared flags
+# ---------------------------------------------------------------------------
+
+
+def _deprecated_alias(canonical: str) -> type[argparse.Action]:
+    """An argparse action that accepts an old spelling with a warning."""
+
+    class _Alias(argparse.Action):
+        def __call__(self, parser, namespace, values, option_string=None):
+            print(
+                f"warning: {option_string} is deprecated; use {canonical}",
+                file=sys.stderr,
+            )
+            setattr(namespace, self.dest, values)
+
+    return _Alias
+
+
+#: parent parser carrying the canonical cross-command flags (--seed,
+#: --workers, --metrics-json); subcommands opt in via ``parents=[...]``
+def _seed_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--seed", type=int, default=None,
+        help="deterministic RNG seed (default: the subcommand's own)",
+    )
+    return parent
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers", type=int, default=None,
+        help="shard zones over this many persistent worker processes",
+    )
+    return parent
+
+
+def _metrics_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="enable the telemetry substrate and write the merged metrics "
+             "snapshot as JSON here ('-' writes to stdout)",
+    )
+    return parent
+
+
+def _dump_metrics_json(snapshot: dict, destination: str) -> None:
+    """Write an obs snapshot where ``--metrics-json`` asked for it."""
+    payload = json.dumps(snapshot, sort_keys=True, indent=2)
+    if destination == "-":
+        print(payload)
+    else:
+        Path(destination).write_text(payload + "\n")
+        print(f"wrote metrics snapshot to {destination}")
+
+
 def parse_tag(text: str) -> TagId:
     """Parse a ``level:serial`` tag spec, e.g. ``case:3``."""
     try:
@@ -79,7 +145,10 @@ def parse_tag(text: str) -> TagId:
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     defaults = SimulationConfig()
-    parser.add_argument("--duration", type=int, default=1800, help="epochs to simulate")
+    parser.add_argument("--epochs", dest="epochs", type=int, default=1800,
+                        help="epochs to simulate")
+    parser.add_argument("--duration", dest="epochs", type=int,
+                        action=_deprecated_alias("--epochs"), help=argparse.SUPPRESS)
     parser.add_argument("--pallet-period", type=int, default=300)
     parser.add_argument("--cases-per-pallet", type=int, default=defaults.cases_per_pallet_min)
     parser.add_argument("--items-per-case", type=int, default=8)
@@ -88,12 +157,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--num-shelves", type=int, default=defaults.num_shelves)
     parser.add_argument("--shelving-time", type=int, default=600)
     parser.add_argument("--anomaly-period", type=int, default=0)
-    parser.add_argument("--seed", type=int, default=defaults.seed)
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    defaults = SimulationConfig()
     return SimulationConfig(
-        duration=args.duration,
+        duration=args.epochs,
         pallet_period=args.pallet_period,
         cases_per_pallet_min=args.cases_per_pallet,
         cases_per_pallet_max=args.cases_per_pallet,
@@ -104,7 +173,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         shelving_time_mean=args.shelving_time,
         shelving_time_jitter=max(1, args.shelving_time // 5),
         anomaly_period=args.anomaly_period,
-        seed=args.seed,
+        seed=defaults.seed if args.seed is None else args.seed,
     )
 
 
@@ -245,6 +314,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     reference = ground_truth_stream(sim)
     tolerance = max(r.period for r in sim.layout.readers) + args.max_delay + 2
 
+    registry = None
+    if args.metrics_json:
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+
     if args.schedule:
         try:
             schedule = schedule_from_dict(json.loads(Path(args.schedule).read_text()))
@@ -275,6 +350,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         injector,
         max_delay=args.max_delay,
         known_readers=[r.reader_id for r in sim.layout.readers],
+        metrics=registry,
     )
 
     faulted = None
@@ -285,14 +361,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         from repro.distributed import ParallelCoordinator, partition_by_location
         from repro.experiments.table3 import scaling_zone_assignment
 
-        def _make_coordinator():
+        def _make_coordinator(metrics=None):
             zones = partition_by_location(
                 sim.layout.readers,
                 scaling_zone_assignment(config.num_shelves),
                 sim.layout.registry,
                 compression_level=args.compression,
             )
-            return ParallelCoordinator(zones, checkpoint_interval=50, workers=args.workers)
+            return ParallelCoordinator(
+                zones, checkpoint_interval=50, workers=args.workers, metrics=metrics
+            )
 
         baseline_messages = []
         with _make_coordinator() as baseline_coordinator:
@@ -301,7 +379,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     baseline_coordinator.process_epoch(epoch_readings).messages
                 )
         faulted_messages = []
-        faulted_coordinator = _make_coordinator()
+        faulted_coordinator = _make_coordinator(metrics=registry)
         with faulted_coordinator:
             for epoch_readings in resilient:
                 faulted_messages.extend(
@@ -321,6 +399,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             InferenceParams(),
             compression_level=args.compression,
             health=ReaderHealthMonitor(deployment.readers, k=args.health_k),
+            metrics=registry,
         )
         faulted_messages = []
         for epoch_readings in resilient:
@@ -368,6 +447,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         exit_code = 1
+    if registry is not None:
+        # coordinator snapshots fold in the per-zone registries its
+        # workers shipped; the in-process path is all in one registry
+        snapshot = (
+            faulted_coordinator.metrics_snapshot()
+            if faulted_coordinator is not None
+            else registry.snapshot()
+        )
+        _dump_metrics_json(snapshot, args.metrics_json)
     return exit_code
 
 
@@ -375,12 +463,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the Table III speed sweep and write ``BENCH_table3.json``."""
     from repro.experiments import table3
 
+    if args.seed is None:
+        args.seed = 41
+    registry = None
+    if args.metrics_json:
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
     milestones = args.milestones or list(table3.DEFAULT_MILESTONES)
     payload = table3.run_table3(
         milestones=milestones,
         cases_per_pallet=args.cases,
         seed=args.seed,
         compare_full=args.compare_full,
+        metrics=registry,
     )
     rows = payload["incremental"]["milestones"]
     print(f"workload: {payload['workload']['duration']} epochs, "
@@ -466,6 +562,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"regression check vs {baseline_path}: ok "
                   f"(tolerance {args.max_regression:.0%})")
 
+    if registry is not None:
+        _dump_metrics_json(registry.snapshot(), args.metrics_json)
     if args.output:
         table3.write_payload(payload, args.output)
         print(f"wrote {args.output}")
@@ -606,6 +704,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     with trace_path.open("rb") as fp:
         stream = reading_codec.read_trace(fp)
 
+    registry = None
+    if args.metrics_json:
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
     server = SpireServer(
         args.host, args.port, expand_level2=(args.compression == 2)
     )
@@ -618,15 +721,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.workers:
         coordinator = ParallelCoordinator(
-            zones, checkpoint_interval=50, workers=args.workers
+            zones, checkpoint_interval=50, workers=args.workers, metrics=registry
         )
     else:
-        coordinator = Coordinator(zones, checkpoint_interval=50)
+        coordinator = Coordinator(zones, checkpoint_interval=50, metrics=registry)
 
     async def run() -> int:
         epochs = stream
-        if args.max_epochs is not None:
-            epochs = itertools.islice(stream, args.max_epochs)
+        if args.epochs is not None:
+            epochs = itertools.islice(stream, args.epochs)
         async with server:
             print(
                 f"serving on {server.host}:{server.port} "
@@ -656,6 +759,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         counts = server.engine.quarantine.counts()
         if counts:
             print(f"  warnings              {counts}")
+        if registry is not None:
+            _dump_metrics_json(server.metrics_snapshot(), args.metrics_json)
     return 0
 
 
@@ -668,6 +773,9 @@ def cmd_client(args: argparse.Namespace) -> int:
     async def run() -> int:
         client = await SpireClient.connect(args.host, args.port)
         try:
+            if args.metrics:
+                print(await client.metrics(), end="")
+                return 0
             if args.stats:
                 for key, value in (await client.stats()).items():
                     print(f"{key:26} {value}")
@@ -687,8 +795,8 @@ def cmd_client(args: argparse.Namespace) -> int:
                 await client.unsubscribe(sub_id)
                 return 0
             if args.object is None or args.at is None:
-                print("error: provide --object and --at, --subscribe, or --stats",
-                      file=sys.stderr)
+                print("error: provide --object and --at, --subscribe, --stats, "
+                      "or --metrics", file=sys.stderr)
                 return 2
             place = await client.location_of(args.object, args.at)
             container = await client.container_of(args.object, args.at)
@@ -719,8 +827,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="SPIRE: RFID stream interpretation and compression",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    seed_parent = _seed_parent()
+    workers_parent = _workers_parent()
+    metrics_parent = _metrics_parent()
 
-    simulate = subparsers.add_parser("simulate", help="generate a synthetic trace")
+    simulate = subparsers.add_parser("simulate", help="generate a synthetic trace",
+                                     parents=[seed_parent])
     _add_config_arguments(simulate)
     simulate.add_argument("-o", "--output", required=True, help="trace output path")
     simulate.set_defaults(func=cmd_simulate)
@@ -731,7 +843,8 @@ def build_parser() -> argparse.ArgumentParser:
     interpret.add_argument("--compression", type=int, choices=(1, 2), default=2)
     interpret.set_defaults(func=cmd_interpret)
 
-    evaluate = subparsers.add_parser("evaluate", help="simulate + interpret + score")
+    evaluate = subparsers.add_parser("evaluate", help="simulate + interpret + score",
+                                     parents=[seed_parent])
     _add_config_arguments(evaluate)
     evaluate.add_argument("--compression", type=int, choices=(1, 2), default=2)
     evaluate.add_argument("--smurf", action="store_true", help="also run the SMURF baseline")
@@ -745,7 +858,8 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.set_defaults(func=cmd_decompress)
 
     chaos = subparsers.add_parser(
-        "chaos", help="run a simulation under an injected fault schedule"
+        "chaos", help="run a simulation under an injected fault schedule",
+        parents=[seed_parent, workers_parent, metrics_parent],
     )
     _add_config_arguments(chaos)
     chaos.add_argument("--compression", type=int, choices=(1, 2), default=2)
@@ -769,22 +883,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reader-health silence tolerance in interrogation periods")
     chaos.add_argument("--max-degradation", type=float, default=None,
                        help="fail (exit 1) if F-measure degrades by more than this many points")
-    chaos.add_argument(
-        "--workers", type=int, default=None,
-        help="run both the fault-free and the faulted pipeline through a "
-             "zone-sharded ParallelCoordinator with this many workers",
-    )
     chaos.set_defaults(func=cmd_chaos)
 
     bench = subparsers.add_parser(
-        "bench", help="run the Table III speed sweep (writes BENCH_table3.json)"
+        "bench", help="run the Table III speed sweep (writes BENCH_table3.json)",
+        parents=[seed_parent, metrics_parent],
     )
     bench.add_argument(
         "--milestones", type=int, nargs="+", default=None,
         help="node-count milestones to window costs at (default: 2k 4k 8k 12k)",
     )
     bench.add_argument("--cases", type=int, default=5, help="cases per pallet")
-    bench.add_argument("--seed", type=int, default=41)
     bench.add_argument("-o", "--output", default=None,
                        help="write the JSON payload here (e.g. BENCH_table3.json)")
     bench.add_argument("--compare-full", action="store_true",
@@ -831,19 +940,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=cmd_query)
 
     serve = subparsers.add_parser(
-        "serve", help="replay a trace and serve continuous queries over TCP"
+        "serve", help="replay a trace and serve continuous queries over TCP",
+        parents=[workers_parent, metrics_parent],
     )
     serve.add_argument("trace", help="trace file written by 'simulate'")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (0 picks a free one and prints it)")
     serve.add_argument("--compression", type=int, choices=(1, 2), default=2)
-    serve.add_argument("--workers", type=int, default=None,
-                       help="shard zones over this many worker processes")
     serve.add_argument("--epoch-interval", type=float, default=0.0,
                        help="seconds between epochs (approximate a live stream)")
-    serve.add_argument("--max-epochs", type=int, default=None,
+    serve.add_argument("--epochs", dest="epochs", type=int, default=None,
                        help="stop after this many epochs (default: whole trace)")
+    serve.add_argument("--max-epochs", dest="epochs", type=int,
+                       action=_deprecated_alias("--epochs"), help=argparse.SUPPRESS)
     serve.add_argument("--linger", type=float, default=0.0,
                        help="keep serving queries this many seconds after the "
                             "stream is exhausted")
@@ -867,6 +977,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --subscribe: per-notification wait (seconds)")
     client.add_argument("--stats", action="store_true",
                         help="print the server's serving counters and exit")
+    client.add_argument("--metrics", action="store_true",
+                        help="print the server's Prometheus metrics scrape and exit")
     client.set_defaults(func=cmd_client)
     return parser
 

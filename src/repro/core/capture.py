@@ -109,6 +109,9 @@ class GraphUpdater:
         #: the edge statistics: the missing read is explained by the outage
         #: and must not erode containment evidence or confirmations.
         self.suppressed_colors: frozenset[int] = frozenset()
+        #: cumulative candidate-edge draws (plain int: the telemetry layer
+        #: reads per-epoch deltas off the hot path, see repro.obs)
+        self.candidate_edges = 0
         # registration-time reader cache (see register_readers)
         self._registered: dict[int, ReaderInfo] | None = None
         self._derived: dict[int, tuple[ReaderInfo, int | None]] = {}
@@ -228,21 +231,26 @@ class GraphUpdater:
         """
         graph = self.graph
         tag = node.tag
+        drawn = 0
         above = graph.closest_colored_level(node.level, color, direction=+1)
         if above is not None:
             confirmed = self._binding_parent(node)
             if confirmed is not None:
                 if confirmed.color == color and confirmed.level > node.level:
                     graph.add_edge(confirmed, node, now)
+                    drawn += 1
             else:
                 for parent in sorted(graph.colored_at(above, color), key=lambda n: n.tag):
                     graph.add_edge(parent, node, now)
+                    drawn += 1
         below = graph.closest_colored_level(node.level, color, direction=-1)
         if below is not None:
             for child in sorted(graph.colored_at(below, color), key=lambda n: n.tag):
                 confirmed = self._binding_parent(child)
                 if confirmed is None or confirmed.tag == tag:
                     graph.add_edge(node, child, now)
+                    drawn += 1
+        self.candidate_edges += drawn
 
     def _binding_parent(self, node: GraphNode) -> GraphNode | None:
         """The node's confirmed parent, when that confirmation still binds:

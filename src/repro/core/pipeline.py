@@ -25,6 +25,7 @@ import numpy as np
 from repro.compression.level1 import RangeCompressor
 from repro.compression.level2 import ContainmentCompressor
 from repro.core.capture import GraphUpdater, ReaderInfo
+from repro.events.codec import encode_stream
 from repro.core.conflicts import resolve_conflicts
 from repro.core.graph import UNKNOWN_COLOR, Graph
 from repro.core.interpretation import Estimate, InterpretationResult, LocationSource
@@ -116,6 +117,52 @@ class EpochOutput:
     evicted: list[TagId] = field(default_factory=list)
 
 
+class _SpireMetrics:
+    """Pre-bound instruments for one substrate (see :mod:`repro.obs`).
+
+    Instruments are looked up once at attach time, so the per-epoch cost
+    is plain attribute access + arithmetic; cumulative stage counters
+    (inference cache, candidate edges) are read as deltas against the
+    baselines captured here, which keeps the accounting correct across
+    checkpoint restores (the restored substrate's plain counters restart
+    at whatever the codec preserved, and the registry is seeded
+    separately — see ``Coordinator._rebuild_spire``).
+    """
+
+    __slots__ = (
+        "readings", "deduped", "raw_bytes", "epochs_partial", "epochs_complete",
+        "dirty", "dirty_total", "cache_hits", "cache_misses", "candidate_edges",
+        "events", "event_bytes", "graph_nodes", "graph_edges", "tracked",
+        "departed", "evicted", "update_seconds", "inference_seconds",
+        "last_hits", "last_misses", "last_candidate",
+    )
+
+    def __init__(self, registry, spire: "Spire") -> None:
+        c, g, h = registry.counter, registry.gauge, registry.histogram
+        self.readings = c("spire_readings_total", "Raw readings entering deduplication")
+        self.deduped = c("spire_readings_deduped_total", "Readings removed as duplicates")
+        self.raw_bytes = c("spire_raw_bytes_total", "Raw reading bytes entering the substrate")
+        self.epochs_partial = c("spire_epochs_total", "Epochs processed by inference mode", mode="partial")
+        self.epochs_complete = c("spire_epochs_total", "Epochs processed by inference mode", mode="complete")
+        self.dirty = g("spire_dirty_nodes", "Dirty-set size of the last epoch")
+        self.dirty_total = c("spire_dirty_nodes_total", "Dirty-set sizes summed over epochs")
+        self.cache_hits = c("spire_decision_cache_hits_total", "Containment decisions reused from cache")
+        self.cache_misses = c("spire_decision_cache_misses_total", "Containment decisions recomputed")
+        self.candidate_edges = c("spire_candidate_edges_total", "Candidate containment edges drawn")
+        self.events = c("spire_events_total", "Compressed event messages emitted")
+        self.event_bytes = c("spire_event_bytes_total", "Encoded event-stream bytes emitted")
+        self.graph_nodes = g("spire_graph_nodes", "Nodes in the containment graph")
+        self.graph_edges = g("spire_graph_edges", "Edges in the containment graph")
+        self.tracked = g("spire_tracked_objects", "Objects in the estimate store")
+        self.departed = c("spire_departed_objects_total", "Objects retired at exit readers")
+        self.evicted = c("spire_evicted_objects_total", "Objects evicted by retention")
+        self.update_seconds = h("spire_update_seconds", "Graph-update (capture) wall time per epoch")
+        self.inference_seconds = h("spire_inference_seconds", "Inference + conflict resolution wall time per epoch")
+        self.last_hits = spire.inference.cache_hits
+        self.last_misses = spire.inference.cache_misses
+        self.last_candidate = spire.updater.candidate_edges
+
+
 class Spire:
     """The interpretation and compression substrate over RFID streams."""
 
@@ -128,6 +175,8 @@ class Spire:
         health: ReaderHealthMonitor | bool | None = None,
         incremental: bool = True,
         retention_epochs: int | None = None,
+        metrics=None,
+        trace=None,
     ) -> None:
         """Build a substrate for ``deployment``.
 
@@ -153,6 +202,13 @@ class Spire:
         no open event intervals — eviction is then invisible in the output
         unless the object later returns (it would re-enter as new).  Keeps
         node/estimate/compressor state bounded on long runs.
+
+        ``metrics`` attaches a :class:`repro.obs.MetricRegistry`; ``None``
+        (default) disables telemetry at zero per-epoch cost beyond one
+        ``is None`` check.  ``trace`` attaches a
+        :class:`repro.obs.TraceLog` that records one JSONL span record
+        per epoch.  Neither is serialized by checkpoints — re-attach
+        after :func:`repro.core.checkpoint.loads_spire`.
         """
         if compression_level not in (1, 2):
             raise ValueError(f"compression_level must be 1 or 2, got {compression_level}")
@@ -188,6 +244,43 @@ class Spire:
         if health is True:
             health = ReaderHealthMonitor(deployment.readers)
         self.health: ReaderHealthMonitor | None = health or None
+        self.metrics = None
+        self._m: _SpireMetrics | None = None
+        self._trace = trace
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    # ------------------------------------------------------------------
+    # telemetry (repro.obs)
+    # ------------------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """(Re)bind telemetry instruments to ``registry``.
+
+        Registries are never part of checkpoints; call this after
+        :func:`~repro.core.checkpoint.loads_spire` to resume accounting
+        (optionally after seeding the registry from a snapshot taken at
+        checkpoint time, so totals survive failover).
+        """
+        if registry is None or not registry.enabled:
+            self.metrics = None
+            self._m = None
+            return
+        self.metrics = registry
+        self._m = _SpireMetrics(registry, self)
+
+    def attach_trace(self, trace) -> None:
+        """(Re)bind the per-epoch JSONL trace log (``None`` detaches)."""
+        self._trace = trace
+
+    def __getstate__(self):
+        # telemetry bindings (registry, instruments, trace file handle)
+        # stay out of pickled checkpoints; re-attach after restore
+        state = self.__dict__.copy()
+        state["metrics"] = None
+        state["_m"] = None
+        state["_trace"] = None
+        return state
 
     # ------------------------------------------------------------------
 
@@ -235,6 +328,39 @@ class Spire:
         departed = self._retire_exited(now, messages)
         evicted = self._evict_stale(now) if self._retention is not None else []
         self._epochs_processed += 1
+        m = self._m
+        if m is not None:
+            m.readings.inc(readings.reading_count)
+            m.deduped.inc(readings.reading_count - clean.reading_count)
+            m.raw_bytes.inc(readings.raw_bytes)
+            (m.epochs_complete if complete else m.epochs_partial).inc()
+            m.dirty.set(dirty_nodes)
+            m.dirty_total.inc(dirty_nodes)
+            hits, misses = self.inference.cache_hits, self.inference.cache_misses
+            m.cache_hits.inc(hits - m.last_hits)
+            m.cache_misses.inc(misses - m.last_misses)
+            m.last_hits, m.last_misses = hits, misses
+            drawn = self.updater.candidate_edges
+            m.candidate_edges.inc(drawn - m.last_candidate)
+            m.last_candidate = drawn
+            m.events.inc(len(messages))
+            if messages:
+                m.event_bytes.inc(len(encode_stream(messages)))
+            m.graph_nodes.set(self.graph.node_count)
+            m.graph_edges.set(self.graph.edge_count)
+            m.tracked.set(len(self.estimates))
+            m.departed.inc(len(departed))
+            m.evicted.inc(len(evicted))
+            m.update_seconds.observe(t1 - t0)
+            m.inference_seconds.observe(t2 - t1)
+        if self._trace is not None:
+            self._trace.epoch(
+                now,
+                {"update": t1 - t0, "inference": t2 - t1},
+                complete=complete,
+                dirty_nodes=dirty_nodes,
+                messages=len(messages),
+            )
         return EpochOutput(
             epoch=now,
             complete=complete,

@@ -37,11 +37,13 @@ what a networked deployment would serialise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Mapping
 
 from repro.compression.level1 import RangeCompressor
 from repro.compression.level2 import ContainmentCompressor
 from repro.core.checkpoint import dumps_spire, loads_spire
+from repro.obs.metrics import MetricRegistry, merge_snapshots
 from repro.core.params import InferenceParams
 from repro.core.pipeline import Deployment, Spire
 from repro.events.messages import EventKind, EventMessage, end_containment, end_location
@@ -99,6 +101,10 @@ class _ZoneCheckpoint:
 
     epoch: int | None  # None = pristine pre-stream state
     data: bytes
+    #: the zone registry's snapshot at checkpoint time — checkpoints never
+    #: serialize registries, so this is what re-seeds a rebuilt zone's
+    #: counters (otherwise failover would silently zero them)
+    metrics: dict | None = None
 
 
 @dataclass
@@ -124,6 +130,11 @@ class Coordinator:
             ``"fast"`` (default, the flat binary encoder) or ``"pickle"``
             (the original whole-object round-trip, kept for comparison
             benchmarks; it cannot handle production-scale graphs).
+        metrics: Optional :class:`repro.obs.MetricRegistry` for the
+            coordinator's own counters (epochs, handoffs, checkpoints,
+            quarantine).  When set, every zone additionally gets its own
+            registry labelled ``zone=<id>``; :meth:`metrics_snapshot`
+            merges them all.  ``None`` (default) disables telemetry.
     """
 
     def __init__(
@@ -132,6 +143,7 @@ class Coordinator:
         strict: bool = False,
         checkpoint_interval: int | None = None,
         checkpoint_codec: str = "fast",
+        metrics: MetricRegistry | None = None,
     ) -> None:
         self.zones: dict[str, Zone] = {}
         self._zone_of_reader: dict[int, str] = {}
@@ -159,6 +171,33 @@ class Coordinator:
         self._dedup = Deduplicator()
         self._last_epoch: int | None = None
 
+        # telemetry: one registry for the coordinator itself, one per zone
+        # (zone-labelled) attached to the zone substrates
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
+        self._zone_registries: dict[str, MetricRegistry] = {}
+        if self.metrics is not None:
+            self.quarantine.attach_metrics(self.metrics)
+            self._m_epochs = self.metrics.counter(
+                "spire_coordinator_epochs_total", "Epochs coordinated across zones"
+            )
+            self._m_handoffs = self.metrics.counter(
+                "spire_handoffs_total", "Tag migrations between zones"
+            )
+            self._m_checkpoints = self.metrics.counter(
+                "spire_checkpoints_total", "Zone checkpoints captured"
+            )
+            self._m_checkpoint_seconds = self.metrics.histogram(
+                "spire_checkpoint_seconds", "Zone checkpoint serialization wall time"
+            )
+            self._m_failed = self.metrics.gauge(
+                "spire_failed_zones", "Zones currently marked failed"
+            )
+            for zone_id, zone in self.zones.items():
+                registry = MetricRegistry(const_labels={"zone": zone_id})
+                self._zone_registries[zone_id] = registry
+                if zone.spire is not None:
+                    zone.spire.attach_metrics(registry)
+
         # failover bookkeeping (only when enabled)
         self._checkpoint_interval = checkpoint_interval
         self._failed: set[str] = set()
@@ -168,7 +207,13 @@ class Coordinator:
         if self.failover_enabled:
             for zone_id, zone in self.zones.items():
                 self._checkpoints[zone_id] = _ZoneCheckpoint(
-                    epoch=None, data=dumps_spire(zone.spire, codec=checkpoint_codec)
+                    epoch=None,
+                    data=dumps_spire(zone.spire, codec=checkpoint_codec),
+                    metrics=(
+                        self._zone_registries[zone_id].snapshot()
+                        if self.metrics is not None
+                        else None
+                    ),
                 )
                 self._replay[zone_id] = []
 
@@ -262,6 +307,9 @@ class Coordinator:
                 ):
                     self._checkpoint_zone(zone_id, now)
 
+        if self.metrics is not None:
+            self._m_epochs.inc()
+            self._m_handoffs.inc(len(result.handoffs))
         result.warnings = self.quarantine.warnings[warnings_before:]
         return result
 
@@ -290,6 +338,8 @@ class Coordinator:
             raise ValueError(f"zone {zone_id!r} is already failed")
         now = self._resolve_epoch(at)
         self._failed.add(zone_id)
+        if self.metrics is not None:
+            self._m_failed.set(len(self._failed))
         closures: list[EventMessage] = []
         for tag in sorted(t for t, z in self._owner.items() if z == zone_id):
             state = self._open.get(tag)
@@ -332,6 +382,8 @@ class Coordinator:
         self.zones[zone_id].spire = spire
 
         self._failed.discard(zone_id)
+        if self.metrics is not None:
+            self._m_failed.set(len(self._failed))
         self._track_messages(messages)
         self._checkpoint_zone(zone_id, now)
         self.quarantine.warn(
@@ -356,6 +408,18 @@ class Coordinator:
         coordinator ships it to a worker.
         """
         spire = loads_spire(checkpoint.data)
+
+        # checkpoints carry no registry: seed a fresh zone registry from
+        # the snapshot taken at checkpoint time *before* replay, so replay
+        # re-increments it to exactly the totals a crash-free run would
+        # show — instead of silently zeroing the zone's counters (and
+        # with them the restored dedup/quarantine accounting)
+        if self.metrics is not None:
+            registry = MetricRegistry(const_labels={"zone": zone_id})
+            if checkpoint.metrics:
+                registry.restore(checkpoint.metrics)
+            self._zone_registries[zone_id] = registry
+            spire.attach_metrics(registry)
 
         # replay buffered epochs; their messages were either already
         # emitted before the crash or are superseded by the fresh opens
@@ -403,12 +467,31 @@ class Coordinator:
             raise ValueError("no epoch processed yet; pass an explicit 'at' epoch")
         return self._last_epoch
 
+    def latest_checkpoints(self) -> dict[str, bytes]:
+        """The most recent portable checkpoint bytes by zone.
+
+        Empty unless constructed with ``checkpoint_interval`` (pristine
+        pre-stream checkpoints count).  Parallel sessions capture these in
+        their workers, so this is the only zone state visible coordinator-side.
+        """
+        return {zone_id: ckpt.data for zone_id, ckpt in self._checkpoints.items()}
+
     def _checkpoint_zone(self, zone_id: str, epoch: int) -> None:
+        start = perf_counter()
+        data = dumps_spire(self.zones[zone_id].spire, codec=self.checkpoint_codec)
         self._checkpoints[zone_id] = _ZoneCheckpoint(
             epoch=epoch,
-            data=dumps_spire(self.zones[zone_id].spire, codec=self.checkpoint_codec),
+            data=data,
+            metrics=(
+                self._zone_registries[zone_id].snapshot()
+                if self.metrics is not None
+                else None
+            ),
         )
         self._replay[zone_id] = []
+        if self.metrics is not None:
+            self._m_checkpoints.inc()
+            self._m_checkpoint_seconds.observe(perf_counter() - start)
 
     def _track_messages(self, messages: Iterable[EventMessage]) -> None:
         """Mirror the merged stream's open intervals (for crash closures)."""
@@ -424,6 +507,32 @@ class Coordinator:
                 state.containments.pop(msg.container, None)  # type: ignore[arg-type]
             if state.location is None and not state.containments:
                 self._open.pop(msg.obj, None)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Merged snapshot: the coordinator's registry + every zone's.
+
+        The parallel coordinator overrides :meth:`_zone_metrics_snapshot`
+        to return the latest registry snapshot its workers shipped in
+        their epoch replies, so this merge is transport-agnostic.  The
+        counter subset is deterministic: a serial and a parallel run over
+        the same stream render identical totals.
+        """
+        if self.metrics is None:
+            return {"series": [], "help": {}}
+        snapshots = [self.metrics.snapshot()]
+        for zone_id in sorted(self.zones):
+            snapshots.append(self._zone_metrics_snapshot(zone_id))
+        return merge_snapshots(snapshots)
+
+    def _zone_metrics_snapshot(self, zone_id: str) -> dict:
+        registry = self._zone_registries.get(zone_id)
+        if registry is None:
+            return {"series": [], "help": {}}
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
     # global queries

@@ -55,6 +55,7 @@ from repro.distributed.coordinator import (
 from repro.events.messages import EventMessage
 from repro.faults.warnings import WarningKind
 from repro.model.objects import TagId
+from repro.obs.metrics import MetricRegistry, snapshot_from_json, snapshot_to_json
 from repro.readers.codec import decode_epoch_frame, encode_epoch_frame
 from repro.readers.stream import EpochReadings
 
@@ -62,6 +63,7 @@ from repro.readers.stream import EpochReadings
 def _worker_main(conn) -> None:
     """Worker process: serve zone substrates over a duplex pipe, FIFO."""
     spires: dict[int, object] = {}
+    registries: dict[int, MetricRegistry] = {}
     while True:
         try:
             data = conn.recv_bytes()
@@ -86,6 +88,12 @@ def _worker_main(conn) -> None:
                         start = time.perf_counter()
                         checkpoint = dumps_spire(spire, codec=codec)
                         checkpoint_s = time.perf_counter() - start
+                    registry = registries.get(zone_index)
+                    metrics_blob = (
+                        snapshot_to_json(registry.snapshot())
+                        if registry is not None
+                        else None
+                    )
                     results.append(
                         (
                             zone_index,
@@ -95,6 +103,7 @@ def _worker_main(conn) -> None:
                                 busy_s,
                                 checkpoint_s,
                                 checkpoint,
+                                metrics_blob,
                             ),
                         )
                     )
@@ -125,8 +134,21 @@ def _worker_main(conn) -> None:
                     raise ValueError(f"unknown query kind {kind}")
                 reply = wire.encode_query_result(value)
             elif msg_type == wire.MSG_INSTALL:
-                zone_index, checkpoint = wire.decode_install(data)
-                spires[zone_index] = loads_spire(checkpoint)
+                zone_index, checkpoint, zone_id, metrics_on, seed = wire.decode_install(
+                    data
+                )
+                spire = loads_spire(checkpoint)
+                if metrics_on:
+                    # checkpoints never carry registries: build the zone's
+                    # registry here, seeded so totals survive reinstalls
+                    registry = MetricRegistry(const_labels={"zone": zone_id})
+                    if seed:
+                        registry.restore(snapshot_from_json(seed))
+                    registries[zone_index] = registry
+                    spire.attach_metrics(registry)
+                else:
+                    registries.pop(zone_index, None)
+                spires[zone_index] = spire
                 reply = wire.encode_ok()
             elif msg_type == wire.MSG_STOP:
                 conn.send_bytes(wire.encode_ok())
@@ -219,12 +241,14 @@ class ParallelCoordinator(Coordinator):
         checkpoint_codec: str = "fast",
         workers: int | None = None,
         start_method: str | None = None,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         super().__init__(
             zones,
             strict=strict,
             checkpoint_interval=checkpoint_interval,
             checkpoint_codec=checkpoint_codec,
+            metrics=metrics,
         )
         ordered = sorted(self.zones)
         self._zone_index: dict[str, int] = {z: i for i, z in enumerate(ordered)}
@@ -241,6 +265,9 @@ class ParallelCoordinator(Coordinator):
         self._workers: list[_Worker] = []
         self._closed = False
         self.stats = WorkerStats()
+        #: latest cumulative registry snapshot each worker shipped, by zone
+        #: (replaced every epoch — never summed, so no double counting)
+        self._zone_snapshots: dict[str, dict] = {}
 
         try:
             self._workers = [_Worker(self._ctx, i) for i in range(self.num_workers)]
@@ -250,7 +277,9 @@ class ParallelCoordinator(Coordinator):
             # the in-process copy: worker state is authoritative from here
             for zone_id in ordered:
                 blob = dumps_spire(self.zones[zone_id].spire, codec="fast")
-                self._send(zone_id, wire.encode_install(self._zone_index[zone_id], blob))
+                self._send(zone_id, wire.encode_install(
+                    self._zone_index[zone_id], blob, **self._install_metrics(zone_id)
+                ))
             for zone_id in ordered:
                 wire.expect_ok(self._recv(zone_id))
             for zone_id in ordered:
@@ -258,6 +287,19 @@ class ParallelCoordinator(Coordinator):
         except BaseException:
             self.close()
             raise
+
+    def _install_metrics(self, zone_id: str, seed: dict | None = None) -> dict:
+        """Keyword arguments telling an install to set up zone telemetry."""
+        if self.metrics is None:
+            return {"zone_id": zone_id}
+        if seed is None:
+            seed = self._zone_registries[zone_id].snapshot()
+        self._zone_snapshots[zone_id] = seed
+        return {
+            "zone_id": zone_id,
+            "metrics": True,
+            "metrics_seed": snapshot_to_json(seed),
+        }
 
     # ------------------------------------------------------------------
     # plumbing
@@ -373,25 +415,38 @@ class ParallelCoordinator(Coordinator):
         for zone_id in order:
             if zone_id in self._failed:
                 continue
-            messages, departed, busy_s, checkpoint_s, checkpoint = wire.decode_epoch_result(
-                results_by_index[self._zone_index[zone_id]]
-            )
+            (
+                messages, departed, busy_s, checkpoint_s, checkpoint, metrics_blob,
+            ) = wire.decode_epoch_result(results_by_index[self._zone_index[zone_id]])
             result.messages.extend(messages)
             for tag in departed:
                 self._owner.pop(tag, None)
             self.stats.busy_s[zone_id] = self.stats.busy_s.get(zone_id, 0.0) + busy_s
             self.stats.zone_epochs[zone_id] = self.stats.zone_epochs.get(zone_id, 0) + 1
+            if metrics_blob is not None:
+                # cumulative snapshot: replace, never sum
+                self._zone_snapshots[zone_id] = snapshot_from_json(metrics_blob)
             if zone_id in checkpointing:
                 if checkpoint is None:
                     raise wire.WireError(f"zone {zone_id!r} returned no checkpoint")
-                self._checkpoints[zone_id] = _ZoneCheckpoint(epoch=now, data=checkpoint)
+                self._checkpoints[zone_id] = _ZoneCheckpoint(
+                    epoch=now,
+                    data=checkpoint,
+                    metrics=self._zone_snapshots.get(zone_id),
+                )
                 self._replay[zone_id] = []
                 self.stats.checkpoint_s += checkpoint_s
                 self.stats.checkpoints += 1
+                if self.metrics is not None:
+                    self._m_checkpoints.inc()
+                    self._m_checkpoint_seconds.observe(checkpoint_s)
 
         if self.failover_enabled:
             self._track_messages(result.messages)
         self.stats.epochs += 1
+        if self.metrics is not None:
+            self._m_epochs.inc()
+            self._m_handoffs.inc(len(result.handoffs))
         result.warnings = self.quarantine.warnings[warnings_before:]
         return result
 
@@ -481,13 +536,28 @@ class ParallelCoordinator(Coordinator):
         checkpoint = self._checkpoints[zone_id]
         spire, messages = self._rebuild_spire(zone_id, checkpoint, now)
 
+        # _rebuild_spire seeded a registry from the checkpoint snapshot and
+        # replayed into it; ship that state to the worker alongside the
+        # substrate (the checkpoint blob itself never carries a registry)
+        rebuilt_metrics = (
+            spire.metrics.snapshot() if spire.metrics is not None else None
+        )
         blob = dumps_spire(spire, codec=self.checkpoint_codec)
-        self._send(zone_id, wire.encode_install(self._zone_index[zone_id], blob))
+        self._send(zone_id, wire.encode_install(
+            self._zone_index[zone_id], blob,
+            **self._install_metrics(zone_id, seed=rebuilt_metrics),
+        ))
         wire.expect_ok(self._recv(zone_id))
-        self._checkpoints[zone_id] = _ZoneCheckpoint(epoch=now, data=blob)
+        self._checkpoints[zone_id] = _ZoneCheckpoint(
+            epoch=now, data=blob, metrics=rebuilt_metrics
+        )
         self._replay[zone_id] = []
+        if self.metrics is not None:
+            self._m_checkpoints.inc()
 
         self._failed.discard(zone_id)
+        if self.metrics is not None:
+            self._m_failed.set(len(self._failed))
         self._track_messages(messages)
         self.quarantine.warn(
             WarningKind.ZONE_RECOVERED,
@@ -518,17 +588,41 @@ class ParallelCoordinator(Coordinator):
         for hosted_zone in sorted(hosted):
             if hosted_zone in self._failed:
                 continue  # installed by recover_zone with fresh intervals
-            spire = loads_spire(self._checkpoints[hosted_zone].data)
+            hosted_ckpt = self._checkpoints[hosted_zone]
+            spire = loads_spire(hosted_ckpt.data)
+            if self.metrics is not None:
+                # seed before replay so the replayed epochs re-increment
+                # the counters to their pre-crash totals
+                registry = MetricRegistry(const_labels={"zone": hosted_zone})
+                if hosted_ckpt.metrics:
+                    registry.restore(hosted_ckpt.metrics)
+                spire.attach_metrics(registry)
             for zone_readings in self._replay[hosted_zone]:
                 output = spire.process_epoch(zone_readings)
                 for tag in output.departed:
                     if self._owner.get(tag) == hosted_zone:
                         self._owner.pop(tag)
+            rebuilt_metrics = (
+                spire.metrics.snapshot() if spire.metrics is not None else None
+            )
             blob = dumps_spire(spire, codec=self.checkpoint_codec)
             self._send(
-                hosted_zone, wire.encode_install(self._zone_index[hosted_zone], blob)
+                hosted_zone, wire.encode_install(
+                    self._zone_index[hosted_zone], blob,
+                    **self._install_metrics(hosted_zone, seed=rebuilt_metrics),
+                )
             )
             wire.expect_ok(self._recv(hosted_zone))
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def _zone_metrics_snapshot(self, zone_id: str) -> dict:
+        """Latest cumulative snapshot the zone's worker shipped (replaced
+        every epoch), so :meth:`Coordinator.metrics_snapshot` merges live
+        worker state without extra round-trips."""
+        return self._zone_snapshots.get(zone_id) or {"series": [], "help": {}}
 
     # ------------------------------------------------------------------
     # global queries (RPC to the owning worker)

@@ -178,13 +178,51 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[dict, int]:
 # ---------------------------------------------------------------------------
 
 
-def encode_install(zone_index: int, checkpoint: bytes) -> bytes:
-    return _HEADER.pack(MSG_INSTALL, zone_index) + checkpoint
+#: install payload header after the common header: flags, zone id length,
+#: metrics-seed length (the checkpoint blob is the remainder)
+_INSTALL_EXTRA = struct.Struct("<BHI")
+
+#: flag bits on MSG_INSTALL
+FLAG_METRICS = 1  #: worker must attach a zone-labelled metric registry
 
 
-def decode_install(data: bytes) -> tuple[int, bytes]:
+def encode_install(
+    zone_index: int,
+    checkpoint: bytes,
+    zone_id: str = "",
+    metrics: bool = False,
+    metrics_seed: bytes = b"",
+) -> bytes:
+    """Ship a zone substrate to its worker.
+
+    ``metrics=True`` directs the worker to attach a registry labelled
+    ``zone=zone_id`` and to snapshot it into every epoch reply;
+    ``metrics_seed`` (a JSON snapshot) pre-loads the registry so counter
+    totals survive recovery installs — checkpoints never carry
+    registries themselves.
+    """
+    zone_bytes = zone_id.encode("utf-8")
+    flags = FLAG_METRICS if metrics else 0
+    return (
+        _HEADER.pack(MSG_INSTALL, zone_index)
+        + _INSTALL_EXTRA.pack(flags, len(zone_bytes), len(metrics_seed))
+        + zone_bytes
+        + metrics_seed
+        + checkpoint
+    )
+
+
+def decode_install(data: bytes) -> tuple[int, bytes, str, bool, bytes]:
+    """Returns (zone index, checkpoint, zone id, metrics enabled, seed)."""
     _, zone_index = _HEADER.unpack_from(data)
-    return zone_index, data[_HEADER.size :]
+    offset = _HEADER.size
+    flags, zone_len, seed_len = _INSTALL_EXTRA.unpack_from(data, offset)
+    offset += _INSTALL_EXTRA.size
+    zone_id = data[offset : offset + zone_len].decode("utf-8")
+    offset += zone_len
+    seed = data[offset : offset + seed_len]
+    offset += seed_len
+    return zone_index, data[offset:], zone_id, bool(flags & FLAG_METRICS), seed
 
 
 _BATCH_ENTRY = struct.Struct("<IBI")  # zone index, flags, frame length
@@ -302,7 +340,10 @@ def encode_epoch_result(
     busy_s: float,
     checkpoint_s: float,
     checkpoint: bytes | None,
+    metrics: bytes | None = None,
 ) -> bytes:
+    """``metrics`` is the zone registry's cumulative JSON snapshot (only
+    present when the install enabled telemetry for the zone)."""
     message_block = encode_stream(messages)
     parts = [
         bytes([MSG_EPOCH_RESULT]),
@@ -313,13 +354,15 @@ def encode_epoch_result(
         _RESULT_STATS.pack(busy_s, checkpoint_s),
         _U32.pack(0 if checkpoint is None else len(checkpoint)),
         checkpoint or b"",
+        _U32.pack(0 if metrics is None else len(metrics)),
+        metrics or b"",
     ]
     return b"".join(parts)
 
 
 def decode_epoch_result(
     data: bytes,
-) -> tuple[list[EventMessage], list[TagId], float, float, bytes | None]:
+) -> tuple[list[EventMessage], list[TagId], float, float, bytes | None, bytes | None]:
     _expect(data, MSG_EPOCH_RESULT)
     offset = 1
     (n_bytes,) = _U32.unpack_from(data, offset)
@@ -335,8 +378,12 @@ def decode_epoch_result(
     (ckpt_len,) = _U32.unpack_from(data, offset)
     offset += _U32.size
     checkpoint = data[offset : offset + ckpt_len] if ckpt_len else None
+    offset += ckpt_len
+    (metrics_len,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    metrics = data[offset : offset + metrics_len] if metrics_len else None
     departed = [TagId.from_key(key) for key in departed_keys]
-    return messages, departed, busy_s, checkpoint_s, checkpoint
+    return messages, departed, busy_s, checkpoint_s, checkpoint, metrics
 
 
 def encode_release_result(releases: list[tuple[bytes, list[EventMessage]]]) -> bytes:

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import SpireConfig, SpireSession
 from repro.baselines.smurf import SmurfParams, SmurfPipeline
 from repro.core.params import InferenceParams
-from repro.core.pipeline import Deployment, Spire
+from repro.core.pipeline import Deployment
 from repro.compression.level1 import RangeCompressor
 from repro.events.messages import EventMessage
 from repro.metrics.accuracy import AccuracyAccumulator, ScoringPolicy
@@ -67,8 +68,12 @@ def run_spire(
     score: bool = True,
 ) -> SpireRunReport:
     """Run SPIRE over a simulated trace, scoring accuracy per epoch."""
-    deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
-    spire = Spire(deployment, params, compression_level=compression_level)
+    session = SpireSession(
+        SpireConfig.from_simulation(
+            sim, params=params, compression_level=compression_level
+        )
+    )
+    spire = session.spire
     exclude = frozenset({sim.layout.entry_door.color})
     accuracy = {
         policy: AccuracyAccumulator(policy=policy, exclude_colors=exclude)

@@ -107,12 +107,17 @@ def run_sweep(
     milestones: tuple[int, ...] | list[int],
     params: InferenceParams | None = None,
     incremental: bool = True,
+    metrics=None,
 ) -> dict:
     """Run one pipeline over ``sim`` and window costs at each milestone.
 
     Returns ``{"milestones": [MilestoneCost...], "messages": int,
     "cache_hits": int, "cache_misses": int, "total_s": float,
     "final_nodes": int, "final_edges": int}``.
+
+    ``metrics`` (an optional :class:`repro.obs.MetricRegistry`) attaches
+    telemetry to the swept pipeline — the bench CLI's ``--metrics-json``;
+    the default benchmark path stays un-instrumented.
     """
     deployment = Deployment.from_readers(sim.layout.readers, sim.layout.registry)
     spire = Spire(
@@ -120,6 +125,7 @@ def run_sweep(
         params or InferenceParams(),
         compression_level=2,
         incremental=incremental,
+        metrics=metrics,
     )
     pending = sorted(milestones)
     rows: list[MilestoneCost] = []
@@ -224,12 +230,14 @@ def run_table3(
     seed: int = DEFAULT_SEED,
     compare_full: bool = False,
     params: InferenceParams | None = None,
+    metrics=None,
 ) -> dict:
     """The full Table III benchmark: sweep, machine info, optional reference.
 
     With ``compare_full`` the same trace is also run through the full-scan
     pipeline (``incremental=False`` — identical output, no decision cache)
-    and per-milestone speedups are attached.
+    and per-milestone speedups are attached.  ``metrics`` instruments the
+    incremental sweep only (the full-scan reference stays clean).
     """
     config = table3_config(cases_per_pallet, duration_for(milestones, cases_per_pallet), seed)
     sim = WarehouseSimulator(config).run()
@@ -243,7 +251,9 @@ def run_table3(
         },
         "machine": machine_info(),
         "calibration_s": calibrate(),
-        "incremental": _sweep_payload(run_sweep(sim, milestones, params, incremental=True)),
+        "incremental": _sweep_payload(
+            run_sweep(sim, milestones, params, incremental=True, metrics=metrics)
+        ),
     }
     if compare_full:
         payload["full_scan"] = _sweep_payload(run_sweep(sim, milestones, params, incremental=False))

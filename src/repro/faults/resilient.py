@@ -49,6 +49,9 @@ class ResilientStream:
         first_epoch: Epoch the output sequence starts at (gaps before the
             first arrival are synthesized from here).  ``None`` starts at
             the first epoch that arrives.
+        metrics: Optional :class:`repro.obs.MetricRegistry`; counts
+            batches released, epochs synthesized, and (via the
+            quarantine) warnings and withheld readings by kind.
     """
 
     def __init__(
@@ -57,14 +60,28 @@ class ResilientStream:
         max_delay: int = 0,
         known_readers: Iterable[int] | None = None,
         first_epoch: int | None = None,
+        metrics=None,
     ) -> None:
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if metrics is None:
+            from repro.obs.metrics import NULL_REGISTRY
+
+            metrics = NULL_REGISTRY
         self._source = source
         self._max_delay = max_delay
         self._known = frozenset(known_readers) if known_readers is not None else None
         self._first_epoch = first_epoch
         self.quarantine = Quarantine()
+        self.quarantine.attach_metrics(metrics)
+        self._m_released = metrics.counter(
+            "spire_ingest_batches_released_total",
+            "Real (non-synthesized) epoch batches released in order",
+        )
+        self._m_synthesized = metrics.counter(
+            "spire_ingest_synthesized_epochs_total",
+            "Empty epochs synthesized to fill bounded gaps",
+        )
         self._buffer: dict[int, EpochReadings] = {}
         self._next_epoch: int | None = first_epoch
         #: epochs released with real (non-synthesized) content, pruned to a
@@ -173,11 +190,13 @@ class ResilientStream:
                 )
                 while self._next_epoch <= gap_end:
                     self.synthesized_epochs += 1
+                    self._m_synthesized.inc()
                     yield EpochReadings(epoch=self._next_epoch)
                     self._next_epoch += 1
                 continue
             self._released_real.add(epoch)
             self._next_epoch += 1
+            self._m_released.inc()
             yield batch
         self._prune_released()
 

@@ -72,6 +72,14 @@ class Quarantine:
 
     warnings: list[IngestWarning] = field(default_factory=list)
     readings: list[QuarantinedReading] = field(default_factory=list)
+    #: telemetry registry (see :mod:`repro.obs`); ``None`` keeps the
+    #: quarantine metrics-free with zero overhead
+    _metrics: object | None = None
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror warnings/held readings into ``spire_warnings_total{kind}``
+        and ``spire_quarantined_readings_total{kind}`` on ``registry``."""
+        self._metrics = registry if registry is not None and registry.enabled else None
 
     def warn(
         self,
@@ -82,12 +90,22 @@ class Quarantine:
     ) -> IngestWarning:
         warning = IngestWarning(kind=kind, epoch=epoch, reader_id=reader_id, detail=detail)
         self.warnings.append(warning)
+        if self._metrics is not None:
+            self._metrics.counter(
+                "spire_warnings_total", "Structured ingest warnings by kind", kind=kind
+            ).inc()
         return warning
 
     def hold(self, tag: TagId, reader_id: int, epoch: int, reason: str) -> None:
         self.readings.append(
             QuarantinedReading(tag=tag, reader_id=reader_id, epoch=epoch, reason=reason)
         )
+        if self._metrics is not None:
+            self._metrics.counter(
+                "spire_quarantined_readings_total",
+                "Readings withheld from the pipeline by kind",
+                kind=reason,
+            ).inc()
 
     def counts(self) -> dict[str, int]:
         """Warning tally by kind (for reports and the chaos CLI)."""

@@ -1,0 +1,37 @@
+"""``repro.obs`` — the substrate's telemetry layer (DESIGN.md §11).
+
+Dependency-free counters, gauges, mergeable log₂-bucket histograms and
+span timers, snapshotable registries with deterministic Prometheus-text
+rendering, and a JSONL trace log.  See docs/OBSERVABILITY.md for the
+metric catalogue.
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    SpanTimer,
+    counters_only,
+    merge_snapshots,
+    render_prometheus,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.trace import TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "SpanTimer",
+    "TraceLog",
+    "counters_only",
+    "merge_snapshots",
+    "render_prometheus",
+    "snapshot_from_json",
+    "snapshot_to_json",
+]

@@ -1,0 +1,443 @@
+"""Dependency-free telemetry primitives: counters, gauges, histograms.
+
+The substrate's observability layer (DESIGN.md §11).  Three design
+constraints shape everything here:
+
+* **near-zero overhead when disabled** — :data:`NULL_REGISTRY` hands out
+  shared no-op instruments, so instrumented code pays one attribute call
+  that does nothing; hot paths additionally guard whole blocks behind a
+  single ``registry.enabled`` check;
+* **mergeable** — every instrument snapshots to plain data, and
+  snapshots from many registries (one per zone worker, shipped over the
+  wire each epoch) merge deterministically: counters and histograms sum,
+  gauges last-write-wins.  Histograms use *fixed* log₂ buckets keyed by
+  integer exponent, so buckets from different processes always align and
+  merging is pointwise addition — no rebucketing, ever;
+* **deterministic rendering** — :func:`render_prometheus` sorts series
+  by name then labels, so two runs that produced the same counter totals
+  render byte-identical exposition text (the property the
+  serial-vs-parallel equivalence suite pins).
+
+Instruments are plain mutable objects without locks: the substrate is
+single-threaded per process (workers own their registries; the asyncio
+server mutates only from the event-loop thread).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from time import perf_counter
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "SpanTimer",
+    "counters_only",
+    "merge_snapshots",
+    "render_prometheus",
+    "snapshot_from_json",
+    "snapshot_to_json",
+]
+
+#: bucket exponent used for observations <= 0 (renders as le="0")
+_ZERO_BUCKET = -(1 << 30)
+
+
+def _bucket_exponent(value: float) -> int:
+    """Smallest integer ``e`` with ``value <= 2**e`` (exact, via frexp)."""
+    if value <= 0.0:
+        return _ZERO_BUCKET
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    return exponent - 1 if mantissa == 0.5 else exponent
+
+
+def _le_label(exponent: int) -> str:
+    """Render a bucket exponent as a Prometheus ``le`` boundary."""
+    if exponent == _ZERO_BUCKET:
+        return "0"
+    boundary = 2.0**exponent
+    if boundary == int(boundary) and abs(exponent) < 63:
+        return str(int(boundary))
+    return repr(boundary)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def _snapshot_fields(self) -> dict:
+        return {"value": self.value}
+
+    def _restore_fields(self, fields: Mapping) -> None:
+        self.value = fields["value"]
+
+    def _merge_fields(self, fields: Mapping) -> None:
+        self.value += fields["value"]
+
+
+class Gauge:
+    """Point-in-time value (queue depth, graph size)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def _snapshot_fields(self) -> dict:
+        return {"value": self.value}
+
+    def _restore_fields(self, fields: Mapping) -> None:
+        self.value = fields["value"]
+
+    def _merge_fields(self, fields: Mapping) -> None:
+        self.value = fields["value"]  # last write wins
+
+
+class Histogram:
+    """Fixed log₂-bucket histogram; buckets align across processes.
+
+    Bucket ``e`` counts observations in ``(2**(e-1), 2**e]`` (exponent
+    :data:`_ZERO_BUCKET` collects ``<= 0``), so merging histograms from
+    different registries is pointwise bucket addition.
+    """
+
+    __slots__ = ("buckets", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        exponent = _bucket_exponent(value)
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+        self.sum += value
+        self.count += 1
+
+    def time(self) -> "SpanTimer":
+        """Context manager recording a wall-clock span into this histogram."""
+        return SpanTimer(self)
+
+    def _snapshot_fields(self) -> dict:
+        return {
+            "buckets": {str(e): n for e, n in sorted(self.buckets.items())},
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def _restore_fields(self, fields: Mapping) -> None:
+        self.buckets = {int(e): n for e, n in fields["buckets"].items()}
+        self.sum = fields["sum"]
+        self.count = fields["count"]
+
+    def _merge_fields(self, fields: Mapping) -> None:
+        for e, n in fields["buckets"].items():
+            e = int(e)
+            self.buckets[e] = self.buckets.get(e, 0) + n
+        self.sum += fields["sum"]
+        self.count += fields["count"]
+
+
+class SpanTimer:
+    """``with histogram.time():`` — observes the elapsed seconds on exit."""
+
+    __slots__ = ("_histogram", "_start", "seconds")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = perf_counter() - self._start
+        self._histogram.observe(self.seconds)
+
+
+class _NullInstrument:
+    """Absorbs every instrument call; shared by :data:`NULL_REGISTRY`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullSpan":
+        return _NULL_SPAN
+
+
+class _NullSpan:
+    __slots__ = ()
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricRegistry:
+    """A namespace of instruments, snapshotable to plain data.
+
+    Args:
+        const_labels: Labels stamped on every series this registry owns —
+            zone workers use ``{"zone": zone_id}`` so their snapshots stay
+            distinguishable after the coordinator merges them.
+    """
+
+    enabled = True
+
+    def __init__(self, const_labels: Mapping[str, str] | None = None) -> None:
+        self.const_labels = dict(const_labels or {})
+        #: (name, label key) -> instrument; help text lives in _help
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._help: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # instrument factories (idempotent: same name+labels -> same object)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels: str) -> Histogram:
+        return self._get(Histogram, name, help, labels)
+
+    def _get(self, cls, name: str, help: str, labels: Mapping[str, str]):
+        merged = dict(self.const_labels)
+        merged.update(labels)
+        key = (name, _label_key(merged))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = cls()
+            self._series[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).kind}"
+            )
+        if help and name not in self._help:
+            self._help[name] = help
+        return instrument
+
+    # ------------------------------------------------------------------
+    # snapshot / restore / merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every series (JSON-serializable, mergeable)."""
+        series = []
+        for (name, label_key), instrument in sorted(self._series.items()):
+            entry = {
+                "name": name,
+                "kind": instrument.kind,
+                "labels": dict(label_key),
+            }
+            entry.update(instrument._snapshot_fields())
+            series.append(entry)
+        return {"series": series, "help": dict(self._help)}
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Set this registry's series to the snapshot's values.
+
+        Series in the snapshot are created if missing; used to seed a
+        rebuilt zone's registry from its checkpoint so counters survive
+        failover instead of silently zeroing (DESIGN.md §11).
+        """
+        for entry in snapshot.get("series", ()):
+            cls = _KINDS[entry["kind"]]
+            key = (entry["name"], _label_key(entry["labels"]))
+            instrument = self._series.get(key)
+            if instrument is None or not isinstance(instrument, cls):
+                instrument = cls()
+                self._series[key] = instrument
+            instrument._restore_fields(entry)
+        for name, text in snapshot.get("help", {}).items():
+            self._help.setdefault(name, text)
+
+
+class _NullRegistry(MetricRegistry):
+    """Disabled registry: every factory returns the shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _get(self, cls, name, help, labels):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"series": [], "help": {}}
+
+    def restore(self, snapshot: Mapping) -> None:
+        pass
+
+
+NULL_REGISTRY = _NullRegistry()
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Merge many registry snapshots into one.
+
+    Counters and histograms with the same (name, labels) sum; gauges take
+    the last snapshot's value.  Output series are sorted, so a merge of
+    the same inputs is always byte-identical once rendered.
+    """
+    merged: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+    help_text: dict[str, str] = {}
+    for snapshot in snapshots:
+        for entry in snapshot.get("series", ()):
+            cls = _KINDS[entry["kind"]]
+            key = (entry["name"], _label_key(entry["labels"]))
+            instrument = merged.get(key)
+            if instrument is None:
+                instrument = cls()
+                instrument._restore_fields(entry)
+                merged[key] = instrument
+            else:
+                if not isinstance(instrument, cls):
+                    raise TypeError(
+                        f"metric {entry['name']!r} merged with conflicting kinds"
+                    )
+                instrument._merge_fields(entry)
+        for name, text in snapshot.get("help", {}).items():
+            help_text.setdefault(name, text)
+    series = []
+    for (name, label_key), instrument in sorted(merged.items()):
+        entry = {"name": name, "kind": instrument.kind, "labels": dict(label_key)}
+        entry.update(instrument._snapshot_fields())
+        series.append(entry)
+    return {"series": series, "help": help_text}
+
+
+def snapshot_to_json(snapshot: Mapping) -> bytes:
+    """Compact, key-sorted JSON bytes (the wire/file form of a snapshot)."""
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def snapshot_from_json(data: bytes) -> dict:
+    return json.loads(data.decode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _render_labels(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a (merged) snapshot in Prometheus text exposition format.
+
+    Deterministic: series sort by name then labels, histogram buckets by
+    exponent.  Ends with a trailing newline, as the format requires.
+    """
+    by_name: dict[str, list[dict]] = {}
+    for entry in snapshot.get("series", ()):
+        by_name.setdefault(entry["name"], []).append(entry)
+    help_text = snapshot.get("help", {})
+    lines: list[str] = []
+    for name in sorted(by_name):
+        entries = sorted(by_name[name], key=lambda e: _label_key(e["labels"]))
+        kind = entries[0]["kind"]
+        text = help_text.get(name)
+        if text:
+            lines.append(f"# HELP {name} {text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in entries:
+            labels = entry["labels"]
+            if kind == "histogram":
+                cumulative = 0
+                for exponent_str, count in sorted(
+                    entry["buckets"].items(), key=lambda item: int(item[0])
+                ):
+                    cumulative += count
+                    le = _le_label(int(exponent_str))
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_render_labels(labels, (('le', le),))} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_render_labels(labels, (('le', '+Inf'),))} "
+                    f"{entry['count']}"
+                )
+                lines.append(f"{name}_sum{_render_labels(labels)} {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{_render_labels(labels)} {entry['count']}")
+            else:
+                lines.append(f"{name}{_render_labels(labels)} {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def counters_only(snapshot: Mapping) -> dict:
+    """Project a snapshot onto its counters (drops gauges and timing
+    histograms — the deterministic subset the equivalence suite compares)."""
+    series = [e for e in snapshot.get("series", ()) if e["kind"] == "counter"]
+    return {"series": series, "help": dict(snapshot.get("help", {}))}

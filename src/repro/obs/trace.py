@@ -1,0 +1,81 @@
+"""Per-epoch structured trace log: JSONL spans for offline analysis.
+
+A :class:`TraceLog` appends one JSON object per line to a file.  The
+substrate writes one ``epoch`` record per processed epoch carrying the
+stage spans it already measures (graph update, inference) plus whatever
+counters the caller attaches — enough to reconstruct a flame-style view
+of where epoch time went without a profiler attached.
+
+Records share a common shape::
+
+    {"kind": "epoch", "epoch": 1200, "spans": {"update": 0.0012,
+     "inference": 0.0034}, "dirty_nodes": 41, "messages": 7}
+    {"kind": "span", "epoch": 1200, "name": "checkpoint", "seconds": 0.8}
+
+Timestamps are relative (``t`` = seconds since the log was opened), so
+logs diff cleanly across runs.  The writer is line-buffered and append-
+only; a crash loses at most the current line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import IO
+
+__all__ = ["TraceLog"]
+
+
+class TraceLog:
+    """Append-only JSONL span/epoch trace writer."""
+
+    def __init__(self, destination: str | Path | IO[str]) -> None:
+        if hasattr(destination, "write"):
+            self._fp: IO[str] = destination  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fp = Path(destination).open("a", buffering=1, encoding="utf-8")
+            self._owns = True
+        self._epoch_start = perf_counter()
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+
+    def epoch(self, epoch: int, spans: dict[str, float], **fields) -> None:
+        """Record one processed epoch's stage spans (+ scalar context)."""
+        record = {
+            "kind": "epoch",
+            "t": round(perf_counter() - self._epoch_start, 6),
+            "epoch": epoch,
+            "spans": {name: round(s, 9) for name, s in spans.items()},
+        }
+        record.update(fields)
+        self._write(record)
+
+    def span(self, name: str, epoch: int | None, seconds: float, **fields) -> None:
+        """Record one ad-hoc span (checkpoint, failover, replay...)."""
+        record = {
+            "kind": "span",
+            "t": round(perf_counter() - self._epoch_start, 6),
+            "name": name,
+            "seconds": round(seconds, 9),
+        }
+        if epoch is not None:
+            record["epoch"] = epoch
+        record.update(fields)
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        self._fp.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._fp.close()
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -185,6 +185,11 @@ class SpireClient:
         body = await self._request(protocol.encode_stats_request)
         return protocol.decode_stats_body(body)
 
+    async def metrics(self) -> str:
+        """Fetch the server's Prometheus text exposition (``METRICS`` op)."""
+        body = await self._request(protocol.encode_metrics_request)
+        return protocol.decode_metrics_body(body)
+
     async def next_notification(
         self, timeout: float | None = None
     ) -> tuple[int, Notification]:

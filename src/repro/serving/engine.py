@@ -247,3 +247,58 @@ class StandingQueryEngine:
             return fn(*args)
         finally:
             self.stats.observe_query(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Serving counters as a :mod:`repro.obs` snapshot.
+
+        Derived from :class:`ServingStats` on demand (no double
+        bookkeeping on the publish path); the latency histogram's log₂-µs
+        buckets map directly onto the obs histogram's exponent keys.
+        """
+        s = self.stats
+
+        def counter(name: str, value) -> dict:
+            return {"name": name, "kind": "counter", "labels": {}, "value": value}
+
+        def gauge(name: str, value) -> dict:
+            return {"name": name, "kind": "gauge", "labels": {}, "value": value}
+
+        series = [
+            counter("spire_serving_epochs_published_total", s.epochs_published),
+            counter("spire_serving_messages_published_total", s.messages_published),
+            counter("spire_serving_notifications_delivered_total", s.notifications_delivered),
+            counter("spire_serving_notifications_dropped_total", s.notifications_dropped),
+            counter("spire_serving_subscriptions_opened_total", s.subscriptions_opened),
+            counter("spire_serving_subscriptions_closed_total", s.subscriptions_closed),
+            counter("spire_serving_queries_total", s.queries_served),
+            gauge("spire_serving_active_subscriptions", s.active_subscriptions),
+            gauge(
+                "spire_serving_queued_notifications",
+                sum(len(sub.queue) for sub in self._subscriptions.values()),
+            ),
+            {
+                "name": "spire_serving_query_latency_microseconds",
+                "kind": "histogram",
+                "labels": {},
+                "buckets": {str(b): n for b, n in sorted(s.latency_buckets.items())},
+                "sum": s.query_seconds * 1e6,
+                "count": s.queries_served,
+            },
+        ]
+        help_text = {
+            "spire_serving_epochs_published_total": "Epochs fed to the standing-query engine",
+            "spire_serving_messages_published_total": "Expanded event messages published",
+            "spire_serving_notifications_delivered_total": "Notifications drained to subscribers",
+            "spire_serving_notifications_dropped_total": "Notifications dropped by bounded queues",
+            "spire_serving_subscriptions_opened_total": "Subscriptions opened",
+            "spire_serving_subscriptions_closed_total": "Subscriptions closed",
+            "spire_serving_queries_total": "One-shot queries served",
+            "spire_serving_active_subscriptions": "Currently active subscriptions",
+            "spire_serving_queued_notifications": "Notifications waiting in subscription queues",
+            "spire_serving_query_latency_microseconds": "One-shot query latency (log2-bucketed)",
+        }
+        return {"series": series, "help": help_text}

@@ -20,7 +20,9 @@ Ops:
   subscription id, then event frames flow after each served epoch;
 * ``OP_UNSUBSCRIBE`` — stop a subscription (its queued frames may still
   be in flight);
-* ``OP_STATS`` — serving counters as JSON (diagnostics, not hot path).
+* ``OP_STATS`` — serving counters as JSON (diagnostics, not hot path);
+* ``OP_METRICS`` — the merged telemetry registry rendered as Prometheus
+  text exposition (scrape-ready; see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ OP_QUERY = 1
 OP_SUBSCRIBE = 2
 OP_UNSUBSCRIBE = 3
 OP_STATS = 4
+OP_METRICS = 5
 
 FRAME_REPLY = 64
 FRAME_EVENT = 65
@@ -152,6 +155,10 @@ def encode_stats_request(request_id: int) -> bytes:
     return _REQUEST.pack(OP_STATS, request_id)
 
 
+def encode_metrics_request(request_id: int) -> bytes:
+    return _REQUEST.pack(OP_METRICS, request_id)
+
+
 def decode_request_header(payload: bytes) -> tuple[int, int]:
     """Op and request id of a client frame."""
     try:
@@ -232,6 +239,14 @@ def encode_stats_body(stats_dict: dict) -> bytes:
 
 def decode_stats_body(body: bytes) -> dict:
     return json.loads(body.decode("utf-8"))
+
+
+def encode_metrics_body(text: str) -> bytes:
+    return text.encode("utf-8")
+
+
+def decode_metrics_body(body: bytes) -> str:
+    return body.decode("utf-8")
 
 
 def encode_subscribed(sub_id: int) -> bytes:

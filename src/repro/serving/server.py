@@ -27,6 +27,7 @@ from typing import Awaitable, Callable, Iterable
 from repro.distributed.wire import FrameDecoder, WireError, encode_frame
 from repro.events.messages import EventMessage
 from repro.faults.warnings import Quarantine
+from repro.obs.metrics import merge_snapshots, render_prometheus
 from repro.readers.stream import EpochReadings
 from repro.serving import protocol
 from repro.serving.engine import StandingQueryEngine
@@ -43,12 +44,16 @@ class SpireServer:
         expand_level2: bool = True,
         quarantine: Quarantine | None = None,
         engine: StandingQueryEngine | None = None,
+        metrics_provider: Callable[[], dict] | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.engine = engine if engine is not None else StandingQueryEngine(
             expand_level2=expand_level2, quarantine=quarantine
         )
+        #: optional callback returning a substrate obs snapshot (e.g. a
+        #: coordinator's ``metrics_snapshot``) merged into ``METRICS`` replies
+        self.metrics_provider = metrics_provider
         self._server: asyncio.AbstractServer | None = None
         #: sub_id -> writer owning that subscription
         self._sub_owner: dict[int, asyncio.StreamWriter] = {}
@@ -176,6 +181,10 @@ class SpireServer:
                 return protocol.encode_reply(
                     request_id, protocol.encode_stats_body(self.stats_dict())
                 )
+            if op == protocol.OP_METRICS:
+                return protocol.encode_reply(
+                    request_id, protocol.encode_metrics_body(self.render_metrics())
+                )
             return protocol.encode_error_reply(request_id, f"unknown op {op}")
         except Exception as exc:  # noqa: BLE001 - protocol boundary
             return protocol.encode_error_reply(request_id, str(exc))
@@ -242,6 +251,17 @@ class SpireServer:
             "last_epoch": self.engine.last_epoch,
         }
 
+    def metrics_snapshot(self) -> dict:
+        """Serving-layer snapshot merged with the substrate's (if wired)."""
+        snapshots = [self.engine.metrics_snapshot()]
+        if self.metrics_provider is not None:
+            snapshots.append(self.metrics_provider())
+        return merge_snapshots(snapshots)
+
+    def render_metrics(self) -> str:
+        """The ``METRICS`` reply body: Prometheus text exposition."""
+        return render_prometheus(self.metrics_snapshot())
+
 
 async def pump_coordinator(
     server: SpireServer,
@@ -261,6 +281,8 @@ async def pump_coordinator(
     ``epoch_interval`` throttles replay to approximate a live stream.
     Returns the number of epochs pumped.
     """
+    if server.metrics_provider is None and hasattr(coordinator, "metrics_snapshot"):
+        server.metrics_provider = coordinator.metrics_snapshot
     loop = asyncio.get_running_loop()
     pumped = 0
     for i, readings in enumerate(epochs):

@@ -1,0 +1,342 @@
+"""Telemetry substrate unit tests (DESIGN.md §11, docs/OBSERVABILITY.md).
+
+Pins the three properties :mod:`repro.obs.metrics` is built around:
+near-zero overhead when disabled (the null registry), deterministic
+mergeability (fixed log₂ buckets, counters sum, gauges last-write-wins),
+and byte-stable Prometheus rendering.  Also covers the JSONL trace log.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from time import perf_counter
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    counters_only,
+    merge_snapshots,
+    render_prometheus,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.trace import TraceLog
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+
+
+def test_counter_increments():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge()
+    g.set(10)
+    g.inc(3)
+    g.dec()
+    assert g.value == 12
+
+
+def test_histogram_log2_bucketing_is_exact():
+    h = Histogram()
+    # bucket e counts observations in (2**(e-1), 2**e]
+    h.observe(1.0)  # exactly 2**0 -> bucket 0
+    h.observe(0.75)  # (0.5, 1] -> bucket 0
+    h.observe(2.0)  # exactly 2**1 -> bucket 1
+    h.observe(2.5)  # (2, 4] -> bucket 2
+    h.observe(0.0)  # <= 0 -> the zero bucket
+    assert h.count == 5
+    assert h.sum == pytest.approx(6.25)
+    positive = {e: n for e, n in h.buckets.items() if e > -(1 << 20)}
+    assert positive == {0: 2, 1: 1, 2: 1}
+    zero = [n for e, n in h.buckets.items() if e <= -(1 << 20)]
+    assert zero == [1]
+
+
+def test_histogram_buckets_align_across_instances():
+    """Merging is pointwise addition because the grid is fixed."""
+    a, b = Histogram(), Histogram()
+    for value in (0.3, 1.5, 100.0):
+        a.observe(value)
+        b.observe(value)
+    merged = Histogram()
+    merged._merge_fields(a._snapshot_fields())
+    merged._merge_fields(b._snapshot_fields())
+    assert merged.count == 6
+    assert merged.buckets == {e: 2 * n for e, n in a.buckets.items()}
+
+
+def test_span_timer_observes_elapsed_seconds():
+    h = Histogram()
+    with h.time() as span:
+        deadline = perf_counter() + 0.002
+        while perf_counter() < deadline:
+            pass
+    assert h.count == 1
+    assert span.seconds >= 0.002
+    assert h.sum == pytest.approx(span.seconds)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_factories_are_idempotent():
+    registry = MetricRegistry()
+    a = registry.counter("spire_x_total", "help", zone="a")
+    b = registry.counter("spire_x_total", zone="a")
+    assert a is b
+    # different labels -> different series
+    assert registry.counter("spire_x_total", zone="b") is not a
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricRegistry()
+    registry.counter("spire_x_total")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        registry.gauge("spire_x_total")
+
+
+def test_const_labels_stamp_every_series():
+    registry = MetricRegistry(const_labels={"zone": "inbound"})
+    registry.counter("spire_x_total").inc()
+    registry.counter("spire_y_total", mode="partial").inc()
+    labels = {e["name"]: e["labels"] for e in registry.snapshot()["series"]}
+    assert labels["spire_x_total"] == {"zone": "inbound"}
+    assert labels["spire_y_total"] == {"mode": "partial", "zone": "inbound"}
+
+
+def test_snapshot_restore_round_trip():
+    registry = MetricRegistry(const_labels={"zone": "a"})
+    registry.counter("spire_x_total", "things").inc(7)
+    registry.gauge("spire_depth").set(3)
+    registry.histogram("spire_cost_seconds").observe(0.25)
+    snapshot = registry.snapshot()
+
+    fresh = MetricRegistry(const_labels={"zone": "a"})
+    fresh.restore(snapshot)
+    assert fresh.snapshot() == snapshot
+    # restored instruments keep accumulating from the restored values
+    fresh.counter("spire_x_total", zone="a").inc()
+    assert fresh.counter("spire_x_total", zone="a").value == 8
+
+
+def test_snapshot_json_round_trip():
+    registry = MetricRegistry()
+    registry.histogram("spire_cost_seconds", "cost").observe(0.1)
+    snapshot = registry.snapshot()
+    assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+
+
+# ---------------------------------------------------------------------------
+# null registry (disabled path)
+# ---------------------------------------------------------------------------
+
+
+def test_null_registry_is_inert():
+    assert NULL_REGISTRY.enabled is False
+    counter = NULL_REGISTRY.counter("spire_x_total")
+    counter.inc(10)
+    gauge = NULL_REGISTRY.gauge("spire_depth")
+    gauge.set(5)
+    with NULL_REGISTRY.histogram("spire_cost_seconds").time():
+        pass
+    assert NULL_REGISTRY.snapshot() == {"series": [], "help": {}}
+    NULL_REGISTRY.restore({"series": [{"name": "x", "kind": "counter",
+                                       "labels": {}, "value": 1}]})
+    assert NULL_REGISTRY.snapshot() == {"series": [], "help": {}}
+
+
+def test_null_registry_shares_one_instrument():
+    """Disabled factories allocate nothing: every call hands out the
+    same shared no-op object, whatever the name or kind."""
+    seen = {
+        NULL_REGISTRY.counter("a"),
+        NULL_REGISTRY.gauge("b", zone="z"),
+        NULL_REGISTRY.histogram("c"),
+    }
+    assert len(seen) == 1
+
+
+def test_null_instrument_overhead_is_bounded():
+    """The disabled hot path costs one no-op method call per event.
+
+    Bounds it loosely (shared CI runners jitter) against an enabled
+    Counter.inc loop: the no-op must not be slower than ~3x the real
+    instrument — in practice it is faster, since it touches no state.
+    """
+    null_counter = NULL_REGISTRY.counter("spire_x_total")
+    real_counter = MetricRegistry().counter("spire_x_total")
+    n = 50_000
+
+    def loop_seconds(counter) -> float:
+        best = float("inf")
+        for _ in range(5):
+            start = perf_counter()
+            for _ in range(n):
+                counter.inc()
+            best = min(best, perf_counter() - start)
+        return best
+
+    loop_seconds(null_counter)  # warm-up
+    null_s = loop_seconds(null_counter)
+    real_s = loop_seconds(real_counter)
+    assert null_s <= real_s * 3.0, (null_s, real_s)
+
+
+# ---------------------------------------------------------------------------
+# merging
+# ---------------------------------------------------------------------------
+
+
+def _zone_snapshot(zone: str, count: int, depth: int) -> dict:
+    registry = MetricRegistry(const_labels={"zone": zone})
+    registry.counter("spire_x_total", "things").inc(count)
+    registry.gauge("spire_depth", "depth").set(depth)
+    h = registry.histogram("spire_cost_seconds", "cost")
+    for _ in range(count):
+        h.observe(0.25)
+    return registry.snapshot()
+
+
+def test_merge_sums_counters_and_histograms():
+    merged = merge_snapshots([_zone_snapshot("a", 3, 10), _zone_snapshot("a", 4, 20)])
+    by_kind = {e["kind"]: e for e in merged["series"]}
+    assert by_kind["counter"]["value"] == 7
+    assert by_kind["gauge"]["value"] == 20  # last write wins
+    assert by_kind["histogram"]["count"] == 7
+    assert by_kind["histogram"]["sum"] == pytest.approx(7 * 0.25)
+
+
+def test_merge_keeps_distinct_zones_separate():
+    merged = merge_snapshots([_zone_snapshot("a", 3, 1), _zone_snapshot("b", 4, 2)])
+    counters = {
+        e["labels"]["zone"]: e["value"]
+        for e in merged["series"]
+        if e["kind"] == "counter"
+    }
+    assert counters == {"a": 3, "b": 4}
+
+
+def test_merge_rejects_kind_conflicts():
+    a = {"series": [{"name": "x", "kind": "counter", "labels": {}, "value": 1}]}
+    b = {"series": [{"name": "x", "kind": "gauge", "labels": {}, "value": 1}]}
+    with pytest.raises(TypeError, match="conflicting kinds"):
+        merge_snapshots([a, b])
+
+
+def test_counters_only_projects_the_deterministic_subset():
+    projected = counters_only(_zone_snapshot("a", 3, 10))
+    assert [e["kind"] for e in projected["series"]] == ["counter"]
+    assert projected["help"]  # help text survives the projection
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_prometheus_shape():
+    text = render_prometheus(_zone_snapshot("a", 2, 5))
+    lines = text.splitlines()
+    assert "# TYPE spire_x_total counter" in lines
+    assert 'spire_x_total{zone="a"} 2' in lines
+    assert "# HELP spire_depth depth" in lines
+    assert 'spire_depth{zone="a"} 5' in lines
+    # histogram: cumulative le buckets, then +Inf, _sum, _count
+    assert 'spire_cost_seconds_bucket{zone="a",le="+Inf"} 2' in lines
+    assert 'spire_cost_seconds_count{zone="a"} 2' in lines
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_histogram_buckets_are_cumulative():
+    registry = MetricRegistry()
+    h = registry.histogram("spire_cost_seconds")
+    for value in (0.3, 0.4, 1.5):  # two in bucket (0.25, 0.5], one in (1, 2]
+        h.observe(value)
+    lines = render_prometheus(registry.snapshot()).splitlines()
+    buckets = [line for line in lines if "_bucket" in line]
+    assert buckets == [
+        'spire_cost_seconds_bucket{le="0.5"} 2',
+        'spire_cost_seconds_bucket{le="2"} 3',
+        'spire_cost_seconds_bucket{le="+Inf"} 3',
+    ]
+
+
+def test_render_prometheus_zero_bucket_renders_le_zero():
+    registry = MetricRegistry()
+    registry.histogram("spire_cost_seconds").observe(0.0)
+    text = render_prometheus(registry.snapshot())
+    assert 'spire_cost_seconds_bucket{le="0"} 1' in text
+
+
+def test_render_prometheus_is_deterministic():
+    # same series registered in different orders -> identical text
+    a = MetricRegistry()
+    a.counter("spire_b_total", zone="z2").inc(2)
+    a.counter("spire_a_total").inc(1)
+    a.counter("spire_b_total", zone="z1").inc(3)
+    b = MetricRegistry()
+    b.counter("spire_b_total", zone="z1").inc(3)
+    b.counter("spire_b_total", zone="z2").inc(2)
+    b.counter("spire_a_total").inc(1)
+    assert render_prometheus(a.snapshot()) == render_prometheus(b.snapshot())
+
+
+def test_render_prometheus_escapes_label_values():
+    registry = MetricRegistry()
+    registry.counter("spire_x_total", path='a"b\\c').inc()
+    text = render_prometheus(registry.snapshot())
+    assert 'path="a\\"b\\\\c"' in text
+
+
+def test_render_prometheus_empty_snapshot_is_empty_string():
+    assert render_prometheus({"series": [], "help": {}}) == ""
+
+
+# ---------------------------------------------------------------------------
+# trace log
+# ---------------------------------------------------------------------------
+
+
+def test_trace_log_writes_jsonl_records():
+    buffer = io.StringIO()
+    trace = TraceLog(buffer)
+    trace.epoch(12, {"update": 0.001, "inference": 0.002}, dirty_nodes=4, zone="a")
+    trace.span("checkpoint", 12, 0.5, zone="a")
+    trace.close()  # does not close a caller-owned stream
+
+    records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert trace.records_written == 2
+    assert records[0]["kind"] == "epoch"
+    assert records[0]["epoch"] == 12
+    assert records[0]["spans"] == {"update": 0.001, "inference": 0.002}
+    assert records[0]["dirty_nodes"] == 4
+    assert records[0]["zone"] == "a"
+    assert records[1] == pytest.approx(
+        dict(records[1], kind="span", name="checkpoint", seconds=0.5, epoch=12)
+    )
+    assert all(record["t"] >= 0 for record in records)
+
+
+def test_trace_log_owns_path_destinations(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceLog(path) as trace:
+        trace.epoch(1, {"update": 0.0})
+        trace.epoch(2, {"update": 0.0})
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert [json.loads(line)["epoch"] for line in lines] == [1, 2]
