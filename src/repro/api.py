@@ -1,9 +1,10 @@
 """The unified public API: one session object over every execution mode.
 
 :class:`SpireSession` is the front door to the substrate.  It wraps the
-three execution engines — an in-process :class:`~repro.core.pipeline.Spire`,
+four execution engines — an in-process :class:`~repro.core.pipeline.Spire`,
 a zone-sharded serial :class:`~repro.distributed.coordinator.Coordinator`,
-and a multi-process :class:`~repro.distributed.parallel.ParallelCoordinator`
+a multi-process :class:`~repro.distributed.parallel.ParallelCoordinator`,
+and a TCP-worker :class:`~repro.distributed.remote.RemoteCoordinator`
 — behind one constructor driven by a :class:`SpireConfig`, and threads the
 cross-cutting concerns (resilient ingestion, checkpointing, telemetry,
 trace logging, TCP serving) through whichever engine the config selects:
@@ -63,6 +64,16 @@ class SpireConfig:
             a single substrate (or a single ``site`` zone under workers).
         workers: ``None`` stays in-process; an integer spawns that many
             persistent worker processes (:class:`ParallelCoordinator`).
+        remote_workers: Run the zones on this many supervised localhost
+            TCP worker daemons instead
+            (:class:`~repro.distributed.remote.RemoteCoordinator`);
+            mutually exclusive with ``workers``.  Remote mode always
+            checkpoints (failover rebuilds zones from checkpoints), so a
+            ``None`` ``checkpoint_interval`` defaults to 50 here.
+        remote_request_timeout / remote_retries / remote_lease_interval:
+            The :class:`~repro.distributed.supervisor.RetryPolicy` knobs
+            for remote mode (per-attempt deadline, resend budget,
+            heartbeat lease).
         strict: Raise on readings from unmapped readers instead of
             quarantining them.
         resilient: Wrap input streams in a :class:`ResilientStream`
@@ -85,6 +96,10 @@ class SpireConfig:
     compression_level: int = 2
     zone_map: Mapping[str, Sequence[str]] | None = None
     workers: int | None = None
+    remote_workers: int | None = None
+    remote_request_timeout: float = 5.0
+    remote_retries: int = 4
+    remote_lease_interval: float = 2.0
     strict: bool = False
     resilient: bool = False
     max_delay: int = 0
@@ -124,10 +139,12 @@ class SpireSession:
 
     The execution mode follows from the config:
 
-    * ``workers`` set — multi-process :class:`ParallelCoordinator` over
-      the zone map (a single ``site`` zone when no map is given);
+    * ``remote_workers`` set — supervised TCP worker daemons
+      (:class:`~repro.distributed.remote.RemoteCoordinator`) over the
+      zone map (a single ``site`` zone when no map is given);
+    * ``workers`` set — multi-process :class:`ParallelCoordinator`;
     * ``zone_map`` set (no workers) — serial :class:`Coordinator`;
-    * neither — a plain in-process :class:`Spire`.
+    * none of those — a plain in-process :class:`Spire`.
 
     Use as a context manager (or call :meth:`close`) so worker processes
     and trace files are released deterministically.
@@ -137,7 +154,11 @@ class SpireSession:
         readers = list(config.readers)
         if not readers:
             raise ValueError("SpireConfig.readers must be non-empty")
-        if config.trace_path is not None and config.workers is not None:
+        if config.workers is not None and config.remote_workers is not None:
+            raise ValueError("workers and remote_workers are mutually exclusive")
+        if config.trace_path is not None and (
+            config.workers is not None or config.remote_workers is not None
+        ):
             raise ValueError(
                 "trace_path is not supported with workers: span timings "
                 "live in worker processes (use metrics instead)"
@@ -152,7 +173,12 @@ class SpireSession:
         )
         self._closed = False
 
-        if config.workers is not None or config.zone_map is not None:
+        sharded = (
+            config.workers is not None
+            or config.remote_workers is not None
+            or config.zone_map is not None
+        )
+        if sharded:
             if config.zone_map is not None:
                 zones = partition_by_location(
                     readers,
@@ -171,8 +197,28 @@ class SpireSession:
                         compression_level=config.compression_level,
                     )
                 ]
-            if config.workers is not None:
-                self.coordinator: Coordinator | None = ParallelCoordinator(
+            if config.remote_workers is not None:
+                from repro.distributed import RemoteCoordinator, RetryPolicy
+
+                self.coordinator: Coordinator | None = RemoteCoordinator(
+                    zones,
+                    workers=config.remote_workers,
+                    policy=RetryPolicy(
+                        request_timeout=config.remote_request_timeout,
+                        max_retries=config.remote_retries,
+                        lease_interval=config.remote_lease_interval,
+                    ),
+                    strict=config.strict,
+                    checkpoint_interval=(
+                        50
+                        if config.checkpoint_interval is None
+                        else config.checkpoint_interval
+                    ),
+                    checkpoint_codec=config.checkpoint_codec,
+                    metrics=self.metrics,
+                )
+            elif config.workers is not None:
+                self.coordinator = ParallelCoordinator(
                     zones,
                     strict=config.strict,
                     checkpoint_interval=config.checkpoint_interval,
@@ -209,9 +255,13 @@ class SpireSession:
 
     @property
     def mode(self) -> str:
-        """``"local"``, ``"serial"`` or ``"parallel"``."""
+        """``"local"``, ``"serial"``, ``"parallel"`` or ``"remote"``."""
         if self.spire is not None:
             return "local"
+        from repro.distributed import RemoteCoordinator
+
+        if isinstance(self.coordinator, RemoteCoordinator):
+            return "remote"
         return "parallel" if isinstance(self.coordinator, ParallelCoordinator) else "serial"
 
     @property

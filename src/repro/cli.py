@@ -22,7 +22,10 @@ Subcommands cover the trace lifecycle:
   event-stream F-measure degradation;
 * ``bench`` — run the Table III per-epoch cost sweep and write the
   ``BENCH_table3.json`` payload (optionally gating against a committed
-  baseline; see docs/BENCHMARKS.md).
+  baseline; see docs/BENCHMARKS.md);
+* ``worker`` — run one remote zone-worker daemon: a TCP process that
+  hosts zone substrates for a ``RemoteCoordinator`` on another host
+  (see docs/SCALING.md).
 
 Examples::
 
@@ -37,7 +40,10 @@ Examples::
     repro-spire client --port 7070 --metrics
     repro-spire chaos --epochs 600 --outage-epochs 50 --drop-rate 0.02 --delay-rate 0.05
     repro-spire chaos --epochs 600 --workers 2 --metrics-json metrics.json
+    repro-spire chaos --epochs 600 --schedule faults.json --remote-workers 3
+    repro-spire worker --port 7171
     repro-spire bench -o BENCH_table3.json --compare-full
+    repro-spire bench --milestones 2000 --remote-workers 3
     repro-spire bench --milestones 1000 2000 --check-against benchmarks/baselines/perf_smoke.json
 
 Cross-command flags are normalized: ``--seed``, ``--workers`` and
@@ -292,6 +298,22 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one remote zone-worker daemon until stopped."""
+    from repro.distributed.remote import WorkerDaemon
+
+    daemon = WorkerDaemon(host=args.host, port=args.port, name=args.name)
+    # the banner is machine-read by spawn_worker_process: keep the format
+    print(f"spire-worker {daemon.name} listening on {daemon.host}:{daemon.port}",
+          flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    print("spire-worker stopped")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a simulation fault-free and under faults; report the degradation."""
     from repro.events.wellformed import WellFormednessError, check_well_formed
@@ -345,6 +367,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         if args.dup_rate > 0:
             schedule.append(DuplicateBatches(rate=args.dup_rate))
 
+    full_schedule = list(schedule)
+    net_specs: list = []
+    crashes: list = []
+    if args.remote_workers:
+        if args.workers:
+            print("error: --workers and --remote-workers are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        from repro.faults import split_net_schedule
+
+        # transport faults and scripted crashes go to the remote layer;
+        # the injector keeps only the stream-level specs
+        schedule, net_specs, crashes = split_net_schedule(schedule)
+
     injector = FaultInjector(sim.stream, schedule, seed=args.fault_seed)
     resilient = ResilientStream(
         injector,
@@ -355,7 +391,50 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     faulted = None
     faulted_coordinator = None
-    if args.workers:
+    supervisor_stats = None
+    if args.remote_workers:
+        from repro.distributed import Coordinator, partition_by_location
+        from repro.experiments.remote import RemoteHarness
+        from repro.experiments.table3 import scaling_zone_assignment
+
+        def _remote_zones():
+            return partition_by_location(
+                sim.layout.readers,
+                scaling_zone_assignment(config.num_shelves),
+                sim.layout.registry,
+                compression_level=args.compression,
+            )
+
+        # serial baseline: the remote engine's clean-run stream is
+        # byte-identical to it, so the degradation isolates the faults
+        baseline_coordinator = Coordinator(_remote_zones(), checkpoint_interval=50)
+        baseline_messages = []
+        for epoch_readings in sim.stream:
+            baseline_messages.extend(
+                baseline_coordinator.process_epoch(epoch_readings).messages
+            )
+        crash_at = {crash.at_epoch: crash.worker for crash in crashes}
+        harness = RemoteHarness(
+            _remote_zones(),
+            args.remote_workers,
+            net_specs=net_specs,
+            net_seed=args.fault_seed,
+            metrics=registry,
+        )
+        faulted_coordinator = harness.coordinator
+        faulted_messages = []
+        try:
+            for epoch_readings in resilient:
+                if epoch_readings.epoch in crash_at:
+                    harness.crash_worker(crash_at[epoch_readings.epoch])
+                faulted_messages.extend(
+                    faulted_coordinator.process_epoch(epoch_readings).messages
+                )
+            faulted_stats = faulted_coordinator.stats
+            supervisor_stats = faulted_coordinator.supervisor.stats
+        finally:
+            harness.close()
+    elif args.workers:
         # zone-sharded engine: both runs go through ParallelCoordinator so
         # the degradation isolates the faults, not the execution model
         from repro.distributed import ParallelCoordinator, partition_by_location
@@ -410,8 +489,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     degradation = 100.0 * (f_baseline - f_faulted)
 
     print(f"trace: {sim.stream.total_readings} readings, {len(sim.stream)} epochs")
-    print(f"fault schedule ({len(schedule)} spec(s)):")
-    for spec in schedule:
+    print(f"fault schedule ({len(full_schedule)} spec(s)):")
+    for spec in full_schedule:
         print(f"  {spec}")
     print(f"injected: {len(injector.dropped_epochs)} dropped, "
           f"{len(injector.delayed_epochs)} delayed, "
@@ -423,10 +502,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"reader health: {silent} silent transition(s), "
               f"{len(faulted.health.events) - silent} recovery transition(s)")
     if faulted_coordinator is not None:
-        print(f"parallel engine: {args.workers} worker(s), "
+        engine = "remote" if args.remote_workers else "parallel"
+        print(f"{engine} engine: {args.remote_workers or args.workers} worker(s), "
               f"{len(faulted_coordinator.zones)} zones")
         for line in faulted_stats.summary_lines():
             print(f"  {line}")
+        if supervisor_stats is not None:
+            for line in supervisor_stats.summary_lines():
+                print(f"  {line}")
+            counts = faulted_coordinator.quarantine.counts()
+            if counts:
+                print(f"  coordinator warnings  {counts}")
     print(f"F-measure (tolerance {tolerance} epochs):")
     print(f"  fault-free   {f_baseline:8.4f}  ({len(baseline_messages)} events)")
     print(f"  under faults {f_faulted:8.4f}  ({len(faulted_messages)} events)")
@@ -545,6 +631,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
             else:
                 print(f"parallel throughput gate (workers={args.workers[0]}, "
                       f"tolerance {args.parallel_tolerance:.0%}): ok")
+
+    if args.remote_workers:
+        from repro.experiments.remote import run_remote
+        from repro.faults import schedule_from_dict
+
+        remote_schedule = []
+        if args.remote_schedule:
+            try:
+                remote_schedule = schedule_from_dict(
+                    json.loads(Path(args.remote_schedule).read_text())
+                )
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot load schedule {args.remote_schedule}: {exc}",
+                      file=sys.stderr)
+                return 2
+        remote = run_remote(
+            milestones=milestones,
+            workers=args.remote_workers,
+            cases_per_pallet=args.cases,
+            seed=args.seed,
+            schedule=remote_schedule,
+        )
+        payload["remote"] = remote
+        sup = remote["remote"]["supervisor"]
+        print(f"remote sweep: {args.remote_workers} TCP worker(s), "
+              f"{len(remote['net_schedule'])} net fault(s), "
+              f"{len(remote['crashes'])} scripted crash(es)")
+        print(f"  remote {remote['remote']['total_s']:.2f}s / "
+              f"serial {remote['serial']['total_s']:.2f}s; "
+              f"requests {sup['requests']}, retries {sup['retries']}, "
+              f"worker deaths {sup['worker_deaths']}")
+        print(f"  streams identical: {remote['streams_identical']}")
+        if not remote["streams_identical"]:
+            print("error: remote merged stream diverged from serial", file=sys.stderr)
+            exit_code = 1
 
     if args.check_against:
         baseline_path = Path(args.check_against)
@@ -883,7 +1004,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reader-health silence tolerance in interrogation periods")
     chaos.add_argument("--max-degradation", type=float, default=None,
                        help="fail (exit 1) if F-measure degrades by more than this many points")
+    chaos.add_argument(
+        "--remote-workers", type=int, default=None,
+        help="run the faulted engine over this many localhost TCP worker "
+             "daemons; net_delay/net_drop/net_dup/net_partition/worker_crash "
+             "entries in --schedule apply to the transport (docs/FAULTS.md)",
+    )
     chaos.set_defaults(func=cmd_chaos)
+
+    worker = subparsers.add_parser(
+        "worker", help="run one remote zone-worker daemon (TCP)"
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one and prints it)")
+    worker.add_argument("--name", default=None,
+                        help="identity reported in the HELLO handshake")
+    worker.set_defaults(func=cmd_worker)
 
     bench = subparsers.add_parser(
         "bench", help="run the Table III speed sweep (writes BENCH_table3.json)",
@@ -914,6 +1051,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--parallel-tolerance", type=float, default=0.25,
                        help="allowed fractional throughput shortfall vs serial")
+    bench.add_argument(
+        "--remote-workers", type=int, default=None,
+        help="also run the remote-transport determinism sweep over this many "
+             "localhost TCP workers; adds a 'remote' section to the payload "
+             "and fails (exit 1) if its stream diverges from serial",
+    )
+    bench.add_argument(
+        "--remote-schedule", default=None,
+        help="JSON transport-fault schedule for the remote sweep "
+             "(net_* and worker_crash kinds only; see docs/FAULTS.md)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     query = subparsers.add_parser("query", help="query a persisted event stream")

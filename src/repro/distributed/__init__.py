@@ -13,6 +13,11 @@ With ``checkpoint_interval`` set, the coordinator also provides zone
 failover: periodic per-zone checkpoints, ``fail_zone`` / ``recover_zone``
 with replay of buffered epochs, and orphan-tag re-adoption, so the merged
 stream survives a zone crash well-formed (see ``docs/FAULTS.md``).
+
+:mod:`repro.distributed.remote` lifts the worker protocol onto TCP
+(``spire-worker`` daemons), and :mod:`repro.distributed.supervisor`
+supplies the heartbeat/lease tracking and retry/backoff machinery that
+makes the remote transport survivable (see ``docs/SCALING.md``).
 """
 
 from repro.distributed.coordinator import (
@@ -22,7 +27,19 @@ from repro.distributed.coordinator import (
     Zone,
     partition_by_location,
 )
-from repro.distributed.parallel import ParallelCoordinator, WorkerStats
+from repro.distributed.parallel import ParallelCoordinator, WorkerFailure, WorkerStats
+from repro.distributed.remote import (
+    RemoteCoordinator,
+    WorkerDaemon,
+    spawn_worker_process,
+)
+from repro.distributed.supervisor import (
+    RemoteError,
+    RetryPolicy,
+    SupervisorStats,
+    WorkerDied,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "Coordinator",
@@ -30,6 +47,15 @@ __all__ = [
     "Zone",
     "HandoffRecord",
     "ParallelCoordinator",
+    "RemoteCoordinator",
+    "RemoteError",
+    "RetryPolicy",
+    "SupervisorStats",
+    "WorkerDaemon",
+    "WorkerDied",
+    "WorkerFailure",
     "WorkerStats",
+    "WorkerSupervisor",
     "partition_by_location",
+    "spawn_worker_process",
 ]

@@ -60,6 +60,100 @@ from repro.readers.codec import decode_epoch_frame, encode_epoch_frame
 from repro.readers.stream import EpochReadings
 
 
+def handle_request(
+    data: bytes,
+    spires: dict[int, object],
+    registries: dict[int, MetricRegistry],
+) -> bytes | None:
+    """Serve one coordinator request against resident zone state.
+
+    The transport-agnostic worker core, shared by the pipe worker loop
+    (:func:`_worker_main`) and the TCP daemon
+    (:class:`repro.distributed.remote.WorkerDaemon`).  Returns the reply
+    bytes, or ``None`` for :data:`wire.MSG_STOP` (the caller acknowledges
+    and shuts down).  Exceptions propagate: the caller decides how to
+    surface them (the pipe worker replies :data:`wire.MSG_ERROR` and
+    dies; the daemon replies and drops its zone state).
+    """
+    msg_type = data[0] if data else 0
+    if msg_type == wire.MSG_EPOCH:
+        results = []
+        for zone_index, flags, frame in wire.decode_epoch_batch(data):
+            readings, _ = decode_epoch_frame(frame)
+            spire = spires[zone_index]
+            start = time.perf_counter()
+            output = spire.process_epoch(readings)
+            busy_s = time.perf_counter() - start
+            checkpoint = None
+            checkpoint_s = 0.0
+            if flags & wire.FLAG_CHECKPOINT:
+                codec = "pickle" if flags & wire.FLAG_CHECKPOINT_PICKLE else "fast"
+                start = time.perf_counter()
+                checkpoint = dumps_spire(spire, codec=codec)
+                checkpoint_s = time.perf_counter() - start
+            registry = registries.get(zone_index)
+            metrics_blob = (
+                snapshot_to_json(registry.snapshot()) if registry is not None else None
+            )
+            results.append(
+                (
+                    zone_index,
+                    wire.encode_epoch_result(
+                        output.messages,
+                        output.departed,
+                        busy_s,
+                        checkpoint_s,
+                        checkpoint,
+                        metrics_blob,
+                    ),
+                )
+            )
+        return wire.encode_epoch_batch_result(results)
+    if msg_type == wire.MSG_RELEASE:
+        zone_index, now, tags = wire.decode_release(data)
+        spire = spires[zone_index]
+        releases = []
+        for tag in tags:
+            record, closing = spire.release(tag, now)
+            releases.append((wire.encode_record(record), closing))
+        return wire.encode_release_result(releases)
+    if msg_type == wire.MSG_ADOPT:
+        zone_index, now, records = wire.decode_adopt(data)
+        spire = spires[zone_index]
+        for record in records:
+            spire.adopt(record, now)
+        return wire.encode_ok()
+    if msg_type == wire.MSG_QUERY:
+        zone_index, kind, tag = wire.decode_query(data)
+        spire = spires[zone_index]
+        if kind == wire.QUERY_LOCATION:
+            value = spire.location_of(tag)
+        elif kind == wire.QUERY_CONTAINER:
+            container = spire.container_of(tag)
+            value = 0 if container is None else container.key()
+        else:
+            raise ValueError(f"unknown query kind {kind}")
+        return wire.encode_query_result(value)
+    if msg_type == wire.MSG_INSTALL:
+        zone_index, checkpoint, zone_id, metrics_on, seed = wire.decode_install(data)
+        spire = loads_spire(checkpoint)
+        if metrics_on:
+            # checkpoints never carry registries: build the zone's
+            # registry here, seeded so totals survive reinstalls
+            registry = MetricRegistry(const_labels={"zone": zone_id})
+            if seed:
+                registry.restore(snapshot_from_json(seed))
+            registries[zone_index] = registry
+            spire.attach_metrics(registry)
+        else:
+            registries.pop(zone_index, None)
+        spires[zone_index] = spire
+        return wire.encode_ok()
+    if msg_type == wire.MSG_STOP:
+        return None
+    raise ValueError(f"unknown message type {msg_type}")
+
+
 def _worker_main(conn) -> None:
     """Worker process: serve zone substrates over a duplex pipe, FIFO."""
     spires: dict[int, object] = {}
@@ -69,94 +163,13 @@ def _worker_main(conn) -> None:
             data = conn.recv_bytes()
         except EOFError:
             return
-        msg_type = data[0] if data else 0
         try:
-            if msg_type == wire.MSG_EPOCH:
-                results = []
-                for zone_index, flags, frame in wire.decode_epoch_batch(data):
-                    readings, _ = decode_epoch_frame(frame)
-                    spire = spires[zone_index]
-                    start = time.perf_counter()
-                    output = spire.process_epoch(readings)
-                    busy_s = time.perf_counter() - start
-                    checkpoint = None
-                    checkpoint_s = 0.0
-                    if flags & wire.FLAG_CHECKPOINT:
-                        codec = (
-                            "pickle" if flags & wire.FLAG_CHECKPOINT_PICKLE else "fast"
-                        )
-                        start = time.perf_counter()
-                        checkpoint = dumps_spire(spire, codec=codec)
-                        checkpoint_s = time.perf_counter() - start
-                    registry = registries.get(zone_index)
-                    metrics_blob = (
-                        snapshot_to_json(registry.snapshot())
-                        if registry is not None
-                        else None
-                    )
-                    results.append(
-                        (
-                            zone_index,
-                            wire.encode_epoch_result(
-                                output.messages,
-                                output.departed,
-                                busy_s,
-                                checkpoint_s,
-                                checkpoint,
-                                metrics_blob,
-                            ),
-                        )
-                    )
-                reply = wire.encode_epoch_batch_result(results)
-            elif msg_type == wire.MSG_RELEASE:
-                zone_index, now, tags = wire.decode_release(data)
-                spire = spires[zone_index]
-                releases = []
-                for tag in tags:
-                    record, closing = spire.release(tag, now)
-                    releases.append((wire.encode_record(record), closing))
-                reply = wire.encode_release_result(releases)
-            elif msg_type == wire.MSG_ADOPT:
-                zone_index, now, records = wire.decode_adopt(data)
-                spire = spires[zone_index]
-                for record in records:
-                    spire.adopt(record, now)
-                reply = wire.encode_ok()
-            elif msg_type == wire.MSG_QUERY:
-                zone_index, kind, tag = wire.decode_query(data)
-                spire = spires[zone_index]
-                if kind == wire.QUERY_LOCATION:
-                    value = spire.location_of(tag)
-                elif kind == wire.QUERY_CONTAINER:
-                    container = spire.container_of(tag)
-                    value = 0 if container is None else container.key()
-                else:
-                    raise ValueError(f"unknown query kind {kind}")
-                reply = wire.encode_query_result(value)
-            elif msg_type == wire.MSG_INSTALL:
-                zone_index, checkpoint, zone_id, metrics_on, seed = wire.decode_install(
-                    data
-                )
-                spire = loads_spire(checkpoint)
-                if metrics_on:
-                    # checkpoints never carry registries: build the zone's
-                    # registry here, seeded so totals survive reinstalls
-                    registry = MetricRegistry(const_labels={"zone": zone_id})
-                    if seed:
-                        registry.restore(snapshot_from_json(seed))
-                    registries[zone_index] = registry
-                    spire.attach_metrics(registry)
-                else:
-                    registries.pop(zone_index, None)
-                spires[zone_index] = spire
-                reply = wire.encode_ok()
-            elif msg_type == wire.MSG_STOP:
-                conn.send_bytes(wire.encode_ok())
-                return
-            else:
-                raise ValueError(f"unknown message type {msg_type}")
+            reply = handle_request(data, spires, registries)
         except BaseException:
             conn.send_bytes(wire.encode_error(traceback.format_exc()))
+            return
+        if reply is None:  # MSG_STOP: acknowledge and shut down
+            conn.send_bytes(wire.encode_ok())
             return
         conn.send_bytes(reply)
 
@@ -193,6 +206,27 @@ class WorkerStats:
         return lines
 
 
+class WorkerFailure(wire.WireError):
+    """A worker failed mid-epoch; the coordinator failed its zones over.
+
+    Raised by :meth:`ParallelCoordinator.process_epoch` when a worker
+    reports :data:`wire.MSG_ERROR` (or its pipe breaks) during the epoch
+    fan-in.  The torn epoch couples all zones through merge order, so
+    every live zone is marked failed for a global resync.  ``messages``
+    holds what the caller must splice into the merged stream to keep it
+    well-formed (the epoch's already-produced handoff closures plus the
+    interval closures from failing each zone); recover the zones with
+    :meth:`~ParallelCoordinator.recover_zone` and continue.
+    """
+
+    def __init__(
+        self, message: str, failed_zones: list[str], messages: list[EventMessage]
+    ) -> None:
+        super().__init__(message)
+        self.failed_zones = failed_zones
+        self.messages = messages
+
+
 class _Worker:
     """Coordinator-side handle to one worker process."""
 
@@ -209,10 +243,34 @@ class _Worker:
     def alive(self) -> bool:
         return self.process.is_alive()
 
-    def kill(self) -> None:
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(timeout=5)
+    def send_bytes(self, payload: bytes) -> None:
+        self.conn.send_bytes(payload)
+
+    def recv_bytes(self) -> bytes:
+        return self.conn.recv_bytes()
+
+    def kill(self, warn=None) -> None:
+        """Stop the process, escalating terminate -> kill -> quarantine.
+
+        ``terminate`` (SIGTERM) can be absorbed by a worker wedged in
+        uninterruptible I/O; ``join(timeout)`` then returns with the
+        process still alive and the old code leaked it as a zombie.  Now
+        SIGKILL follows, and if even that does not reap the process
+        within the timeout, ``warn`` (a ``detail -> None`` callable) is
+        invoked so the leak lands in the quarantine instead of vanishing.
+        """
+        process = self.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+            if process.is_alive() and warn is not None:
+                warn(
+                    f"worker {self.index} (pid {process.pid}) survived "
+                    "terminate and kill; leaking it as a zombie"
+                )
         self.conn.close()
 
 
@@ -270,7 +328,7 @@ class ParallelCoordinator(Coordinator):
         self._zone_snapshots: dict[str, dict] = {}
 
         try:
-            self._workers = [_Worker(self._ctx, i) for i in range(self.num_workers)]
+            self._workers = self._spawn_workers()
             for i, zone_id in enumerate(ordered):
                 self._worker_of_zone[zone_id] = self._workers[i % self.num_workers]
             # ship each zone's pristine substrate to its worker, then drop
@@ -287,6 +345,10 @@ class ParallelCoordinator(Coordinator):
         except BaseException:
             self.close()
             raise
+
+    def _spawn_workers(self) -> list:
+        """Create the worker pool (overridden by the remote transport)."""
+        return [_Worker(self._ctx, i) for i in range(self.num_workers)]
 
     def _install_metrics(self, zone_id: str, seed: dict | None = None) -> dict:
         """Keyword arguments telling an install to set up zone telemetry."""
@@ -306,13 +368,17 @@ class ParallelCoordinator(Coordinator):
     # ------------------------------------------------------------------
 
     def _send(self, zone_id: str, payload: bytes) -> None:
-        self._worker_of_zone[zone_id].conn.send_bytes(payload)
+        self._worker_of_zone[zone_id].send_bytes(payload)
         self.stats.bytes_to_workers += len(payload)
 
     def _recv(self, zone_id: str) -> bytes:
-        data = self._worker_of_zone[zone_id].conn.recv_bytes()
+        data = self._worker_of_zone[zone_id].recv_bytes()
         self.stats.bytes_from_workers += len(data)
         return data
+
+    def _kill_warn(self, detail: str) -> None:
+        """Quarantine-warning sink for :meth:`_Worker.kill` escalation."""
+        self.quarantine.warn(WarningKind.WORKER_ZOMBIE, self._last_epoch or 0, detail=detail)
 
     def close(self) -> None:
         """Stop all workers; the coordinator is unusable afterwards."""
@@ -322,12 +388,12 @@ class ParallelCoordinator(Coordinator):
         for worker in self._workers:
             try:
                 if worker.alive:
-                    worker.conn.send_bytes(wire.encode_stop())
-                    worker.conn.recv_bytes()
+                    worker.send_bytes(wire.encode_stop())
+                    worker.recv_bytes()
             except (OSError, EOFError, BrokenPipeError):
                 pass
             finally:
-                worker.kill()
+                worker.kill(warn=self._kill_warn)
 
     def __enter__(self) -> "ParallelCoordinator":
         return self
@@ -398,20 +464,39 @@ class ParallelCoordinator(Coordinator):
             )
         for worker, entries in batches.values():
             payload = wire.encode_epoch_batch(entries)
-            worker.conn.send_bytes(payload)
+            worker.send_bytes(payload)
             self.stats.bytes_to_workers += len(payload)
         self.stats.fanout_s += time.perf_counter() - start
 
         # fan in: one reply per worker (each worker answers FIFO), then
-        # merge per zone in the serial merge order (sorted zone ids)
+        # merge per zone in the serial merge order (sorted zone ids).
+        # Every worker is drained before any error is surfaced — raising
+        # at the first bad reply would leave the other pipes holding
+        # answered requests and desync their FIFO on the next epoch.
         start = time.perf_counter()
         results_by_index: dict[int, bytes] = {}
+        failures: list[str] = []
+        failed_workers: list[_Worker] = []
         for worker, _entries in batches.values():
-            data = worker.conn.recv_bytes()
+            try:
+                data = worker.recv_bytes()
+            except (OSError, EOFError) as exc:
+                failures.append(f"worker {worker.index} connection lost: {exc!r}")
+                failed_workers.append(worker)
+                continue
             self.stats.bytes_from_workers += len(data)
+            if data and data[0] == wire.MSG_ERROR:
+                failures.append(
+                    f"worker {worker.index} failed:\n"
+                    + data[1:].decode("utf-8", "replace")
+                )
+                failed_workers.append(worker)
+                continue
             for zone_index, zone_result in wire.decode_epoch_batch_result(data):
                 results_by_index[zone_index] = zone_result
         self.stats.fanin_wait_s += time.perf_counter() - start
+        if failures:
+            raise self._epoch_failure(failures, now, result, failed_workers)
         for zone_id in order:
             if zone_id in self._failed:
                 continue
@@ -504,6 +589,46 @@ class ParallelCoordinator(Coordinator):
             wire.expect_ok(self._recv(target))
         self.stats.fanin_wait_s += time.perf_counter() - start
 
+    def _epoch_failure(
+        self,
+        failures: list[str],
+        now: int,
+        result: EpochResult,
+        failed_workers: Iterable["_Worker"] = (),
+    ) -> wire.WireError:
+        """Build the exception for a torn epoch, failing zones over first.
+
+        A worker died (or reported an error) after the epoch's migrations
+        ran and after the surviving workers processed their shares, so no
+        zone's view of this epoch can be merged consistently.  With
+        failover enabled every live zone is failed — closing its open
+        intervals — and the :class:`WorkerFailure` carries the messages
+        the caller must splice into the stream (the epoch's handoff
+        closures, which were never emitted, plus the fail closures).
+        Without failover there is nothing to recover from; the raw
+        :class:`wire.WireError` is all we can offer.
+        """
+        message = "; ".join(failures)
+        # reap the failed workers *now*: a worker that reported MSG_ERROR
+        # is mid-exit, and recovery must respawn it rather than race the
+        # dying process's half-closed pipe
+        for worker in failed_workers:
+            worker.kill(warn=self._kill_warn)
+        if not self.failover_enabled:
+            return wire.WireError(message)
+        # the epoch's own messages so far (handoff closures) were never
+        # returned to the caller: track them so fail_zone sees current
+        # open intervals, and hand them over for splicing
+        self._track_messages(result.messages)
+        spliced = list(result.messages)
+        failed: list[str] = []
+        for zone_id in sorted(self.zones):
+            if zone_id in self._failed:
+                continue
+            spliced.extend(self.fail_zone(zone_id, now))
+            failed.append(zone_id)
+        return WorkerFailure(message, failed, spliced)
+
     # ------------------------------------------------------------------
     # failover
     # ------------------------------------------------------------------
@@ -522,7 +647,7 @@ class ParallelCoordinator(Coordinator):
         """
         closures = super().fail_zone(zone_id, at)
         if kill_worker:
-            self._worker_of_zone[zone_id].kill()
+            self._worker_of_zone[zone_id].kill(warn=self._kill_warn)
             self._ensure_worker(zone_id)
         return closures
 

@@ -30,16 +30,32 @@ from repro.faults.injector import (
     UnknownReaderReadings,
     schedule_from_dict,
 )
+from repro.faults.network import (
+    ALL_NET_FAULT_KINDS,
+    NetDelay,
+    NetDrop,
+    NetDup,
+    NetFaultProxy,
+    NetPartition,
+    WorkerCrash,
+    split_net_schedule,
+)
 from repro.faults.resilient import ResilientStream
 from repro.faults.warnings import IngestWarning, Quarantine, QuarantinedReading, WarningKind
 
 __all__ = [
     "ALL_FAULT_KINDS",
+    "ALL_NET_FAULT_KINDS",
     "DelayBatches",
     "DropBatches",
     "DuplicateBatches",
     "FaultInjector",
     "IngestWarning",
+    "NetDelay",
+    "NetDrop",
+    "NetDup",
+    "NetFaultProxy",
+    "NetPartition",
     "Quarantine",
     "QuarantinedReading",
     "ReaderHealthMonitor",
@@ -47,5 +63,7 @@ __all__ = [
     "ResilientStream",
     "UnknownReaderReadings",
     "WarningKind",
+    "WorkerCrash",
     "schedule_from_dict",
+    "split_net_schedule",
 ]

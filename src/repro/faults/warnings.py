@@ -29,8 +29,11 @@ class WarningKind:
     UNMAPPED_READER = "unmapped_reader"
     ZONE_FAILED = "zone_failed"
     ZONE_RECOVERED = "zone_recovered"
+    ZONE_REHOMED = "zone_rehomed"
     EMPTY_ZONE = "empty_zone"
     SUBSCRIPTION_OVERFLOW = "subscription_overflow"
+    WORKER_LOST = "worker_lost"
+    WORKER_ZOMBIE = "worker_zombie"
 
 
 @dataclass(frozen=True)

@@ -210,6 +210,38 @@ class TestServeAndClient:
         assert "location" in capsys.readouterr().out
         server.join(timeout=30)
 
+    def test_client_subscribe_timeout_returns_error(self, tmp_path, capsys):
+        """A subscription that never matches exits 1 after --timeout."""
+        import socket
+        import threading
+        import time
+
+        trace = tmp_path / "trace.bin"
+        assert main(["simulate", *SIM_ARGS, "--duration", "60",
+                     "-o", str(trace)]) == 0
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        server = threading.Thread(
+            target=main,
+            args=(["serve", str(trace), "--port", str(port),
+                   "--epoch-interval", "0.02", "--linger", "20"],),
+            daemon=True,
+        )
+        server.start()
+        client_args = ["client", "--port", str(port)]
+        for _attempt in range(50):
+            if main([*client_args, "--stats"]) == 0:
+                break
+            time.sleep(0.2)
+        # place 999999 exists in no layout, so nothing ever matches
+        rc = main([*client_args, "--subscribe", "place:999999",
+                   "--count", "1", "--timeout", "1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no notification within 1s" in captured.err
+        server.join(timeout=30)
+
 
 class TestDecompress:
     def test_decompress_expands_level2(self, tmp_path, capsys):

@@ -306,3 +306,127 @@ class TestPartitioning:
         zones = partition_by_location([Reader(0, dock)], {"a": ["dock"]}, registry)
         with pytest.raises(ValueError, match="workers"):
             ParallelCoordinator(zones, workers=0)
+
+
+class _FakeProcess:
+    """Stands in for a worker process during kill-escalation tests."""
+
+    def __init__(self, dies_on: str | None) -> None:
+        self.dies_on = dies_on  # which signal finally works (None: neither)
+        self.calls: list[str] = []
+        self.pid = 4242
+
+    def is_alive(self) -> bool:
+        return self.dies_on not in self.calls
+
+    def terminate(self) -> None:
+        self.calls.append("terminate")
+
+    def kill(self) -> None:
+        self.calls.append("kill")
+
+    def join(self, timeout=None) -> None:
+        self.calls.append("join")
+
+
+class _FakePipe:
+    def __init__(self) -> None:
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def _fake_worker(dies_on: str | None):
+    from repro.distributed.parallel import _Worker
+
+    worker = object.__new__(_Worker)
+    worker.index = 3
+    worker.process = _FakeProcess(dies_on)
+    worker.conn = _FakePipe()
+    return worker
+
+
+class TestKillEscalation:
+    def test_terminate_suffices(self):
+        worker = _fake_worker(dies_on="terminate")
+        warnings: list[str] = []
+        worker.kill(warn=warnings.append)
+        assert worker.process.calls == ["terminate", "join"]
+        assert warnings == []
+        assert worker.conn.closed
+
+    def test_sigkill_follows_ignored_terminate(self):
+        worker = _fake_worker(dies_on="kill")
+        warnings: list[str] = []
+        worker.kill(warn=warnings.append)
+        assert worker.process.calls == ["terminate", "join", "kill", "join"]
+        assert warnings == []
+        assert worker.conn.closed
+
+    def test_unkillable_process_lands_in_quarantine(self):
+        worker = _fake_worker(dies_on=None)
+        warnings: list[str] = []
+        worker.kill(warn=warnings.append)
+        assert worker.process.calls == ["terminate", "join", "kill", "join"]
+        assert len(warnings) == 1
+        assert "survived" in warnings[0] and "4242" in warnings[0]
+        assert worker.conn.closed  # the pipe never leaks
+
+
+class TestWorkerErrorFailover:
+    def test_mid_epoch_error_raises_worker_failure_and_recovers(self):
+        """A worker exception mid-epoch surfaces as WorkerFailure with the
+        splice messages and traceback; recovery resumes a well-formed run."""
+        from repro.core.pipeline import Spire
+        from repro.distributed.parallel import WorkerFailure
+        from repro.events.codec import decode_stream
+
+        config = _config(seed=17)
+        sim, epochs = _epochs(config)
+        target = epochs[60].epoch
+        original = Spire.process_epoch
+
+        def poisoned(self, readings):
+            if readings.epoch == target:
+                raise RuntimeError("injected worker fault")
+            return original(self, readings)
+
+        # patch before construction: forked workers inherit the poison
+        Spire.process_epoch = poisoned
+        try:
+            coordinator = ParallelCoordinator(
+                _zones(sim), checkpoint_interval=10, workers=2
+            )
+            try:
+                parts = []
+                failure = None
+                for i, readings in enumerate(epochs):
+                    try:
+                        parts.append(
+                            encode_stream(coordinator.process_epoch(readings).messages)
+                        )
+                    except WorkerFailure as exc:
+                        assert i == 60 and failure is None
+                        failure = exc
+                        parts.append(encode_stream(exc.messages))
+                        # heal before recovery: the respawned workers fork
+                        # from the (now-restored) parent
+                        Spire.process_epoch = original
+                        for zone_id in exc.failed_zones:
+                            parts.append(
+                                encode_stream(coordinator.recover_zone(zone_id))
+                            )
+                assert failure is not None
+                assert "injected worker fault" in str(failure)
+                assert sorted(failure.failed_zones) == sorted(ASSIGNMENT)
+                counts = coordinator.quarantine.counts()
+                assert counts[WarningKind.ZONE_FAILED] == len(ASSIGNMENT)
+                assert counts[WarningKind.ZONE_RECOVERED] == len(ASSIGNMENT)
+            finally:
+                coordinator.close()
+        finally:
+            Spire.process_epoch = original
+        from repro.events.wellformed import check_well_formed
+
+        check_well_formed(list(decode_stream(b"".join(parts))))

@@ -305,6 +305,22 @@ class TestServerPlumbing:
 
         asyncio.run(run())
 
+    def test_next_notification_times_out_when_quiet(self):
+        """With nothing pumped, a bounded wait raises instead of hanging."""
+
+        async def run():
+            zones, dock, _ = _anomaly_site()
+            async with SpireServer() as server:
+                client = await SpireClient.connect(server.host, server.port)
+                try:
+                    await client.subscribe(PatternSpec(PATTERN_PLACE, place=dock.color))
+                    with pytest.raises(asyncio.TimeoutError):
+                        await client.next_notification(timeout=0.2)
+                finally:
+                    await client.close()
+
+        asyncio.run(run())
+
     def test_server_error_reply(self):
         async def run():
             async with SpireServer() as server:
