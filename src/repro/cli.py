@@ -667,6 +667,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print("error: remote merged stream diverged from serial", file=sys.stderr)
             exit_code = 1
 
+    if args.patterns:
+        from repro.experiments import sase
+
+        patterns = sase.run_patterns_bench(
+            milestone=max(milestones),
+            cases_per_pallet=args.cases,
+            seed=args.seed,
+        )
+        payload["patterns"] = patterns
+        print(f"pattern catalogue @ {patterns['workload']['milestone']}: "
+              f"legacy {patterns['legacy_s']:.2f}s, "
+              f"compiled {patterns['compiled_s']:.2f}s "
+              f"({patterns['overhead_ratio']:.2f}x), "
+              f"{patterns['matches']} matches "
+              f"({patterns['match_throughput_per_s']:.0f}/s), "
+              f"compile {patterns['compile_seconds_total'] * 1e3:.1f}ms total")
+        for row in patterns["catalogue"]:
+            marker = "ok" if row["equivalent"] else "DIVERGED"
+            print(f"  {row['name']:>16}  {row['matches']:>6} match(es)  {marker}")
+        for problem in sase.check_patterns(patterns):
+            print(f"pattern gate: {problem}", file=sys.stderr)
+            exit_code = 1
+
     if args.check_against:
         baseline_path = Path(args.check_against)
         if not baseline_path.exists():
@@ -763,11 +786,47 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def parse_pattern(text: str):
-    """Parse a standing-pattern spec for ``client --subscribe``.
+#: legacy shorthand -> (argument field names, expected form); the field
+#: list drives per-field error messages in parse_pattern
+_PATTERN_FORMS = {
+    "tail": ((), "tail or tail:PLACE"),
+    "object": (("LEVEL", "SERIAL"), "object:LEVEL:SERIAL (e.g. object:item:5)"),
+    "place": (("PLACE",), "place:PLACE"),
+    "dwell": (("PLACE", "K"), "dwell:PLACE:K"),
+    "missing": (("K",), "missing:K"),
+    "anomaly": (("PLACE",), "anomaly:PLACE"),
+}
 
-    Forms: ``tail``, ``tail:PLACE``, ``object:LEVEL:SERIAL``,
-    ``place:PLACE``, ``dwell:PLACE:K``, ``missing:K``, ``anomaly:PLACE``.
+
+def _looks_like_pattern_source(text: str) -> bool:
+    head = text.lstrip().upper()
+    return head.startswith("PATTERN") or head.startswith("SEQ")
+
+
+def _int_field(parts: list[str], index: int, name: str, head: str, form: str) -> int:
+    """One integer field of a legacy shorthand, with a named error."""
+    if index >= len(parts) or not parts[index]:
+        raise argparse.ArgumentTypeError(
+            f"{head} pattern is missing its {name} field; expected {form}"
+        )
+    try:
+        return int(parts[index])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{head} pattern field {name} must be an integer, "
+            f"got {parts[index]!r}; expected {form}"
+        ) from None
+
+
+def parse_pattern(text: str):
+    """Parse a ``client --subscribe`` argument into a pattern spec.
+
+    Accepts the legacy shorthands — ``tail[:PLACE]``,
+    ``object:LEVEL:SERIAL``, ``place:PLACE``, ``dwell:PLACE:K``,
+    ``missing:K``, ``anomaly:PLACE`` (each now served by its
+    :mod:`repro.sase` library definition) — or full pattern source text
+    (anything starting with ``PATTERN`` or ``SEQ``), validated by the
+    local compiler before it is shipped to the server.
     """
     from repro.serving.patterns import (
         PATTERN_DWELL,
@@ -775,30 +834,66 @@ def parse_pattern(text: str):
         PATTERN_MISSING,
         PATTERN_OBJECT,
         PATTERN_PLACE,
+        PATTERN_SASE,
         PATTERN_TAIL,
         PatternSpec,
     )
 
+    if _looks_like_pattern_source(text):
+        from repro.sase import PatternError, compile_pattern
+
+        try:
+            compile_pattern(text)
+        except PatternError as exc:
+            raise argparse.ArgumentTypeError(f"pattern does not compile: {exc}") from exc
+        return PatternSpec(PATTERN_SASE, source=text)
+
     parts = text.split(":")
-    try:
-        if parts[0] == "tail":
-            place = int(parts[1]) if len(parts) > 1 else None
-            return PatternSpec(PATTERN_TAIL, place=place)
-        if parts[0] == "object":
-            return PatternSpec(PATTERN_OBJECT, obj=parse_tag(":".join(parts[1:])))
-        if parts[0] == "place":
-            return PatternSpec(PATTERN_PLACE, place=int(parts[1]))
-        if parts[0] == "dwell":
-            return PatternSpec(PATTERN_DWELL, place=int(parts[1]), k=int(parts[2]))
-        if parts[0] == "missing":
-            return PatternSpec(PATTERN_MISSING, k=int(parts[1]))
-        if parts[0] == "anomaly":
-            return PatternSpec(PATTERN_LEFT_WITHOUT_CONTAINER, place=int(parts[1]))
-    except (IndexError, ValueError) as exc:
-        raise argparse.ArgumentTypeError(f"invalid pattern {text!r}: {exc}") from exc
-    raise argparse.ArgumentTypeError(
-        f"unknown pattern {text!r}; expected tail[:PLACE], object:LEVEL:SERIAL, "
-        f"place:PLACE, dwell:PLACE:K, missing:K, or anomaly:PLACE"
+    head = parts[0]
+    if head not in _PATTERN_FORMS:
+        forms = ", ".join(form for _, form in _PATTERN_FORMS.values())
+        raise argparse.ArgumentTypeError(
+            f"unknown pattern {text!r}; expected one of: {forms}; "
+            f"or full pattern source starting with PATTERN/SEQ "
+            f"(e.g. \"PATTERN SEQ(arrival a, !departure d) WHERE ... WITHIN 10 EPOCHS\")"
+        )
+    fields, form = _PATTERN_FORMS[head]
+    extra = len(parts) - 1 - len(fields)
+    if head == "tail":
+        if len(parts) > 2:
+            raise argparse.ArgumentTypeError(
+                f"tail pattern takes at most one field; expected {form}"
+            )
+        place = _int_field(parts, 1, "PLACE", head, form) if len(parts) > 1 else None
+        return PatternSpec(PATTERN_TAIL, place=place)
+    if extra > 0:
+        raise argparse.ArgumentTypeError(
+            f"{head} pattern has {extra} extra field(s); expected {form}"
+        )
+    if head == "object":
+        if len(parts) < 3 or not parts[1] or not parts[2]:
+            raise argparse.ArgumentTypeError(
+                f"object pattern is missing its LEVEL:SERIAL tag; expected {form}"
+            )
+        try:
+            obj = parse_tag(f"{parts[1]}:{parts[2]}")
+        except argparse.ArgumentTypeError as exc:
+            raise argparse.ArgumentTypeError(
+                f"object pattern tag field: {exc}; expected {form}"
+            ) from exc
+        return PatternSpec(PATTERN_OBJECT, obj=obj)
+    if head == "place":
+        return PatternSpec(PATTERN_PLACE, place=_int_field(parts, 1, "PLACE", head, form))
+    if head == "dwell":
+        return PatternSpec(
+            PATTERN_DWELL,
+            place=_int_field(parts, 1, "PLACE", head, form),
+            k=_int_field(parts, 2, "K", head, form),
+        )
+    if head == "missing":
+        return PatternSpec(PATTERN_MISSING, k=_int_field(parts, 1, "K", head, form))
+    return PatternSpec(
+        PATTERN_LEFT_WITHOUT_CONTAINER, place=_int_field(parts, 1, "PLACE", head, form)
     )
 
 
@@ -901,19 +996,29 @@ def cmd_client(args: argparse.Namespace) -> int:
                 for key, value in (await client.stats()).items():
                     print(f"{key:26} {value}")
                 return 0
-            if args.subscribe is not None:
-                sub_id = await client.subscribe(parse_pattern(args.subscribe))
-                print(f"subscribed #{sub_id} to {args.subscribe}")
+            if args.subscribe:
+                sub_ids = []
+                for text in args.subscribe:
+                    spec = parse_pattern(text)
+                    if spec.source is not None:
+                        sub_id = await client.subscribe_pattern(spec.source)
+                    else:
+                        sub_id = await client.subscribe(spec)
+                    print(f"subscribed #{sub_id} to {text}")
+                    sub_ids.append(sub_id)
                 received = 0
                 while args.count is None or received < args.count:
                     try:
-                        _, note = await client.next_notification(timeout=args.timeout)
+                        sub_id, note = await client.next_notification(
+                            timeout=args.timeout
+                        )
                     except asyncio.TimeoutError:
                         print(f"no notification within {args.timeout:.0f}s", file=sys.stderr)
                         return 1
-                    print(note)
+                    print(f"#{sub_id} {note}" if len(sub_ids) > 1 else note)
                     received += 1
-                await client.unsubscribe(sub_id)
+                for sub_id in sub_ids:
+                    await client.unsubscribe(sub_id)
                 return 0
             if args.object is None or args.at is None:
                 print("error: provide --object and --at, --subscribe, --stats, "
@@ -933,6 +1038,9 @@ def cmd_client(args: argparse.Namespace) -> int:
 
     try:
         return asyncio.run(run())
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: argument --subscribe: {exc}", file=sys.stderr)
+        return 2
     except (ConnectionError, ServingError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -1062,6 +1170,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON transport-fault schedule for the remote sweep "
              "(net_* and worker_crash kinds only; see docs/FAULTS.md)",
     )
+    bench.add_argument(
+        "--patterns", action="store_true",
+        help="also run the pattern-compiler bench at the largest milestone "
+             "(legacy catalogue vs repro.sase compiled patterns); adds a "
+             "'patterns' section and fails (exit 1) if notifications diverge",
+    )
     bench.set_defaults(func=cmd_bench)
 
     query = subparsers.add_parser("query", help="query a persisted event stream")
@@ -1115,9 +1229,13 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--object", type=parse_tag, help="e.g. case:3 (with --at)")
     client.add_argument("--at", type=int, help="epoch to query")
     client.add_argument(
-        "--subscribe",
-        help="follow a standing pattern: tail[:PLACE], object:LEVEL:SERIAL, "
-             "place:PLACE, dwell:PLACE:K, missing:K, anomaly:PLACE",
+        "--subscribe", action="append", metavar="PATTERN",
+        help="follow a standing pattern (repeatable; notifications are "
+             "prefixed with their #id when several are active): a shorthand "
+             "— tail[:PLACE], object:LEVEL:SERIAL, place:PLACE, dwell:PLACE:K, "
+             "missing:K, anomaly:PLACE — or full pattern source, e.g. "
+             "\"PATTERN SEQ(arrival a, !departure d) WHERE a.place == 3 AND "
+             "d.obj == a.obj WITHIN 50 EPOCHS\"",
     )
     client.add_argument("--count", type=int, default=None,
                         help="with --subscribe: exit after this many notifications")

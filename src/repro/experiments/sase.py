@@ -1,0 +1,177 @@
+"""Pattern-compiler bench: catalogue equivalence + match throughput.
+
+Replays the Table III workload once through a serial coordinator, then
+feeds the identical per-epoch message stream to two standing-query
+engines — one subscribed to the hand-coded legacy catalogue, one to the
+same six patterns compiled from :mod:`repro.sase` source — and checks
+the encoded notification frames are **byte for byte** identical.  The
+timed runs give the catalogue-vs-compiled overhead ratio and the match
+throughput at the milestone; the results land in the ``patterns``
+section of ``BENCH_table3.json`` and gate the CI ``sase-smoke`` step
+via :func:`check_patterns`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed import Coordinator, Zone
+from repro.experiments.table3 import (
+    DEFAULT_CASES_PER_PALLET,
+    DEFAULT_SEED,
+    duration_for,
+    machine_info,
+    table3_config,
+)
+from repro.serving import protocol
+from repro.serving.engine import StandingQueryEngine
+from repro.simulator.warehouse import WarehouseSimulator
+
+DEFAULT_MILESTONE = 12_000
+DEFAULT_DWELL_K = 25
+
+#: deep enough that drop-oldest eviction can never skew the comparison
+_QUEUE = 1 << 20
+
+
+def _catalogue_params(layout, dwell_k: int) -> dict:
+    """Pattern arguments anchored to real places/objects in the workload."""
+    from repro.model.objects import PackagingLevel, TagId
+
+    # the anomaly pattern watches the belt: items falling off their case
+    # there are the one containment anomaly this workload produces
+    return {
+        "belt": layout.receiving_belt.color,
+        "shelf": layout.shelves[0].color,
+        "anomaly": layout.receiving_belt.color,
+        "obj": TagId(PackagingLevel.CASE, 3),
+        "k": dwell_k,
+    }
+
+
+def _legacy_catalogue(params: dict) -> list[tuple[str, object]]:
+    from repro.serving.patterns import (
+        DwellExceeded,
+        LeftWithoutContainer,
+        MissingOverdue,
+        ObjectWatch,
+        PlaceWatch,
+        Tail,
+    )
+
+    return [
+        ("tail_belt", Tail(place=params["belt"])),
+        ("object_case3", ObjectWatch(obj=params["obj"])),
+        ("place_shelf0", PlaceWatch(place=params["shelf"])),
+        ("dwell_shelf0", DwellExceeded(place=params["shelf"], k=params["k"])),
+        ("missing_overdue", MissingOverdue(k=params["k"])),
+        ("anomaly_belt", LeftWithoutContainer(place=params["anomaly"])),
+    ]
+
+
+def _compiled_catalogue(params: dict) -> list[tuple[str, object]]:
+    from repro.sase import library
+
+    return [
+        ("tail_belt", library.tail(place=params["belt"])),
+        ("object_case3", library.object_watch(params["obj"])),
+        ("place_shelf0", library.place_watch(params["shelf"])),
+        ("dwell_shelf0", library.dwell_exceeded(params["shelf"], params["k"])),
+        ("missing_overdue", library.missing_overdue(params["k"])),
+        ("anomaly_belt", library.left_without_container(params["anomaly"])),
+    ]
+
+
+def _replay_epochs(sim) -> list[tuple[int, list]]:
+    """Interpret the raw stream once; both engine runs share the result."""
+    coordinator = Coordinator(
+        [Zone.build("all", sim.layout.readers, sim.layout.registry)]
+    )
+    epochs = []
+    for readings in sim.stream:
+        result = coordinator.process_epoch(readings)
+        epochs.append((result.epoch, result.messages))
+    return epochs
+
+
+def _run_catalogue(patterns, epochs) -> tuple[float, dict[str, list[bytes]]]:
+    """Publish every epoch to a fresh engine; return (seconds, frames)."""
+    engine = StandingQueryEngine(expand_level2=True)
+    subs = [(name, engine.subscribe(pattern, max_queue=_QUEUE))
+            for name, pattern in patterns]
+    started = time.perf_counter()
+    for epoch, messages in epochs:
+        engine.publish(epoch, messages)
+    elapsed = time.perf_counter() - started
+    frames = {
+        name: [protocol.encode_event(0, note) for note in sub.drain()]
+        for name, sub in subs
+    }
+    return elapsed, frames
+
+
+def run_patterns_bench(
+    milestone: int = DEFAULT_MILESTONE,
+    cases_per_pallet: int = DEFAULT_CASES_PER_PALLET,
+    seed: int = DEFAULT_SEED,
+    dwell_k: int = DEFAULT_DWELL_K,
+) -> dict:
+    """Run the legacy-vs-compiled catalogue comparison; return the payload."""
+    duration = duration_for([milestone], cases_per_pallet)
+    sim = WarehouseSimulator(
+        table3_config(cases_per_pallet, duration, seed)
+    ).run()
+    epochs = _replay_epochs(sim)
+    message_count = sum(len(messages) for _, messages in epochs)
+
+    params = _catalogue_params(sim.layout, dwell_k)
+    legacy_s, legacy_frames = _run_catalogue(_legacy_catalogue(params), epochs)
+    compiled = _compiled_catalogue(params)
+    compiled_s, compiled_frames = _run_catalogue(compiled, epochs)
+
+    rows = []
+    for name, pattern in compiled:
+        mine, theirs = compiled_frames[name], legacy_frames[name]
+        rows.append({
+            "name": name,
+            "source": pattern.source,
+            "matches": len(mine),
+            "equivalent": mine == theirs,
+            "compile_ms": pattern.compile_seconds * 1e3,
+        })
+    matches = sum(row["matches"] for row in rows)
+    return {
+        "workload": {
+            "milestone": milestone,
+            "duration": duration,
+            "cases_per_pallet": cases_per_pallet,
+            "seed": seed,
+            "dwell_k": dwell_k,
+            "messages": message_count,
+            "epochs": len(epochs),
+        },
+        "machine": machine_info(),
+        "catalogue": rows,
+        "equivalent": all(row["equivalent"] for row in rows),
+        "matches": matches,
+        "legacy_s": legacy_s,
+        "compiled_s": compiled_s,
+        "overhead_ratio": compiled_s / max(legacy_s, 1e-12),
+        "match_throughput_per_s": matches / max(compiled_s, 1e-12),
+        "messages_per_s": message_count / max(compiled_s, 1e-12),
+        "compile_seconds_total": sum(p.compile_seconds for _, p in compiled),
+    }
+
+
+def check_patterns(payload: dict) -> list[str]:
+    """Gate for CI: equivalence is a hard failure, throughput advisory."""
+    problems = []
+    for row in payload["catalogue"]:
+        if not row["equivalent"]:
+            problems.append(
+                f"{row['name']}: compiled notifications diverge from the "
+                f"legacy catalogue ({row['matches']} match frame(s))"
+            )
+    if payload["matches"] == 0:
+        problems.append("catalogue produced no matches — workload is degenerate")
+    return problems

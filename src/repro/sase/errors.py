@@ -1,0 +1,35 @@
+"""Error taxonomy of the pattern compiler.
+
+Both error kinds derive from :class:`PatternError` (a ``ValueError``) so
+callers at the protocol boundary — the serving server's subscribe
+handler, the CLI's ``--subscribe`` validation — can catch one type and
+forward the message verbatim as a compile-error reply.
+"""
+
+from __future__ import annotations
+
+
+class PatternError(ValueError):
+    """Base class for every pattern compilation failure."""
+
+
+class PatternSyntaxError(PatternError):
+    """The pattern text does not parse.
+
+    Carries the offset of the offending token so messages can point at
+    the exact spot: ``expected ')' at offset 17, got 'WHERE'``.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class PatternSemanticError(PatternError):
+    """The pattern parses but cannot be compiled to a runnable NFA.
+
+    Examples: a predicate referencing an unknown binding, a trailing
+    negation without a ``WITHIN`` window, a Kleene+ on a negated element.
+    """

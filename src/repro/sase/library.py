@@ -1,0 +1,208 @@
+"""The serving catalogue, re-expressed in the pattern language.
+
+Each builder returns a :class:`~repro.sase.compiled.CompiledPattern`
+whose source text encodes the legacy pattern's matching logic and whose
+render function reproduces the legacy notification **byte for byte**
+(same kind string, same fields, same detail text) — the equivalence
+tests replay chaos-seeded streams through both implementations and
+compare the encoded notification frames.
+
+The six definitions double as worked examples of the language:
+
+========================  =============================================
+builder                   pattern sketch
+========================  =============================================
+``tail``                  ``SEQ(any e)`` + optional obj/place predicates
+``object_watch``          ``SEQ(any e) WHERE e.obj == t OR e.container == t``
+``place_watch``           ``SEQ(location e) WHERE e.place == p``
+``dwell_exceeded``        ``SEQ(arrival a, !(departure | missing) d) ...
+                          WITHIN k EPOCHS`` — negation-as-absence
+``missing_overdue``       ``SEQ(missing m, !arrival a) ... WITHIN k``
+``left_without_container``  ``SEQ((departure | missing) d) ONCE PER
+                          EPOCH WHERE <index predicates at fire time>``
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.events.messages import EventKind
+from repro.model.objects import TagId
+from repro.sase.compiled import CompiledPattern, compile_pattern
+from repro.sase.runtime import Match
+from repro.serving.patterns import (
+    PATTERN_DWELL,
+    PATTERN_LEFT_WITHOUT_CONTAINER,
+    PATTERN_MISSING,
+    PATTERN_OBJECT,
+    PATTERN_PLACE,
+    PATTERN_TAIL,
+    NOTIFY_DWELL_EXCEEDED,
+    NOTIFY_EVENT,
+    NOTIFY_LEFT_WITHOUT_CONTAINER,
+    NOTIFY_MISSING_OVERDUE,
+    NOTIFY_OBJECT_EVENT,
+    NOTIFY_PLACE_EVENT,
+    Notification,
+    PatternSpec,
+)
+
+_KIND_ORDINAL = {kind: ordinal for ordinal, kind in enumerate(EventKind)}
+
+
+def _tag_literal(tag: TagId) -> str:
+    return f"{tag.level.name.lower()}:{tag.serial}"
+
+
+def _event_render(kind: str):
+    """Render a single-event match the way ``_event_notification`` did."""
+
+    def render(match: Match, index) -> Notification:
+        view = match.bindings["e"]
+        msg = view.msg
+        return Notification(
+            kind=kind,
+            epoch=match.epoch,
+            obj=msg.obj,
+            place=msg.place,
+            container=msg.container,
+            value=_KIND_ORDINAL[msg.kind],
+            detail=msg.kind.value,
+        )
+
+    return render
+
+
+def tail(obj: TagId | None = None, place: int | None = None) -> CompiledPattern:
+    """Live tail of the interpreted stream, optionally filtered."""
+    clauses = []
+    if obj is not None:
+        literal = _tag_literal(obj)
+        clauses.append(f"(e.obj == {literal} OR e.container == {literal})")
+    if place is not None:
+        clauses.append(f"e.place == {place}")
+    source = "PATTERN SEQ(any e)"
+    if clauses:
+        source += " WHERE " + " AND ".join(clauses)
+    pattern = compile_pattern(
+        source, render=_event_render(NOTIFY_EVENT), notify_kind=NOTIFY_EVENT
+    )
+    pattern.spec_override = PatternSpec(PATTERN_TAIL, obj=obj, place=place)
+    return pattern
+
+
+def object_watch(obj: TagId) -> CompiledPattern:
+    """Every event about one object — its live path/containment feed."""
+    literal = _tag_literal(obj)
+    source = f"PATTERN SEQ(any e) WHERE e.obj == {literal} OR e.container == {literal}"
+    pattern = compile_pattern(
+        source, render=_event_render(NOTIFY_OBJECT_EVENT), notify_kind=NOTIFY_OBJECT_EVENT
+    )
+    pattern.spec_override = PatternSpec(PATTERN_OBJECT, obj=obj)
+    return pattern
+
+
+def place_watch(place: int) -> CompiledPattern:
+    """Every location event at one place (arrivals, departures, missing)."""
+    source = f"PATTERN SEQ(location e) WHERE e.place == {place}"
+    pattern = compile_pattern(
+        source, render=_event_render(NOTIFY_PLACE_EVENT), notify_kind=NOTIFY_PLACE_EVENT
+    )
+    pattern.spec_override = PatternSpec(PATTERN_PLACE, place=place)
+    return pattern
+
+
+def dwell_exceeded(place: int, k: int) -> CompiledPattern:
+    """An object stayed at ``place`` at least ``k`` epochs.
+
+    The canonical negation-as-absence pattern: an arrival at the place,
+    then *no* departure/missing for that object at that place within the
+    window.  The match fires when the window elapses.
+    """
+    source = (
+        f"PATTERN SEQ(arrival a, !(departure | missing) d) "
+        f"WHERE a.place == {place} AND d.obj == a.obj AND d.place == {place} "
+        f"WITHIN {k} EPOCHS "
+        f"RETURN a.obj AS obj, a.vs AS since"
+    )
+
+    def render(match: Match, index) -> Notification:
+        arrival = match.bindings["a"]
+        since = arrival.msg.vs
+        return Notification(
+            kind=NOTIFY_DWELL_EXCEEDED,
+            epoch=match.epoch,
+            obj=arrival.msg.obj,
+            place=place,
+            value=match.epoch - since,
+            detail=f"at L{place} since {since} (>= {k} epochs)",
+        )
+
+    pattern = compile_pattern(source, render=render, notify_kind=NOTIFY_DWELL_EXCEEDED)
+    pattern.spec_override = PatternSpec(PATTERN_DWELL, place=place, k=k)
+    return pattern
+
+
+def missing_overdue(k: int) -> CompiledPattern:
+    """An object stayed in reported-missing state for ``k`` epochs."""
+    source = (
+        f"PATTERN SEQ(missing m, !arrival a) "
+        f"WHERE a.obj == m.obj "
+        f"WITHIN {k} EPOCHS "
+        f"RETURN m.obj AS obj, m.vs AS since"
+    )
+
+    def render(match: Match, index) -> Notification:
+        report = match.bindings["m"]
+        since = report.msg.vs
+        place = report.msg.place if report.msg.place is not None else -1
+        return Notification(
+            kind=NOTIFY_MISSING_OVERDUE,
+            epoch=match.epoch,
+            obj=report.msg.obj,
+            place=place if place >= 0 else None,
+            value=match.epoch - since,
+            detail=f"missing since {since} (>= {k} epochs)",
+        )
+
+    pattern = compile_pattern(source, render=render, notify_kind=NOTIFY_MISSING_OVERDUE)
+    pattern.spec_override = PatternSpec(PATTERN_MISSING, k=k)
+    return pattern
+
+
+def left_without_container(place: int) -> CompiledPattern:
+    """Containment anomaly: an object left ``place``, its container stayed.
+
+    All the interesting predicates are *fire-time*: they consult the
+    live index (``container(...)``, ``loc(...)``, ``now``), so the
+    compiler pins them to the match epoch — exactly when the legacy
+    pattern performed its lookups.
+    """
+    source = (
+        f"PATTERN SEQ((departure | missing) d) ONCE PER EPOCH "
+        f"WHERE d.place == {place} "
+        f"AND loc(coalesce(container(d.obj, max(d.vs, d.left - 1)), "
+        f"container(d.obj, d.left)), now) == {place} "
+        f"AND loc(d.obj, now) != {place}"
+    )
+
+    def render(match: Match, index) -> Notification:
+        view = match.bindings["d"]
+        msg = view.msg
+        left_at = int(msg.ve) if msg.kind is EventKind.END_LOCATION else msg.vs
+        container = index.container_of(msg.obj, max(msg.vs, left_at - 1))
+        if container is None:
+            container = index.container_of(msg.obj, left_at)
+        return Notification(
+            kind=NOTIFY_LEFT_WITHOUT_CONTAINER,
+            epoch=match.epoch,
+            obj=msg.obj,
+            place=place,
+            container=container,
+            detail=f"left L{place} at {left_at}; {container} stayed",
+        )
+
+    pattern = compile_pattern(
+        source, render=render, notify_kind=NOTIFY_LEFT_WITHOUT_CONTAINER
+    )
+    pattern.spec_override = PatternSpec(PATTERN_LEFT_WITHOUT_CONTAINER, place=place)
+    return pattern

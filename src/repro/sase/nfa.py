@@ -1,0 +1,317 @@
+"""AST → NFA compilation: predicate push-down and partition inference.
+
+The compiler lowers a :class:`~repro.sase.ast.PatternAST` into an
+:class:`NfaProgram` the runtime executes directly:
+
+* **positive steps** — one NFA state per non-negated SEQ element; an
+  instance's ``state`` counts how many steps it has consumed;
+* **negation guards** — a negated element becomes a *kill edge* attached
+  to the state it interrupts: an event matching the guard while an
+  instance sits at that state kills the instance.  A guard after the
+  last positive element makes the pattern an **absence** pattern: the
+  match fires when the WITHIN window elapses without a kill
+  (negation-as-absence, the SASE trailing-negation semantics);
+* **predicate push-down** — WHERE is split at top-level ANDs and each
+  conjunct is evaluated at the earliest point all its bindings exist:
+  at consume time of its latest positive binding, at kill-check time
+  for a negated binding, or at fire time when it reads ``now`` / the
+  live index (index answers can change as later messages retro-close
+  intervals, so index predicates are pinned to the match epoch);
+* **partition inference** — the SASE partitioned-active-instance-stack
+  optimization: when one attribute's cross-binding equivalence tests
+  (``b.obj == a.obj``) connect every element, instances are stacked per
+  value of that attribute and each event only touches its own stack.
+  Single-element patterns partition on ``obj`` (every event carries
+  one); unconnected multi-element patterns fall back to one shared
+  stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.messages import EventKind
+from repro.sase.ast import (
+    And,
+    Attr,
+    Cmp,
+    Expr,
+    PatternAST,
+    needs_fire_time,
+    referenced_bindings,
+)
+from repro.sase.errors import PatternSemanticError
+
+#: attributes eligible as partition keys, in preference order when
+#: several qualify (deterministic compilation)
+_PARTITION_PREFERENCE = ("obj", "container", "place", "vs")
+
+
+@dataclass(frozen=True)
+class PositiveStep:
+    """One consuming NFA state."""
+
+    index: int  # 0-based position among the positive elements
+    binding: str
+    kinds: frozenset[EventKind]
+    kleene: bool
+    preds: tuple[Expr, ...]  # evaluated when this step consumes an event
+
+
+@dataclass(frozen=True)
+class NegationGuard:
+    """A kill edge: while an instance sits at ``guard_state``, an event
+    matching ``kinds`` + ``preds`` kills it."""
+
+    guard_state: int  # kills instances that have consumed this many steps
+    binding: str
+    kinds: frozenset[EventKind]
+    preds: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class NfaProgram:
+    """A compiled, runnable pattern."""
+
+    ast: PatternAST
+    steps: tuple[PositiveStep, ...]
+    guards: tuple[NegationGuard, ...]
+    fire_preds: tuple[Expr, ...]
+    window: int | None  # epochs; None = unbounded
+    once_per_epoch: bool
+    partition_attr: str | None  # None = one shared instance stack
+    absence: bool  # trailing negation: fire on window expiry
+
+    @property
+    def relevant_kinds(self) -> frozenset[EventKind]:
+        kinds: frozenset[EventKind] = frozenset()
+        for step in self.steps:
+            kinds |= step.kinds
+        for guard in self.guards:
+            kinds |= guard.kinds
+        return kinds
+
+    @property
+    def replace_on_restart(self) -> bool:
+        """Single-positive absence patterns re-arm: a fresh initiating
+        event replaces the pending episode in its partition (the
+        episodic semantics of threshold alerts like dwell/missing)."""
+        return self.absence and len(self.steps) == 1
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        self.parent.setdefault(item, item)
+        while self.parent[item] != item:
+            self.parent[item] = self.parent[self.parent[item]]
+            item = self.parent[item]
+        return item
+
+    def union(self, a: str, b: str) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def _conjuncts(where: Expr | None) -> list[Expr]:
+    if where is None:
+        return []
+    if isinstance(where, And):
+        return list(where.parts)
+    return [where]
+
+
+def _equivalence_attr(conjunct: Expr) -> tuple[str, str, str] | None:
+    """``(attr, binding_a, binding_b)`` for ``a.x == b.x`` conjuncts."""
+    if (
+        isinstance(conjunct, Cmp)
+        and conjunct.op == "=="
+        and isinstance(conjunct.left, Attr)
+        and isinstance(conjunct.right, Attr)
+        and conjunct.left.name == conjunct.right.name
+        and conjunct.left.binding != conjunct.right.binding
+    ):
+        return conjunct.left.name, conjunct.left.binding, conjunct.right.binding
+    return None
+
+
+def compile_ast(ast: PatternAST) -> NfaProgram:
+    """Lower a parsed pattern to an :class:`NfaProgram`.
+
+    Raises :class:`~repro.sase.errors.PatternSemanticError` on patterns
+    that parse but cannot run (unknown bindings, misplaced negation,
+    trailing negation without a window, ...).
+    """
+    steps: list[PositiveStep] = []
+    guard_slots: list[tuple[int, str, frozenset[EventKind]]] = []
+    position: dict[str, int] = {}  # binding -> element order index
+    positive_index: dict[str, int] = {}
+    negated: set[str] = set()
+    for order, element in enumerate(ast.elements):
+        if element.binding in position:
+            raise PatternSemanticError(
+                f"binding {element.binding!r} is declared twice"
+            )
+        position[element.binding] = order
+        if element.negated:
+            if element.kleene:
+                raise PatternSemanticError(
+                    f"negated element {element.binding!r} cannot carry Kleene+"
+                )
+            if not steps:
+                raise PatternSemanticError(
+                    f"negated element {element.binding!r} cannot precede every "
+                    "positive element (there is nothing for it to interrupt)"
+                )
+            negated.add(element.binding)
+            guard_slots.append((len(steps), element.binding, element.kinds()))
+        else:
+            positive_index[element.binding] = len(steps)
+            steps.append(
+                PositiveStep(
+                    index=len(steps),
+                    binding=element.binding,
+                    kinds=element.kinds(),
+                    kleene=element.kleene,
+                    preds=(),
+                )
+            )
+    if not steps:
+        raise PatternSemanticError("a pattern needs at least one positive element")
+
+    total = len(steps)
+    absence = any(slot[0] == total for slot in guard_slots)
+    window = ast.window_epochs()
+    if absence and window is None:
+        raise PatternSemanticError(
+            "a trailing negated element needs a WITHIN window: the absence "
+            "fires when the window elapses without the negated event"
+        )
+    if absence and steps[-1].kleene:
+        raise PatternSemanticError(
+            "Kleene+ on the last positive element cannot combine with a "
+            "trailing negation (the run would never settle)"
+        )
+
+    # --- assign WHERE conjuncts -------------------------------------------
+    step_preds: dict[int, list[Expr]] = {step.index: [] for step in steps}
+    guard_preds: dict[str, list[Expr]] = {binding: [] for _, binding, _ in guard_slots}
+    fire_preds: list[Expr] = []
+    equivalences: list[tuple[str, str, str]] = []
+    for conjunct in _conjuncts(ast.where):
+        refs = referenced_bindings(conjunct)
+        unknown = refs - set(position)
+        if unknown:
+            raise PatternSemanticError(
+                f"predicate {conjunct.unparse()!r} references unknown "
+                f"binding(s) {sorted(unknown)}; declared: {sorted(position)}"
+            )
+        equivalence = _equivalence_attr(conjunct)
+        if equivalence is not None:
+            equivalences.append(equivalence)
+        negated_refs = refs & negated
+        if needs_fire_time(conjunct):
+            if negated_refs:
+                raise PatternSemanticError(
+                    f"predicate {conjunct.unparse()!r} reads the live index or "
+                    "'now' but references a negated binding; negations are "
+                    "checked when the negated event arrives, not at fire time"
+                )
+            fire_preds.append(conjunct)
+            continue
+        if negated_refs:
+            if len(negated_refs) > 1:
+                raise PatternSemanticError(
+                    f"predicate {conjunct.unparse()!r} links two negated "
+                    "bindings; split it into per-binding conjuncts"
+                )
+            binding = next(iter(negated_refs))
+            guard_order = position[binding]
+            late = [
+                name
+                for name in refs - {binding}
+                if position[name] > guard_order
+            ]
+            if late:
+                raise PatternSemanticError(
+                    f"predicate {conjunct.unparse()!r} links negated binding "
+                    f"{binding!r} with later binding(s) {sorted(late)}; those "
+                    "are not bound yet when the negation is checked"
+                )
+            guard_preds[binding].append(conjunct)
+            continue
+        if not refs:
+            fire_preds.append(conjunct)
+            continue
+        latest = max(positive_index[name] for name in refs)
+        step_preds[latest].append(conjunct)
+
+    compiled_steps = tuple(
+        PositiveStep(
+            index=step.index,
+            binding=step.binding,
+            kinds=step.kinds,
+            kleene=step.kleene,
+            preds=tuple(step_preds[step.index]),
+        )
+        for step in steps
+    )
+    guards = tuple(
+        NegationGuard(
+            guard_state=guard_state,
+            binding=binding,
+            kinds=kinds,
+            preds=tuple(guard_preds[binding]),
+        )
+        for guard_state, binding, kinds in guard_slots
+    )
+
+    # --- partition inference ----------------------------------------------
+    partition_attr = _infer_partition(
+        set(positive_index), negated, equivalences
+    )
+
+    return NfaProgram(
+        ast=ast,
+        steps=compiled_steps,
+        guards=guards,
+        fire_preds=tuple(fire_preds),
+        window=window,
+        once_per_epoch=ast.once_per_epoch,
+        partition_attr=partition_attr,
+        absence=absence,
+    )
+
+
+def _infer_partition(
+    positives: set[str], negated: set[str], equivalences: list[tuple[str, str, str]]
+) -> str | None:
+    """Pick the stack-partitioning attribute, if any.
+
+    An attribute qualifies when its equivalence tests connect every
+    element (positive and negated) into one component — then an event
+    can only ever extend/kill instances holding its own attribute value,
+    so stacks keyed on that value are semantics-preserving.
+    """
+    everyone = positives | negated
+    if len(everyone) == 1:
+        return "obj"  # every event kind carries obj; groups runs per object
+    qualified: list[str] = []
+    attrs = {attr for attr, _, _ in equivalences}
+    for attr in attrs:
+        union = _UnionFind()
+        for name in everyone:
+            union.find(name)
+        for eq_attr, a, b in equivalences:
+            if eq_attr == attr:
+                union.union(a, b)
+        roots = {union.find(name) for name in everyone}
+        if len(roots) == 1:
+            qualified.append(attr)
+    if not qualified:
+        return None
+    for preferred in _PARTITION_PREFERENCE:
+        if preferred in qualified:
+            return preferred
+    return sorted(qualified)[0]

@@ -175,6 +175,18 @@ class SpireClient:
         )
         return protocol.decode_subscribed(body)
 
+    async def subscribe_pattern(self, source: str, max_queue: int = 1024) -> int:
+        """Subscribe with pattern source text (see :mod:`repro.sase`).
+
+        The server compiles the text; a compile failure raises
+        :class:`ServingError` carrying the compiler's message (syntax
+        errors include the offending source offset).
+        """
+        body = await self._request(
+            lambda rid: protocol.encode_subscribe_pattern(rid, source, max_queue)
+        )
+        return protocol.decode_subscribed(body)
+
     async def unsubscribe(self, sub_id: int) -> bool:
         body = await self._request(
             lambda rid: protocol.encode_unsubscribe(rid, sub_id)

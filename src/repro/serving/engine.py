@@ -289,6 +289,37 @@ class StandingQueryEngine:
                 "count": s.queries_served,
             },
         ]
+        # aggregate compiled-pattern (repro.sase) runtime counters across
+        # subscriptions; duck-typed so the engine never imports repro.sase
+        sase_totals = {
+            "active_instances": 0,
+            "partitions": 0,
+            "matches": 0,
+            "kills": 0,
+            "prunes": 0,
+            "compile_seconds": 0.0,
+        }
+        compiled_count = 0
+        for sub in self._subscriptions.values():
+            sase = getattr(sub.pattern, "sase_stats", None)
+            if sase is None:
+                continue
+            compiled_count += 1
+            for key in sase_totals:
+                sase_totals[key] += sase.get(key, 0)
+        series.extend(
+            [
+                gauge("spire_sase_compiled_patterns", compiled_count),
+                gauge("spire_sase_active_instances", sase_totals["active_instances"]),
+                gauge("spire_sase_partitions", sase_totals["partitions"]),
+                counter("spire_sase_matches_total", sase_totals["matches"]),
+                counter("spire_sase_kills_total", sase_totals["kills"]),
+                counter("spire_sase_prunes_total", sase_totals["prunes"]),
+                counter(
+                    "spire_sase_compile_seconds_total", sase_totals["compile_seconds"]
+                ),
+            ]
+        )
         help_text = {
             "spire_serving_epochs_published_total": "Epochs fed to the standing-query engine",
             "spire_serving_messages_published_total": "Expanded event messages published",
@@ -300,5 +331,12 @@ class StandingQueryEngine:
             "spire_serving_active_subscriptions": "Currently active subscriptions",
             "spire_serving_queued_notifications": "Notifications waiting in subscription queues",
             "spire_serving_query_latency_microseconds": "One-shot query latency (log2-bucketed)",
+            "spire_sase_compiled_patterns": "Active subscriptions running compiled patterns",
+            "spire_sase_active_instances": "Live partial matches across compiled patterns",
+            "spire_sase_partitions": "Active instance-stack partitions across compiled patterns",
+            "spire_sase_matches_total": "Pattern matches emitted by compiled patterns",
+            "spire_sase_kills_total": "Partial matches killed by negation edges",
+            "spire_sase_prunes_total": "Partial matches pruned at window expiry",
+            "spire_sase_compile_seconds_total": "Time spent compiling pattern source",
         }
         return {"series": series, "help": help_text}

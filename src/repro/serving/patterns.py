@@ -35,6 +35,7 @@ PATTERN_PLACE = 3
 PATTERN_DWELL = 4
 PATTERN_MISSING = 5
 PATTERN_LEFT_WITHOUT_CONTAINER = 6
+PATTERN_SASE = 7  # compiled from pattern source text (repro.sase)
 
 # notification kinds (wire-stable codes in repro.serving.protocol)
 NOTIFY_EVENT = "event"
@@ -43,6 +44,7 @@ NOTIFY_PLACE_EVENT = "place_event"
 NOTIFY_DWELL_EXCEEDED = "dwell_exceeded"
 NOTIFY_MISSING_OVERDUE = "missing_overdue"
 NOTIFY_LEFT_WITHOUT_CONTAINER = "left_without_container"
+NOTIFY_SASE_MATCH = "sase_match"
 
 
 @dataclass(frozen=True)
@@ -83,12 +85,18 @@ class Notification:
 
 @dataclass(frozen=True)
 class PatternSpec:
-    """Wire-portable description of a pattern (see the subscribe op)."""
+    """Wire-portable description of a pattern (see the subscribe op).
+
+    Legacy catalogue kinds are described by the ``obj``/``place``/``k``
+    fields; :data:`PATTERN_SASE` subscriptions carry the pattern
+    ``source`` text instead and are compiled server-side.
+    """
 
     kind: int
     obj: TagId | None = None
     place: int | None = None
     k: int = 0
+    source: str | None = None
 
 
 class Pattern:
@@ -342,27 +350,41 @@ class LeftWithoutContainer(Pattern):
 
 
 def pattern_from_spec(spec: PatternSpec) -> Pattern:
-    """Instantiate a fresh (stateless) pattern from its wire description."""
+    """Instantiate a fresh (stateless) pattern from its wire description.
+
+    Legacy catalogue kinds route through their :mod:`repro.sase.library`
+    definitions — the same matching logic, compiled from pattern source
+    and pinned byte-for-byte against the hand-coded classes (which stay
+    importable above for the equivalence tests).
+    """
+    from repro.sase import library  # deferred: repro.sase imports this module
+
     if spec.kind == PATTERN_TAIL:
-        return Tail(obj=spec.obj, place=spec.place)
+        return library.tail(obj=spec.obj, place=spec.place)
     if spec.kind == PATTERN_OBJECT:
         if spec.obj is None:
             raise ValueError("object watch requires an object")
-        return ObjectWatch(obj=spec.obj)
+        return library.object_watch(obj=spec.obj)
     if spec.kind == PATTERN_PLACE:
         if spec.place is None:
             raise ValueError("place watch requires a place")
-        return PlaceWatch(place=spec.place)
+        return library.place_watch(place=spec.place)
     if spec.kind == PATTERN_DWELL:
         if spec.place is None or spec.k <= 0:
             raise ValueError("dwell pattern requires a place and k >= 1")
-        return DwellExceeded(place=spec.place, k=spec.k)
+        return library.dwell_exceeded(place=spec.place, k=spec.k)
     if spec.kind == PATTERN_MISSING:
         if spec.k <= 0:
             raise ValueError("missing pattern requires k >= 1")
-        return MissingOverdue(k=spec.k)
+        return library.missing_overdue(k=spec.k)
     if spec.kind == PATTERN_LEFT_WITHOUT_CONTAINER:
         if spec.place is None:
             raise ValueError("containment-anomaly pattern requires a place")
-        return LeftWithoutContainer(place=spec.place)
+        return library.left_without_container(place=spec.place)
+    if spec.kind == PATTERN_SASE:
+        if not spec.source:
+            raise ValueError("sase pattern requires source text")
+        from repro.sase import compile_pattern
+
+        return compile_pattern(spec.source)
     raise ValueError(f"unknown pattern kind {spec.kind}")

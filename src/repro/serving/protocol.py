@@ -18,6 +18,9 @@ Ops:
 * ``OP_QUERY`` — one-shot point/range query against the live index;
 * ``OP_SUBSCRIBE`` — register a standing pattern; replies with the
   subscription id, then event frames flow after each served epoch;
+* ``OP_SUBSCRIBE_PATTERN`` — like subscribe, but the payload is pattern
+  *source text* compiled server-side (:mod:`repro.sase`); compile errors
+  come back as error replies carrying the compiler message;
 * ``OP_UNSUBSCRIBE`` — stop a subscription (its queued frames may still
   be in flight);
 * ``OP_STATS`` — serving counters as JSON (diagnostics, not hot path);
@@ -45,6 +48,7 @@ OP_SUBSCRIBE = 2
 OP_UNSUBSCRIBE = 3
 OP_STATS = 4
 OP_METRICS = 5
+OP_SUBSCRIBE_PATTERN = 6  # pattern source text, compiled server-side
 
 FRAME_REPLY = 64
 FRAME_EVENT = 65
@@ -71,6 +75,7 @@ NOTIFY_CODES = {
     "dwell_exceeded": 4,
     "missing_overdue": 5,
     "left_without_container": 6,
+    "sase_match": 7,
 }
 NOTIFY_KINDS = {code: kind for kind, code in NOTIFY_CODES.items()}
 
@@ -140,6 +145,26 @@ def encode_subscribe(request_id: int, spec: PatternSpec, max_queue: int = 1024) 
 def decode_subscribe(payload: bytes) -> tuple[PatternSpec, int]:
     kind, obj_key, place, k, max_queue = _SUBSCRIBE.unpack_from(payload, _REQUEST.size)
     return PatternSpec(kind, obj=_unpack_tag(obj_key), place=_unpack_place(place), k=k), max_queue
+
+
+def encode_subscribe_pattern(request_id: int, source: str, max_queue: int = 1024) -> bytes:
+    """Subscribe with pattern source text (compiled by the server).
+
+    A compile failure comes back as a ``STATUS_ERROR`` reply whose body
+    is the compiler's message (syntax errors carry the source offset).
+    """
+    return (
+        _REQUEST.pack(OP_SUBSCRIBE_PATTERN, request_id)
+        + _U32.pack(max_queue)
+        + source.encode("utf-8")
+    )
+
+
+def decode_subscribe_pattern(payload: bytes) -> tuple[str, int]:
+    """Returns (pattern source, max queue)."""
+    (max_queue,) = _U32.unpack_from(payload, _REQUEST.size)
+    source = payload[_REQUEST.size + _U32.size :].decode("utf-8")
+    return source, max_queue
 
 
 def encode_unsubscribe(request_id: int, sub_id: int) -> bytes:

@@ -31,6 +31,7 @@ from repro.obs.metrics import merge_snapshots, render_prometheus
 from repro.readers.stream import EpochReadings
 from repro.serving import protocol
 from repro.serving.engine import StandingQueryEngine
+from repro.sase import compile_pattern
 from repro.serving.patterns import pattern_from_spec
 
 
@@ -175,6 +176,8 @@ class SpireServer:
                 return self._handle_query(request_id, payload)
             if op == protocol.OP_SUBSCRIBE:
                 return await self._handle_subscribe(request_id, payload, writer)
+            if op == protocol.OP_SUBSCRIBE_PATTERN:
+                return await self._handle_subscribe_pattern(request_id, payload, writer)
             if op == protocol.OP_UNSUBSCRIBE:
                 return await self._handle_unsubscribe(request_id, payload)
             if op == protocol.OP_STATS:
@@ -220,6 +223,19 @@ class SpireServer:
     ) -> bytes:
         spec, max_queue = protocol.decode_subscribe(payload)
         pattern = pattern_from_spec(spec)
+        async with self._lock:
+            sub = self.engine.subscribe(pattern, max_queue=max_queue)
+            self._sub_owner[sub.sub_id] = writer
+        return protocol.encode_reply(request_id, protocol.encode_subscribed(sub.sub_id))
+
+    async def _handle_subscribe_pattern(
+        self, request_id: int, payload: bytes, writer: asyncio.StreamWriter
+    ) -> bytes:
+        source, max_queue = protocol.decode_subscribe_pattern(payload)
+        # compile outside the lock; PatternError (a ValueError) propagates
+        # to _dispatch's boundary handler and becomes the compile-error
+        # reply the client surfaces verbatim
+        pattern = compile_pattern(source)
         async with self._lock:
             sub = self.engine.subscribe(pattern, max_queue=max_queue)
             self._sub_owner[sub.sub_id] = writer

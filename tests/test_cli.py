@@ -170,6 +170,66 @@ class TestClientPatternParsing:
         with pytest.raises(argparse.ArgumentTypeError):
             parse_pattern(bad)
 
+    @pytest.mark.parametrize(
+        "bad, needle",
+        [
+            ("dwell:3", "missing its K field"),
+            ("dwell:x:5", "field PLACE must be an integer"),
+            ("object:5", "missing its LEVEL:SERIAL tag"),
+            ("place:x", "field PLACE must be an integer"),
+            ("missing", "missing its K field"),
+            ("tail:1:2", "at most one field"),
+            ("watch:1", "unknown pattern"),
+        ],
+    )
+    def test_errors_name_the_failing_field(self, bad, needle):
+        import argparse
+
+        from repro.cli import parse_pattern
+
+        with pytest.raises(argparse.ArgumentTypeError, match=needle):
+            parse_pattern(bad)
+
+    def test_pattern_source_parses_to_a_sase_spec(self):
+        from repro.cli import parse_pattern
+        from repro.serving.patterns import PATTERN_SASE
+
+        source = ("PATTERN SEQ(arrival a, !departure d) "
+                  "WHERE d.obj == a.obj WITHIN 10 EPOCHS")
+        spec = parse_pattern(source)
+        assert spec.kind == PATTERN_SASE and spec.source == source
+        # lower-case + leading-whitespace variants are recognized too
+        assert parse_pattern("  seq(any e)").kind == PATTERN_SASE
+
+    @pytest.mark.parametrize(
+        "bad, needle",
+        [
+            ("SEQ(arrival a", "does not compile"),
+            ("SEQ(arrival a) WHERE x.place == 1", "unknown binding"),
+            ("PATTERN SEQ(landing e)", "event class"),
+        ],
+    )
+    def test_bad_pattern_source_reports_the_compiler_error(self, bad, needle):
+        import argparse
+
+        from repro.cli import parse_pattern
+
+        with pytest.raises(argparse.ArgumentTypeError, match=needle):
+            parse_pattern(bad)
+
+    def test_legacy_shorthands_route_through_the_library(self):
+        """Shorthand specs now instantiate compiled patterns."""
+        from repro.cli import parse_pattern
+        from repro.sase.compiled import CompiledPattern
+        from repro.serving.patterns import pattern_from_spec
+
+        for text in ["tail:3", "object:item:5", "place:2", "dwell:3:10",
+                     "missing:7", "anomaly:4"]:
+            spec = parse_pattern(text)
+            pattern = pattern_from_spec(spec)
+            assert isinstance(pattern, CompiledPattern)
+            assert pattern.spec() == spec  # wire spec round-trips
+
 
 class TestServeAndClient:
     def test_serve_then_client_over_tcp(self, tmp_path, capsys):
@@ -240,6 +300,46 @@ class TestServeAndClient:
         captured = capsys.readouterr()
         assert rc == 1
         assert "no notification within 1s" in captured.err
+        server.join(timeout=30)
+
+    def test_repeated_subscribe_prefixes_notifications_with_ids(
+        self, tmp_path, capsys
+    ):
+        """Two --subscribe flags (one shorthand, one pattern source) open
+        two subscriptions; notifications carry their #id prefix."""
+        import re
+        import socket
+        import threading
+        import time
+
+        trace = tmp_path / "trace.bin"
+        assert main(["simulate", *SIM_ARGS, "--duration", "150",
+                     "--pallet-period", "40", "-o", str(trace)]) == 0
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        server = threading.Thread(
+            target=main,
+            args=(["serve", str(trace), "--port", str(port),
+                   "--epoch-interval", "0.05", "--linger", "10"],),
+            daemon=True,
+        )
+        server.start()
+        client_args = ["client", "--port", str(port)]
+        for _attempt in range(50):
+            if main([*client_args, "--stats"]) == 0:
+                break
+            time.sleep(0.2)
+        capsys.readouterr()
+        assert main([*client_args,
+                     "--subscribe", "tail",
+                     "--subscribe", "PATTERN SEQ(any e)",
+                     "--count", "4", "--timeout", "15"]) == 0
+        out = capsys.readouterr().out
+        ids = re.findall(r"subscribed #(\d+)", out)
+        assert len(ids) == 2 and ids[0] != ids[1]
+        prefixed = re.findall(r"^#(\d+) \[\w+ @", out, flags=re.M)
+        assert len(prefixed) == 4 and set(prefixed) <= set(ids)
         server.join(timeout=30)
 
 

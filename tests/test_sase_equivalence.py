@@ -1,0 +1,156 @@
+"""Legacy catalogue vs compiled patterns: byte-for-byte equivalence.
+
+The acceptance property of the pattern compiler: every hand-coded
+catalogue pattern, re-expressed as a :mod:`repro.sase` library
+definition, produces the **identical encoded notification frames** over
+chaos-enabled simulated streams (drops + delays, three pinned seeds).
+Also covers the subscription edge cases that ride along in this change:
+unknown-id unsubscribe, resubscribe after overflow eviction, and
+notification ordering across two subscriptions to the same pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import Coordinator, Zone
+from repro.model.objects import PackagingLevel, TagId
+from repro.sase import library
+from repro.serving import protocol
+from repro.serving.engine import StandingQueryEngine
+from repro.serving.patterns import (
+    DwellExceeded,
+    LeftWithoutContainer,
+    MissingOverdue,
+    ObjectWatch,
+    PlaceWatch,
+    Tail,
+)
+
+from tests.test_serving_e2e import _chaos_epochs
+
+SEEDS = [5, 17, 29]
+
+
+def _interpret(seed: int):
+    """One chaos-enabled run: the interpreted per-epoch message batches."""
+    sim, epochs = _chaos_epochs(seed)
+    coordinator = Coordinator(
+        [Zone.build("all", sim.layout.readers, sim.layout.registry)]
+    )
+    batches = []
+    for readings in epochs:
+        result = coordinator.process_epoch(readings)
+        batches.append((result.epoch, result.messages))
+    places = sorted(
+        {msg.place for _, messages in batches for msg in messages
+         if msg.place is not None}
+    )
+    return batches, places
+
+
+def _pattern_pairs(places):
+    """(legacy, compiled) pairs covering the whole catalogue."""
+    obj = TagId(PackagingLevel.CASE, 1)
+    place = places[0]
+    k = 5
+    return [
+        (Tail(), library.tail()),
+        (Tail(obj=obj, place=place), library.tail(obj=obj, place=place)),
+        (ObjectWatch(obj=obj), library.object_watch(obj)),
+        (PlaceWatch(place=place), library.place_watch(place)),
+        (DwellExceeded(place=place, k=k), library.dwell_exceeded(place, k)),
+        (MissingOverdue(k=k), library.missing_overdue(k)),
+        (LeftWithoutContainer(place=place), library.left_without_container(place)),
+    ]
+
+
+def _frames_per_epoch(pattern, batches, subscribe_at=None):
+    """Run one pattern through its own engine; encoded frames per epoch.
+
+    ``subscribe_at`` delays the subscription to that epoch index, so the
+    prime path (seeding from the live index) is compared too.
+    """
+    engine = StandingQueryEngine(expand_level2=True)
+    sub = None
+    if subscribe_at is None:
+        sub = engine.subscribe(pattern, max_queue=1 << 20)
+    frames = []
+    for position, (epoch, messages) in enumerate(batches):
+        if sub is None and subscribe_at is not None and position == subscribe_at:
+            sub = engine.subscribe(pattern, max_queue=1 << 20)
+        engine.publish(epoch, messages)
+        notes = sub.drain() if sub is not None else []
+        frames.append([protocol.encode_event(0, note) for note in notes])
+    return frames
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_catalogue_byte_equivalence_across_chaos_seeds(seed):
+    batches, places = _interpret(seed)
+    assert places, "chaos run produced no located events"
+    for legacy, compiled in _pattern_pairs(places):
+        expected = _frames_per_epoch(legacy, batches)
+        actual = _frames_per_epoch(compiled, batches)
+        assert actual == expected, (
+            f"{type(legacy).__name__} diverged (seed {seed}): "
+            f"{sum(map(len, actual))} vs {sum(map(len, expected))} frames"
+        )
+
+
+def test_mid_stream_subscription_prime_is_equivalent():
+    """Subscribing mid-stream (prime path) matches the legacy patterns."""
+    batches, places = _interpret(SEEDS[0])
+    midpoint = len(batches) // 2
+    place, k = places[0], 5
+    pairs = [
+        (DwellExceeded(place=place, k=k), library.dwell_exceeded(place, k)),
+        (MissingOverdue(k=k), library.missing_overdue(k)),
+    ]
+    for legacy, compiled in pairs:
+        expected = _frames_per_epoch(legacy, batches, subscribe_at=midpoint)
+        actual = _frames_per_epoch(compiled, batches, subscribe_at=midpoint)
+        assert actual == expected, f"{type(legacy).__name__} diverged after prime"
+
+
+# ---------------------------------------------------------------------------
+# subscription edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestSubscriptionEdgeCases:
+    def test_unsubscribe_unknown_id_is_a_clean_no(self):
+        engine = StandingQueryEngine()
+        assert engine.unsubscribe(12345) is False
+        sub = engine.subscribe(library.tail())
+        assert engine.unsubscribe(sub.sub_id) is True
+        assert engine.unsubscribe(sub.sub_id) is False  # already gone
+
+    def test_resubscribe_after_overflow_eviction_starts_clean(self):
+        batches, _ = _interpret(SEEDS[0])
+        engine = StandingQueryEngine(expand_level2=True)
+        sub = engine.subscribe(library.tail(), max_queue=4)
+        for epoch, messages in batches[: len(batches) // 2]:
+            engine.publish(epoch, messages)
+        assert sub.dropped > 0, "tiny queue should have overflowed"
+        engine.unsubscribe(sub.sub_id)
+
+        fresh = engine.subscribe(library.tail(), max_queue=1 << 20)
+        assert fresh.sub_id != sub.sub_id  # ids are never recycled
+        assert fresh.dropped == 0 and not fresh.queue
+        epoch, messages = batches[len(batches) // 2]
+        engine.publish(epoch, messages)
+        notes = fresh.drain()
+        # the fresh subscription sees only post-resubscribe epochs
+        assert notes and all(note.epoch == epoch for note in notes)
+
+    def test_two_subscriptions_to_the_same_pattern_order_identically(self):
+        batches, places = _interpret(SEEDS[0])
+        engine = StandingQueryEngine(expand_level2=True)
+        first = engine.subscribe(library.place_watch(places[0]), max_queue=1 << 20)
+        second = engine.subscribe(library.place_watch(places[0]), max_queue=1 << 20)
+        for epoch, messages in batches:
+            engine.publish(epoch, messages)
+        a = [protocol.encode_event(0, n) for n in first.drain()]
+        b = [protocol.encode_event(0, n) for n in second.drain()]
+        assert a and a == b

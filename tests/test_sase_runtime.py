@@ -1,0 +1,237 @@
+"""Runtime semantics of compiled patterns on hand-built streams.
+
+Each test drives :class:`repro.sase.runtime.PatternRuntime` (through
+``compile_pattern(...).runtime``) with explicit event messages, pinning
+the SEQ/Kleene/negation/window/partition/ONCE-PER-EPOCH behaviors the
+byte-equivalence suite then exercises at scale.
+"""
+
+from __future__ import annotations
+
+from repro.events.messages import (
+    end_location,
+    missing,
+    start_containment,
+    start_location,
+)
+from repro.model.objects import PackagingLevel, TagId
+from repro.query.index import EventStreamIndex
+from repro.sase import compile_pattern
+
+ITEM = TagId(PackagingLevel.ITEM, 1)
+OTHER = TagId(PackagingLevel.ITEM, 2)
+CASE = TagId(PackagingLevel.CASE, 9)
+
+
+def run(pattern, *epochs, index=None):
+    """Feed ``(epoch, [messages])`` pairs; return the flat match list."""
+    matches = []
+    for epoch, messages in epochs:
+        matches.extend(pattern.runtime.process_epoch(epoch, messages, index))
+    return matches
+
+
+class TestSequencing:
+    def test_two_step_sequence_with_equivalence(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, departure d) WHERE d.obj == a.obj"
+        )
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1)]),
+            (2, []),
+            (3, [end_location(ITEM, 3, 1, 3)]),
+        )
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.epoch == 3 and match.key == ITEM
+        assert match.bindings["a"].msg.place == 3
+        assert match.bindings["d"].msg.ve == 3
+
+    def test_skip_till_next_match_ignores_irrelevant_events(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, departure d) WHERE d.obj == a.obj AND d.place == a.place"
+        )
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1)]),
+            # a containment event and another object's departure interleave
+            (2, [start_containment(ITEM, CASE, 2), end_location(OTHER, 3, 0, 2)]),
+            (4, [end_location(ITEM, 3, 1, 4)]),
+        )
+        assert [m.epoch for m in matches] == [4]
+
+    def test_partitions_are_independent(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, departure d) WHERE d.obj == a.obj"
+        )
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1), start_location(OTHER, 4, 1)]),
+            (2, [end_location(OTHER, 4, 1, 2)]),
+            (3, [end_location(ITEM, 3, 1, 3)]),
+        )
+        assert [(m.key, m.epoch) for m in matches] == [(OTHER, 2), (ITEM, 3)]
+        assert pattern.runtime.partition_count == 0  # all stacks drained
+
+
+class TestWindow:
+    def test_window_blocks_late_completions(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, departure d) WHERE d.obj == a.obj WITHIN 2 EPOCHS"
+        )
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1)]),
+            (5, [end_location(ITEM, 3, 1, 5)]),
+        )
+        assert matches == []
+        # the expired instance was pruned, not left to leak
+        assert pattern.runtime.active_instances == 0
+        assert pattern.runtime.stats.prunes == 1
+
+    def test_window_is_anchored_at_the_first_events_vs(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, departure d) WHERE d.obj == a.obj WITHIN 3 EPOCHS"
+        )
+        # the arrival message is delivered at epoch 3 but its interval
+        # opened at vs=1: the window counts from vs
+        matches = run(
+            pattern,
+            (3, [start_location(ITEM, 3, 1)]),
+            (4, [end_location(ITEM, 3, 1, 4)]),
+        )
+        assert [m.epoch for m in matches] == [4]
+
+
+class TestKleene:
+    def test_trailing_kleene_refires_per_extension(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, contain+ c) WHERE c.obj == a.obj"
+        )
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1)]),
+            (2, [start_containment(ITEM, CASE, 2)]),
+            (3, [start_containment(ITEM, TagId(PackagingLevel.CASE, 10), 3)]),
+        )
+        assert [m.epoch for m in matches] == [2, 3]
+        assert [len(m.bindings["c"]) for m in matches] == [1, 2]
+
+    def test_kleene_attr_reads_the_last_event_of_the_run(self):
+        pattern = compile_pattern(
+            "SEQ(arrival a, contain+ c) WHERE c.obj == a.obj AND c.vs > 2"
+        )
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1)]),
+            (2, [start_containment(ITEM, CASE, 2)]),  # vs=2 rejected
+            (3, [start_containment(ITEM, CASE, 3)]),  # vs=3 admitted
+        )
+        assert [m.epoch for m in matches] == [3]
+
+
+class TestNegationAsAbsence:
+    DWELL = (
+        "SEQ(arrival a, !departure d) "
+        "WHERE a.place == 3 AND d.obj == a.obj AND d.place == 3 "
+        "WITHIN 3 EPOCHS"
+    )
+
+    def test_fires_when_the_window_elapses_without_the_negated_event(self):
+        pattern = compile_pattern(self.DWELL)
+        matches = run(
+            pattern,
+            (0, [start_location(ITEM, 3, 0)]),
+            (1, []), (2, []), (3, []),
+        )
+        assert [m.epoch for m in matches] == [3]
+
+    def test_negated_event_kills_the_pending_instance(self):
+        pattern = compile_pattern(self.DWELL)
+        matches = run(
+            pattern,
+            (0, [start_location(ITEM, 3, 0)]),
+            (2, [end_location(ITEM, 3, 0, 2)]),
+            (3, []), (4, []),
+        )
+        assert matches == [] and pattern.runtime.stats.kills == 1
+
+    def test_kill_at_another_place_does_not_apply(self):
+        pattern = compile_pattern(self.DWELL)
+        matches = run(
+            pattern,
+            (0, [start_location(ITEM, 3, 0)]),
+            (2, [end_location(ITEM, 7, 0, 2)]),  # departure elsewhere
+            (3, []),
+        )
+        assert [m.epoch for m in matches] == [3]
+
+    def test_rearm_after_fire_fires_again(self):
+        pattern = compile_pattern(self.DWELL)
+        matches = run(
+            pattern,
+            (0, [start_location(ITEM, 3, 0)]),
+            (3, []),  # first fire
+            (5, [start_location(ITEM, 3, 5)]),  # re-arm the same partition
+            (6, []), (7, []), (8, []),
+        )
+        assert [m.epoch for m in matches] == [3, 8]
+
+    def test_spent_instance_does_not_refire(self):
+        pattern = compile_pattern(self.DWELL)
+        matches = run(
+            pattern,
+            (0, [start_location(ITEM, 3, 0)]),
+            (3, []), (4, []), (5, []),
+        )
+        assert [m.epoch for m in matches] == [3]
+
+
+class TestOncePerEpoch:
+    def test_deduplicates_within_one_epoch_by_partition_key(self):
+        pattern = compile_pattern("SEQ(location e) ONCE PER EPOCH")
+        matches = run(
+            pattern,
+            (1, [start_location(ITEM, 3, 1), end_location(ITEM, 3, 1, 1),
+                 start_location(OTHER, 4, 1)]),
+            (2, [start_location(ITEM, 5, 2)]),
+        )
+        # epoch 1: ITEM fires once (two events), OTHER once; epoch 2 resets
+        assert [(m.epoch, m.key) for m in matches] == [
+            (1, ITEM), (1, OTHER), (2, ITEM),
+        ]
+
+
+class TestPrime:
+    DWELL = TestNegationAsAbsence.DWELL
+
+    def test_prime_arms_open_intervals_with_their_true_vs(self):
+        pattern = compile_pattern(self.DWELL)
+        index = EventStreamIndex([start_location(ITEM, 3, 2)])
+        pattern.prime(index, 4)
+        assert pattern.runtime.active_instances == 1
+        # window counts from vs=2: fires at epoch 5 (age 3)
+        matches = run(pattern, (5, []), index=index)
+        assert [m.epoch for m in matches] == [5]
+        # priming never skews the counters the metrics report
+        assert pattern.runtime.stats.matches == 1
+
+    def test_prime_is_a_noop_for_immediate_patterns(self):
+        pattern = compile_pattern("SEQ(any e)")
+        index = EventStreamIndex([start_location(ITEM, 3, 2)])
+        pattern.prime(index, 4)
+        assert pattern.runtime.active_instances == 0
+
+    def test_prime_replays_missing_state(self):
+        pattern = compile_pattern(
+            "SEQ(missing m, !arrival a) WHERE a.obj == m.obj WITHIN 3 EPOCHS"
+        )
+        index = EventStreamIndex([
+            start_location(ITEM, 3, 0),
+            end_location(ITEM, 3, 0, 2),
+            missing(ITEM, 3, 2),
+        ])
+        pattern.prime(index, 3)
+        matches = run(pattern, (5, []), index=index)
+        assert [m.epoch for m in matches] == [5]  # vs=2 + window 3
