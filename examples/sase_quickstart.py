@@ -3,7 +3,7 @@
 Boots a :class:`~repro.serving.server.SpireServer`, pumps a simulated
 warehouse (with staged disappearances) through a two-zone coordinator,
 and — from a real TCP client — ships **pattern source text** to the
-server with ``subscribe_pattern``.  The pattern is the dwell-then-vanish
+server through the unified ``subscribe()``.  The pattern is the dwell-then-vanish
 scenario from docs/SERVING.md: an object sat on the shelf for a while
 and then went missing.  The server compiles the text (compile errors
 come back as error replies — demonstrated too), partitions the runtime
@@ -55,14 +55,17 @@ async def run() -> None:
             # a malformed pattern is rejected at subscribe time with the
             # compiler's message (offset included for syntax errors)
             try:
-                await client.subscribe_pattern("SEQ(arrival a,")
+                await client.subscribe("SEQ(arrival a,")
             except ServingError as exc:
                 print(f"compile error (expected): {exc}")
 
             shelf = registry.by_name("shelf-2").color
             source = DWELL_THEN_VANISH.format(shelf=shelf).strip()
-            sub_id = await client.subscribe_pattern(source)
-            print(f"subscribed #{sub_id}:")
+            # subscribe() takes the source text directly and returns a
+            # handle; sub.next() awaits matches without touching the
+            # legacy notifications queue
+            sub = await client.subscribe(source)
+            print(f"subscribed #{sub.id}:")
             for line in source.splitlines():
                 print(f"  | {line}")
 
@@ -70,9 +73,8 @@ async def run() -> None:
             print(f"pumped {pumped} epochs")
 
             shown = 0
-            while not client.notifications.empty():
-                _, note = client.notifications.get_nowait()
-                print(f"  {note}")
+            while len(sub):
+                print(f"  {await sub.next()}")
                 shown += 1
             if not shown:
                 print("  (no staged disappearance hit shelf-2 this seed)")

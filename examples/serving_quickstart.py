@@ -48,9 +48,11 @@ async def run() -> None:
         print(f"serving on {server.host}:{server.port}")
         client = await SpireClient.connect(server.host, server.port)
         try:
-            # standing queries, armed before any data flows
+            # standing queries, armed before any data flows; subscribe()
+            # returns a handle (.id, .next(), .cancel()) and accepts a
+            # legacy spec or SASE pattern source text interchangeably
             shelf = registry.by_name("shelf-1").color
-            tail_id = await client.subscribe(
+            tail = await client.subscribe(
                 PatternSpec(PATTERN_PLACE, place=shelf)
             )
             await client.subscribe(
@@ -77,7 +79,7 @@ async def run() -> None:
             shown = 0
             while shown < 5 and not client.notifications.empty():
                 sub_id, note = client.notifications.get_nowait()
-                label = "tail" if sub_id == tail_id else "anomaly"
+                label = "tail" if sub_id == tail.id else "anomaly"
                 print(f"  [{label}] {note}")
                 shown += 1
 

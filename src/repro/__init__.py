@@ -17,7 +17,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.api import SpireConfig, SpireSession
+from repro.api import SessionSubscription, SpireConfig, SpireSession
 from repro.baselines.smurf import SmurfParams, SmurfPipeline
 from repro.compression.decompress import Level2Decompressor, decompress_stream
 from repro.compression.level1 import RangeCompressor
@@ -49,6 +49,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     # unified session API
+    "SessionSubscription",
     "SpireSession",
     "SpireConfig",
     # telemetry

@@ -41,13 +41,60 @@ from repro.obs.metrics import (
 from repro.obs.trace import TraceLog
 from repro.readers.reader import Reader
 from repro.readers.stream import EpochReadings
+from repro.serving.engine import StandingQueryEngine
+from repro.serving.patterns import Notification, Pattern, PatternSpec, pattern_from_spec
 from repro.serving.server import SpireServer, pump_coordinator
 
 if TYPE_CHECKING:
     from repro.events.messages import EventMessage
     from repro.model.objects import TagId
 
-__all__ = ["SpireConfig", "SpireSession"]
+__all__ = ["SessionSubscription", "SpireConfig", "SpireSession"]
+
+
+class SessionSubscription:
+    """In-process mirror of the client's subscription handle.
+
+    Returned by :meth:`SpireSession.subscribe` — same surface as
+    :class:`~repro.serving.client.ClientSubscription` (``.id``,
+    ``.pattern``, ``.next()``, ``.cancel()``) minus the network:
+    notifications appear as the session processes epochs, so ``next()``
+    never blocks (it returns ``None`` when nothing is queued; the
+    ``timeout`` parameter exists only for surface symmetry).
+    """
+
+    def __init__(self, session: "SpireSession", sub_id: int, pattern) -> None:
+        self._session = session
+        self.id = sub_id
+        #: whatever was passed to subscribe(): spec, Pattern, or source text
+        self.pattern = pattern
+        self.cancelled = False
+
+    def next(self, timeout: float | None = None) -> "Notification | None":
+        """Pop the next queued notification, or ``None`` if empty."""
+        del timeout  # in-process: nothing to wait on
+        notes = self._session.serving_engine.drain(self.id, limit=1)
+        return notes[0] if notes else None
+
+    def drain(self, limit: int | None = None) -> "list[Notification]":
+        """Pop up to ``limit`` queued notifications."""
+        return self._session.serving_engine.drain(self.id, limit)
+
+    def pending(self) -> int:
+        """Notifications currently queued."""
+        sub = self._session.serving_engine.subscriptions.get(self.id)
+        return len(sub.queue) if sub is not None else 0
+
+    def cancel(self) -> bool:
+        """Unsubscribe; returns whether the subscription still existed."""
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        return self._session.serving_engine.unsubscribe(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"SessionSubscription(id={self.id}, {state})"
 
 
 @dataclass
@@ -85,6 +132,9 @@ class SpireConfig:
         host / port: Bind address for :meth:`SpireSession.serve`
             (port 0 = ephemeral).
         expand_level2: Serve patterns over level-2-expanded streams.
+        evict_after: Serving backpressure tier 2 — evict a subscription
+            after this many consecutive overflowing epochs (0 disables;
+            drop-oldest alone then applies).
         metrics: Enable the telemetry substrate (:mod:`repro.obs`).
         trace_path: Write per-epoch span records (JSONL) here.  Not
             supported with ``workers`` (spans live in worker processes).
@@ -108,6 +158,7 @@ class SpireConfig:
     host: str = "127.0.0.1"
     port: int = 0
     expand_level2: bool = True
+    evict_after: int = 0
     metrics: bool = False
     trace_path: str | os.PathLike | None = None
 
@@ -171,6 +222,7 @@ class SpireSession:
         self.trace: TraceLog | None = (
             TraceLog(config.trace_path) if config.trace_path is not None else None
         )
+        self._serving: StandingQueryEngine | None = None
         self._closed = False
 
         sharded = (
@@ -300,8 +352,17 @@ class SpireSession:
         )
 
     def process_epoch(self, readings: EpochReadings):
-        """Process one epoch; returns the engine's per-epoch result."""
-        return self.engine.process_epoch(readings)
+        """Process one epoch; returns the engine's per-epoch result.
+
+        When the session has a serving engine (a subscription was opened
+        or :meth:`serve` was called), the epoch's messages are also
+        published to it, so in-process subscriptions and the live query
+        index stay current without a TCP pump.
+        """
+        result = self.engine.process_epoch(readings)
+        if self._serving is not None:
+            self._serving.publish(result.epoch, list(result.messages))
+        return result
 
     def process(self, stream: Iterable[EpochReadings]) -> list:
         """Run a whole stream; returns the list of per-epoch results.
@@ -373,16 +434,60 @@ class SpireSession:
     # serving
     # ------------------------------------------------------------------
 
+    @property
+    def serving_engine(self) -> StandingQueryEngine:
+        """The session's standing-query engine (created on first use).
+
+        Shared between in-process subscriptions (:meth:`subscribe`) and
+        the TCP front-end (:meth:`serve`), so both see the same live
+        index and fan-out tree.
+        """
+        if self._serving is None:
+            self._serving = StandingQueryEngine(
+                expand_level2=self.config.expand_level2,
+                evict_after=self.config.evict_after,
+            )
+        return self._serving
+
+    def subscribe(self, pattern, max_queue: int = 1024) -> SessionSubscription:
+        """Register an in-process standing query; returns its handle.
+
+        The same surface as :meth:`SpireClient.subscribe
+        <repro.serving.client.SpireClient.subscribe>`: ``pattern`` may be
+        SASE pattern source text, a legacy
+        :class:`~repro.serving.patterns.PatternSpec`, or a
+        :class:`~repro.serving.patterns.Pattern` instance.  Notifications
+        accumulate as the session processes epochs; consume them with the
+        handle's ``next()``/``drain()``.
+        """
+        if isinstance(pattern, str):
+            from repro.sase import compile_pattern
+
+            instance: Pattern = compile_pattern(pattern)
+        elif isinstance(pattern, PatternSpec):
+            instance = pattern_from_spec(pattern)
+        elif isinstance(pattern, Pattern):
+            instance = pattern
+        else:
+            raise TypeError(
+                f"subscribe() wants pattern source text, a PatternSpec, or a "
+                f"Pattern; got {type(pattern).__name__}"
+            )
+        sub = self.serving_engine.subscribe(instance, max_queue=max_queue)
+        return SessionSubscription(self, sub.sub_id, pattern)
+
     def serve(self) -> SpireServer:
         """A TCP front-end over this session (not yet started).
 
         Use ``async with session.serve() as server:`` then
         :meth:`pump` to drive a stream through it while clients query.
+        The server shares the session's :attr:`serving_engine`, so
+        in-process and TCP subscriptions fan out from the same tree.
         """
         return SpireServer(
             host=self.config.host,
             port=self.config.port,
-            expand_level2=self.config.expand_level2,
+            engine=self.serving_engine,
             metrics_provider=self.metrics_snapshot if self.metrics is not None else None,
         )
 

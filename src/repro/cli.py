@@ -690,6 +690,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"pattern gate: {problem}", file=sys.stderr)
             exit_code = 1
 
+    if args.fanout:
+        from repro.experiments import fanout as fanout_mod
+
+        fanout = fanout_mod.run_fanout_bench(
+            milestone=max(milestones),
+            cases_per_pallet=args.cases,
+            seed=args.seed,
+            subscribers=args.fanout_subscribers,
+            distinct=args.fanout_distinct,
+        )
+        payload["fanout"] = fanout
+        inproc, tcp = fanout["fanout"], fanout["tcp"]
+        print(f"fan-out @ {inproc['milestone']}: {inproc['subscribers']} "
+              f"subscriber(s) over {inproc['distinct_patterns']} pattern(s), "
+              f"{inproc['shared_runtimes']} shared runtime(s), "
+              f"{inproc['evaluations_per_epoch']:.0f} eval(s)/epoch, "
+              f"publish mean {inproc['publish_latency']['mean_ms']:.2f}ms, "
+              f"{inproc['notifications_delivered']} delivered")
+        print(f"  equivalence: byte_identical={fanout['equivalence']['byte_identical']}, "
+              f"{fanout['equivalence']['evaluation_savings_x']:.1f}x fewer evaluations")
+        print(f"  tcp @ {tcp['milestone']}: {tcp['queries_per_s']:.0f} queries/s "
+              f"sustained under {tcp['tcp_subscribers']} pushed subscription(s), "
+              f"{tcp['subscriptions_evicted']} eviction(s)")
+        for problem in fanout_mod.check_fanout(fanout):
+            print(f"fanout gate: {problem}", file=sys.stderr)
+            exit_code = 1
+
     if args.check_against:
         baseline_path = Path(args.check_against)
         if not baseline_path.exists():
@@ -908,7 +935,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         partition_by_location,
     )
     from repro.experiments.table3 import scaling_zone_assignment
+    from repro.serving.frontend import MultiProcessFrontend, try_install_uvloop
     from repro.serving.server import SpireServer, pump_coordinator
+
+    if args.uvloop:
+        installed = try_install_uvloop()
+        print(f"uvloop {'installed' if installed else 'not importable; using asyncio'}")
 
     trace_path = Path(args.trace)
     sidecar = _sidecar_path(trace_path)
@@ -925,15 +957,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs.metrics import MetricRegistry
 
         registry = MetricRegistry()
-    server = SpireServer(
-        args.host, args.port, expand_level2=(args.compression == 2)
-    )
+    multiproc = args.acceptors > 0
+    if multiproc:
+        server = MultiProcessFrontend(
+            args.host,
+            args.port,
+            acceptors=args.acceptors,
+            expand_level2=(args.compression == 2),
+            evict_after=args.evict_after,
+            use_uvloop=args.uvloop,
+        )
+        if args.state:
+            print("warning: --state is ignored with --acceptors "
+                  "(subscription persistence is single-process only)",
+                  file=sys.stderr)
+        quarantine = None
+    else:
+        server = SpireServer(
+            args.host,
+            args.port,
+            expand_level2=(args.compression == 2),
+            evict_after=args.evict_after,
+        )
+        if args.state:
+            restored = server.load_subscriptions(args.state)
+            if restored:
+                print(f"restored {restored} subscription(s) from {args.state}")
+        quarantine = server.engine.quarantine
     zones = partition_by_location(
         layout.readers,
         scaling_zone_assignment(config.num_shelves),
         layout.registry,
         compression_level=args.compression,
-        quarantine=server.engine.quarantine,
+        quarantine=quarantine,
     )
     if args.workers:
         coordinator = ParallelCoordinator(
@@ -951,7 +1007,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"serving on {server.host}:{server.port} "
                 f"({len(zones)} zone(s), "
                 f"{args.workers or 'no'} worker(s), "
-                f"compression level {args.compression})"
+                f"compression level {args.compression}"
+                + (f", {args.acceptors} acceptor(s)" if multiproc else "")
+                + ")"
             )
             pumped = await pump_coordinator(
                 server, coordinator, epochs, epoch_interval=args.epoch_interval
@@ -960,6 +1018,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if args.linger > 0:
                 print(f"lingering {args.linger:.0f}s for queries")
                 await asyncio.sleep(args.linger)
+            if not multiproc and args.state:
+                saved = server.save_subscriptions(args.state)
+                print(f"saved {saved} subscription(s) to {args.state}")
         return pumped
 
     try:
@@ -970,13 +1031,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if isinstance(coordinator, ParallelCoordinator):
             coordinator.close()
         print("serving statistics:")
-        for line in server.engine.stats.summary_lines():
-            print(f"  {line}")
-        counts = server.engine.quarantine.counts()
-        if counts:
-            print(f"  warnings              {counts}")
-        if registry is not None:
-            _dump_metrics_json(server.metrics_snapshot(), args.metrics_json)
+        if multiproc:
+            for key, value in sorted(server.stats_dict().items()):
+                print(f"  {key:26} {value}")
+        else:
+            for line in server.engine.stats.summary_lines():
+                print(f"  {line}")
+            counts = server.engine.quarantine.counts()
+            if counts:
+                print(f"  warnings              {counts}")
+            if registry is not None:
+                _dump_metrics_json(server.metrics_snapshot(), args.metrics_json)
     return 0
 
 
@@ -997,15 +1062,12 @@ def cmd_client(args: argparse.Namespace) -> int:
                     print(f"{key:26} {value}")
                 return 0
             if args.subscribe:
-                sub_ids = []
+                subs = []
                 for text in args.subscribe:
                     spec = parse_pattern(text)
-                    if spec.source is not None:
-                        sub_id = await client.subscribe_pattern(spec.source)
-                    else:
-                        sub_id = await client.subscribe(spec)
-                    print(f"subscribed #{sub_id} to {text}")
-                    sub_ids.append(sub_id)
+                    sub = await client.subscribe(spec.source or spec)
+                    print(f"subscribed #{sub.id} to {text}")
+                    subs.append(sub)
                 received = 0
                 while args.count is None or received < args.count:
                     try:
@@ -1015,10 +1077,10 @@ def cmd_client(args: argparse.Namespace) -> int:
                     except asyncio.TimeoutError:
                         print(f"no notification within {args.timeout:.0f}s", file=sys.stderr)
                         return 1
-                    print(f"#{sub_id} {note}" if len(sub_ids) > 1 else note)
+                    print(f"#{sub_id} {note}" if len(subs) > 1 else note)
                     received += 1
-                for sub_id in sub_ids:
-                    await client.unsubscribe(sub_id)
+                for sub in subs:
+                    await sub.cancel()
                 return 0
             if args.object is None or args.at is None:
                 print("error: provide --object and --at, --subscribe, --stats, "
@@ -1176,6 +1238,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(legacy catalogue vs repro.sase compiled patterns); adds a "
              "'patterns' section and fails (exit 1) if notifications diverge",
     )
+    bench.add_argument(
+        "--fanout", action="store_true",
+        help="also run the subscription fan-out bench at the largest "
+             "milestone (shared fan-out tree, batched push frames, "
+             "sustained queries under push load); adds a 'fanout' section "
+             "and fails (exit 1) on any floor violation",
+    )
+    bench.add_argument("--fanout-subscribers", type=int, default=10_000,
+                       help="subscriber count for the fan-out bench")
+    bench.add_argument("--fanout-distinct", type=int, default=100,
+                       help="distinct pattern count for the fan-out bench")
     bench.set_defaults(func=cmd_bench)
 
     query = subparsers.add_parser("query", help="query a persisted event stream")
@@ -1219,6 +1292,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--linger", type=float, default=0.0,
                        help="keep serving queries this many seconds after the "
                             "stream is exhausted")
+    serve.add_argument("--evict-after", type=int, default=0,
+                       help="evict a subscriber after this many consecutive "
+                            "overflowing epochs (0 disables eviction)")
+    serve.add_argument("--state", default=None,
+                       help="subscription state file: restore standing "
+                            "patterns from it on start and save them on "
+                            "shutdown (single-process mode only)")
+    serve.add_argument("--acceptors", type=int, default=0,
+                       help="run this many SO_REUSEPORT acceptor processes "
+                            "instead of a single in-process server "
+                            "(0 = single process)")
+    serve.add_argument("--uvloop", action="store_true",
+                       help="install uvloop when importable (silently ignored "
+                            "when the package is absent)")
     serve.set_defaults(func=cmd_serve)
 
     client = subparsers.add_parser(

@@ -108,6 +108,24 @@ def encode_frame(payload: bytes) -> bytes:
     return FRAME_HEADER.pack(len(payload)) + payload
 
 
+def encode_frames(payloads) -> bytes:
+    """Length-prefix several payloads into one contiguous write.
+
+    The serving tier's push path coalesces all of a connection's frames
+    for an epoch into a single buffer so the fan-out to thousands of
+    subscribers costs one ``write()`` per connection, not one per event.
+    Decoding is unchanged — :class:`FrameDecoder` splits the frames back
+    apart wherever the transport chunks them.
+    """
+    parts = []
+    for payload in payloads:
+        if len(payload) > MAX_FRAME_BYTES:
+            raise WireError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+        parts.append(FRAME_HEADER.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
 class FrameDecoder:
     """Incremental splitter for length-prefixed frames.
 

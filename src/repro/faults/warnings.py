@@ -32,6 +32,7 @@ class WarningKind:
     ZONE_REHOMED = "zone_rehomed"
     EMPTY_ZONE = "empty_zone"
     SUBSCRIPTION_OVERFLOW = "subscription_overflow"
+    SUBSCRIPTION_EVICTED = "subscription_evicted"
     WORKER_LOST = "worker_lost"
     WORKER_ZOMBIE = "worker_zombie"
 

@@ -52,6 +52,7 @@ class CompiledPattern(Pattern):
         self.notify_kind = notify_kind
         self.compile_seconds = compile_seconds
         self.runtime = PatternRuntime(program)
+        self._custom_render = render is not None
         self._render: Render = render if render is not None else self._default_render
         #: set by the library builders: the legacy wire spec this pattern
         #: re-expresses, so spec() round-trips for catalogue subscriptions
@@ -63,6 +64,43 @@ class CompiledPattern(Pattern):
         if self.spec_override is not None:
             return self.spec_override
         return PatternSpec(PATTERN_SASE, source=self.source)
+
+    @property
+    def canonical_source(self) -> str:
+        """The ``parse ∘ unparse`` fixpoint of the pattern source.
+
+        Two textual variants of the same pattern (whitespace, keyword
+        case, redundant parens) canonicalize to the same string — this is
+        the serving tier's fan-out sharing key and the persisted form of
+        a subscription.
+        """
+        from repro.sase.ast import unparse
+
+        return unparse(self.ast)
+
+    def share_key(self) -> tuple | None:
+        """Fan-out sharing identity (see :meth:`Pattern.share_key`).
+
+        Library builders set ``spec_override``, so catalogue patterns
+        share by their legacy wire spec; plain compiled patterns share by
+        canonical source.  A pattern with a *custom* render but no spec
+        override is unshareable — the render closure's identity is not
+        captured by the source text.
+        """
+        if self.spec_override is not None:
+            spec = self.spec_override
+            return (
+                "spec",
+                type(self).__name__,
+                spec.kind,
+                spec.obj,
+                spec.place,
+                spec.k,
+                spec.source,
+            )
+        if self._custom_render:
+            return None
+        return ("sase", self.canonical_source, self.notify_kind)
 
     def prime(self, index, epoch) -> None:
         self.runtime.prime(index, epoch)

@@ -8,20 +8,30 @@ PAPERS.md) motivate its shape.  Three pieces:
 * :mod:`repro.serving.patterns` — standing predicates (tails, point
   watches, dwell/missing thresholds, compound containment anomalies)
   evaluated incrementally against each epoch's event batch;
-* :mod:`repro.serving.engine` — the subscription registry: a live
-  incremental :class:`~repro.query.index.EventStreamIndex`, per-
-  subscription bounded delivery queues with drop-oldest backpressure, and
-  serving counters;
+* :mod:`repro.serving.engine` — the **shared fan-out tree**: a live
+  incremental :class:`~repro.query.index.EventStreamIndex`, subscriptions
+  keyed by canonical pattern identity so N subscribers to the same
+  pattern cost one evaluation per epoch, per-subscriber bounded delivery
+  queues with tiered backpressure (drop-oldest escalating to
+  slow-consumer eviction), and serving counters;
 * :mod:`repro.serving.server` / :mod:`repro.serving.client` — an asyncio
   TCP front-end speaking the length-prefixed binary protocol of
-  :mod:`repro.serving.protocol`, fed by a coordinator pump so serving
-  composes with sharded execution and zone failover.
+  :mod:`repro.serving.protocol` (batched per-epoch event frames when
+  negotiated), fed by a coordinator pump so serving composes with
+  sharded execution and zone failover;
+* :mod:`repro.serving.frontend` — SO_REUSEPORT multi-process acceptors
+  sharing one logical engine, plus optional uvloop installation.
 
 See docs/SERVING.md for a quickstart and DESIGN.md §10 for the
 architecture.
 """
 
-from repro.serving.engine import ServingStats, StandingQueryEngine, Subscription
+from repro.serving.engine import (
+    ServingStats,
+    SharedRuntime,
+    StandingQueryEngine,
+    Subscription,
+)
 from repro.serving.patterns import (
     DwellExceeded,
     LeftWithoutContainer,
@@ -34,10 +44,16 @@ from repro.serving.patterns import (
     pattern_from_spec,
 )
 from repro.serving.server import SpireServer, pump_coordinator
-from repro.serving.client import SpireClient
+from repro.serving.client import ClientSubscription, ServingError, SpireClient
+from repro.serving.frontend import MultiProcessFrontend, try_install_uvloop
 
 __all__ = [
+    "ClientSubscription",
     "DwellExceeded",
+    "MultiProcessFrontend",
+    "ServingError",
+    "SharedRuntime",
+    "try_install_uvloop",
     "LeftWithoutContainer",
     "MissingOverdue",
     "Notification",

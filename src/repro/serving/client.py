@@ -2,30 +2,122 @@
 
 :class:`SpireClient` opens one TCP connection, runs a background reader
 task that demultiplexes the server's frames — replies resolve the future
-registered under their request id, subscription events land on a single
+registered under their request id; subscription events (single or
+batched, see ``FLAG_BATCH_EVENTS``) are routed to their
+:class:`ClientSubscription` handle *and* mirrored onto the legacy
 ``notifications`` queue as ``(sub_id, Notification)`` pairs — and exposes
 typed helpers for every query kind.  Requests may be pipelined; ids are
 assigned per-connection.
 
     async with SpireClient.connect(host, port) as client:
-        sub = await client.subscribe(PatternSpec(PATTERN_PLACE, place=3))
+        sub = await client.subscribe("PATTERN SEQ(arrival a) WHERE a.place == 3")
         where = await client.location_of(tag, epoch)
-        sub_id, note = await client.next_notification()
+        note = await sub.next(timeout=5)
+        await sub.cancel()
+
+``subscribe()`` accepts a legacy :class:`~repro.serving.patterns.PatternSpec`,
+a :class:`~repro.serving.patterns.Pattern` instance (its spec is sent),
+or SASE pattern source text — one method for both generations of the
+API.  The per-handle queue and the shared ``notifications`` queue are two
+views of the same stream; consume a given subscription through one of
+them, not both.
 """
 
 from __future__ import annotations
 
 import asyncio
+import warnings
+from collections import deque
 
 from repro.distributed.wire import FrameDecoder, WireError, encode_frame
 from repro.model.objects import TagId
 from repro.query.index import Interval
 from repro.serving import protocol
-from repro.serving.patterns import Notification, PatternSpec
+from repro.serving.patterns import (
+    NOTIFY_SUBSCRIPTION_EVICTED,
+    PATTERN_SASE,
+    Notification,
+    PatternSpec,
+)
 
 
 class ServingError(RuntimeError):
     """The server answered a request with an error reply."""
+
+
+class ClientSubscription:
+    """Handle for one standing query on one client connection.
+
+    Returned by :meth:`SpireClient.subscribe`.  Notifications for the
+    subscription land in a bounded per-handle queue (drop-oldest, the
+    client-side mirror of the server's backpressure) consumed with
+    :meth:`next`; :meth:`cancel` unsubscribes.  If the server evicts the
+    subscription (tiered backpressure), the eviction notice is the last
+    notification delivered and subsequent :meth:`next` calls raise
+    :class:`ServingError`.
+    """
+
+    def __init__(
+        self, client: "SpireClient", sub_id: int, pattern, max_queue: int
+    ) -> None:
+        self._client = client
+        self.id = sub_id
+        #: whatever was passed to subscribe(): spec, Pattern, or source text
+        self.pattern = pattern
+        self.max_queue = max_queue
+        self.evicted = False
+        self.cancelled = False
+        #: notifications dropped client-side (handle not consumed fast enough)
+        self.dropped = 0
+        self._queue: deque[Notification] = deque()
+        self._wakeup = asyncio.Event()
+
+    def _deliver(self, note: Notification) -> None:
+        if note.kind == NOTIFY_SUBSCRIPTION_EVICTED:
+            self.evicted = True
+        if len(self._queue) >= self.max_queue:
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append(note)
+        self._wakeup.set()
+
+    def __len__(self) -> int:
+        """Notifications buffered and ready for :meth:`next`."""
+        return len(self._queue)
+
+    async def next(self, timeout: float | None = None) -> Notification:
+        """Await this subscription's next notification.
+
+        Raises :class:`asyncio.TimeoutError` on timeout and
+        :class:`ServingError` once the subscription is cancelled or
+        evicted and its queue is drained.
+        """
+        while not self._queue:
+            if self.cancelled:
+                raise ServingError(f"subscription {self.id} is cancelled")
+            if self.evicted:
+                raise ServingError(f"subscription {self.id} was evicted by the server")
+            self._wakeup.clear()
+            if timeout is None:
+                await self._wakeup.wait()
+            else:
+                await asyncio.wait_for(self._wakeup.wait(), timeout)
+        return self._queue.popleft()
+
+    async def cancel(self) -> bool:
+        """Unsubscribe; returns whether the server still knew the id."""
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        self._wakeup.set()
+        self._client._routes.pop(self.id, None)
+        if self.evicted:
+            return False  # the server already dropped it
+        return await self._client.unsubscribe(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "evicted" if self.evicted else "cancelled" if self.cancelled else "live"
+        return f"ClientSubscription(id={self.id}, {state}, queued={len(self._queue)})"
 
 
 class SpireClient:
@@ -39,13 +131,30 @@ class SpireClient:
         self._decoder = FrameDecoder()
         self._pending: dict[int, asyncio.Future] = {}
         self._next_request = 1
+        #: sub_id -> ClientSubscription receiving that subscription's events
+        self._routes: dict[int, ClientSubscription] = {}
+        #: accepted OP_CONFIGURE flags (0 until negotiated)
+        self.features = 0
         self.notifications: asyncio.Queue[tuple[int, Notification]] = asyncio.Queue()
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "SpireClient":
+    async def connect(
+        cls, host: str, port: int, batch_events: bool = True
+    ) -> "SpireClient":
+        """Open a connection; negotiates batched event frames by default.
+
+        A server that predates ``OP_CONFIGURE`` answers with an error
+        reply, which downgrades the connection to per-event frames.
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if batch_events:
+            try:
+                await client.configure(protocol.FLAG_BATCH_EVENTS)
+            except ServingError:
+                pass
+        return client
 
     async def close(self) -> None:
         self._reader_task.cancel()
@@ -87,7 +196,15 @@ class SpireClient:
     def _on_frame(self, payload: bytes) -> None:
         kind = protocol.frame_type(payload)
         if kind == protocol.FRAME_EVENT:
-            self.notifications.put_nowait(protocol.decode_event(payload))
+            sub_id, note = protocol.decode_event(payload)
+            self._dispatch_event(sub_id, note)
+            return
+        if kind == protocol.FRAME_EVENT_BATCH:
+            _, groups = protocol.decode_event_batch(payload)
+            for sub_ids, notes in groups:
+                for sub_id in sub_ids:
+                    for note in notes:
+                        self._dispatch_event(sub_id, note)
             return
         if kind == protocol.FRAME_REPLY:
             request_id, status, body = protocol.decode_reply(payload)
@@ -98,6 +215,12 @@ class SpireClient:
                 future.set_result(body)
             else:
                 future.set_exception(ServingError(body.decode("utf-8", "replace")))
+
+    def _dispatch_event(self, sub_id: int, note: Notification) -> None:
+        handle = self._routes.get(sub_id)
+        if handle is not None:
+            handle._deliver(note)
+        self.notifications.put_nowait((sub_id, note))
 
     async def _request(self, encode, *args) -> bytes:
         request_id = self._next_request
@@ -168,29 +291,79 @@ class SpireClient:
     # subscriptions / diagnostics
     # ------------------------------------------------------------------
 
-    async def subscribe(self, spec: PatternSpec, max_queue: int = 1024) -> int:
-        """Register a standing query; returns the subscription id."""
-        body = await self._request(
-            lambda rid: protocol.encode_subscribe(rid, spec, max_queue)
-        )
-        return protocol.decode_subscribed(body)
+    async def configure(self, flags: int) -> int:
+        """Negotiate per-connection features; returns the accepted flags."""
+        body = await self._request(lambda rid: protocol.encode_configure(rid, flags))
+        self.features = protocol.decode_configured(body)
+        return self.features
+
+    async def subscribe(self, pattern, max_queue: int = 1024) -> ClientSubscription:
+        """Register a standing query; returns its subscription handle.
+
+        ``pattern`` may be:
+
+        * SASE pattern **source text** (``str``) — compiled server-side;
+        * a legacy :class:`~repro.serving.patterns.PatternSpec` (a
+          :data:`~repro.serving.patterns.PATTERN_SASE` spec routes its
+          source text);
+        * any :class:`~repro.serving.patterns.Pattern` instance (its
+          ``spec()`` is sent — the server instantiates its own copy).
+
+        The handle's :meth:`~ClientSubscription.next` awaits matches;
+        ``(sub_id, note)`` pairs also land on the legacy
+        ``notifications`` queue.  A compile failure raises
+        :class:`ServingError` carrying the compiler's message.
+        """
+        source: str | None = None
+        spec: PatternSpec | None = None
+        if isinstance(pattern, str):
+            source = pattern
+        elif isinstance(pattern, PatternSpec):
+            spec = pattern
+        elif hasattr(pattern, "spec"):
+            spec = pattern.spec()
+        else:
+            raise TypeError(
+                f"subscribe() wants pattern source text, a PatternSpec, or a "
+                f"Pattern; got {type(pattern).__name__}"
+            )
+        if spec is not None and spec.kind == PATTERN_SASE:
+            if not spec.source:
+                raise ValueError("PATTERN_SASE spec requires source text")
+            source = spec.source
+        if source is not None:
+            body = await self._request(
+                lambda rid: protocol.encode_subscribe_pattern(rid, source, max_queue)
+            )
+        else:
+            body = await self._request(
+                lambda rid: protocol.encode_subscribe(rid, spec, max_queue)
+            )
+        sub_id = protocol.decode_subscribed(body)
+        handle = ClientSubscription(self, sub_id, pattern, max_queue)
+        self._routes[sub_id] = handle
+        return handle
 
     async def subscribe_pattern(self, source: str, max_queue: int = 1024) -> int:
-        """Subscribe with pattern source text (see :mod:`repro.sase`).
+        """Deprecated: use :meth:`subscribe` with source text.
 
-        The server compiles the text; a compile failure raises
-        :class:`ServingError` carrying the compiler's message (syntax
-        errors include the offending source offset).
+        Kept as a thin shim for the pre-v2 API; returns the bare
+        subscription id (consume via ``next_notification``).
         """
-        body = await self._request(
-            lambda rid: protocol.encode_subscribe_pattern(rid, source, max_queue)
+        warnings.warn(
+            "SpireClient.subscribe_pattern() is deprecated; use "
+            "subscribe(source) and the returned handle",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return protocol.decode_subscribed(body)
+        handle = await self.subscribe(source, max_queue=max_queue)
+        return handle.id
 
     async def unsubscribe(self, sub_id: int) -> bool:
         body = await self._request(
             lambda rid: protocol.encode_unsubscribe(rid, sub_id)
         )
+        self._routes.pop(sub_id, None)
         return protocol.decode_subscribed(body) == sub_id
 
     async def stats(self) -> dict:
@@ -205,7 +378,12 @@ class SpireClient:
     async def next_notification(
         self, timeout: float | None = None
     ) -> tuple[int, Notification]:
-        """Await the next subscription match as ``(sub_id, notification)``."""
+        """Await the next subscription match as ``(sub_id, notification)``.
+
+        The connection-wide view: every subscription's events land here
+        (as well as on their handles).  Prefer the per-handle
+        :meth:`ClientSubscription.next` for new code.
+        """
         if timeout is None:
             return await self.notifications.get()
         return await asyncio.wait_for(self.notifications.get(), timeout)

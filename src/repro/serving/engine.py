@@ -9,20 +9,33 @@ around it):
   with the coordinator's merged output (level-2 streams are expanded
   through the streaming decompressor first, so patterns see explicit
   per-object histories);
-* it keeps the **subscription registry**: each subscription pairs a
-  stateful :class:`~repro.serving.patterns.Pattern` instance with a
-  bounded delivery queue.  A slow consumer never stalls the epoch loop
-  and never grows memory without bound — when a queue is full the oldest
+* it keeps the **shared fan-out tree**: subscriptions are keyed by their
+  pattern's canonical identity (:meth:`Pattern.share_key` — for compiled
+  patterns the :func:`repro.sase.unparse` fixpoint of the source), so N
+  subscribers to the same pattern share one :class:`SharedRuntime` and
+  cost **one** evaluation per epoch plus O(N) enqueue into per-subscriber
+  bounded queues;
+* it applies **tiered backpressure**: when a queue is full the oldest
   notification is dropped and a
   :data:`~repro.faults.warnings.WarningKind.SUBSCRIPTION_OVERFLOW`
-  warning is recorded (at most one per subscription per epoch);
+  warning (naming the canonical pattern and subscriber count) is
+  recorded, at most one per subscription per epoch; when ``evict_after``
+  is set and a subscription overflows that many publishes in a row, it
+  is **evicted** with a
+  :data:`~repro.faults.warnings.WarningKind.SUBSCRIPTION_EVICTED`
+  warning so a stalled consumer eventually costs nothing at all;
 * it records **serving counters** (:class:`ServingStats`): epochs and
-  messages published, notifications delivered/dropped, one-shot query
-  count and a log₂-bucketed latency histogram.
+  messages published, notifications delivered/dropped, evictions,
+  pattern evaluations, one-shot query count, and log₂-bucketed latency
+  histograms for both queries and per-epoch publishes;
+* subscriptions survive restarts: :meth:`dump_subscriptions` serializes
+  the canonical pattern text (or legacy spec) per subscription and
+  :meth:`restore_subscriptions` re-arms them with their original ids.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from collections import Counter, deque
 from dataclasses import dataclass, field
@@ -31,8 +44,50 @@ from typing import Callable
 from repro.compression.decompress import StreamingLevel2Decompressor
 from repro.events.messages import EventMessage
 from repro.faults.warnings import Quarantine, WarningKind
+from repro.model.objects import TagId
 from repro.query.index import EventStreamIndex
-from repro.serving.patterns import Notification, Pattern
+from repro.serving.patterns import (
+    NOTIFY_SUBSCRIPTION_EVICTED,
+    PATTERN_SASE,
+    Notification,
+    Pattern,
+    PatternSpec,
+    pattern_from_spec,
+)
+
+#: version byte for the subscription snapshot JSON (see dump_subscriptions)
+SUBSCRIPTIONS_VERSION = 1
+
+
+def _log2_bucket(seconds: float) -> int:
+    """Bucket ``b`` counts latencies in ``[2^(b-1), 2^b)`` µs (0: < 1 µs)."""
+    micros = seconds * 1e6
+    bucket = 0
+    while micros >= 1.0:
+        micros /= 2.0
+        bucket += 1
+    return bucket
+
+
+def describe_pattern(pattern: Pattern) -> str:
+    """Canonical human/wire-readable identity of a pattern.
+
+    Compiled patterns answer with the ``unparse`` fixpoint of their
+    source; hand-coded catalogue patterns fall back to a rendering of
+    their :class:`~repro.serving.patterns.PatternSpec`.
+    """
+    canonical = getattr(pattern, "canonical_source", None)
+    if canonical:
+        return canonical
+    spec = pattern.spec()
+    parts = [f"kind={spec.kind}"]
+    if spec.obj is not None:
+        parts.append(f"obj={spec.obj.level.name.lower()}:{spec.obj.serial}")
+    if spec.place is not None:
+        parts.append(f"place={spec.place}")
+    if spec.k:
+        parts.append(f"k={spec.k}")
+    return "spec(" + ", ".join(parts) + ")"
 
 
 @dataclass
@@ -45,21 +100,26 @@ class ServingStats:
     notifications_dropped: int = 0
     subscriptions_opened: int = 0
     subscriptions_closed: int = 0
+    subscriptions_evicted: int = 0
+    pattern_evaluations: int = 0
     queries_served: int = 0
     query_seconds: float = 0.0
+    publish_seconds: float = 0.0
     #: one-shot query latency histogram: bucket ``b`` counts queries with
     #: latency in ``[2^(b-1), 2^b)`` microseconds (bucket 0: < 1 µs)
     latency_buckets: Counter = field(default_factory=Counter)
+    #: per-epoch publish (index extend + evaluate + fan-out) latency,
+    #: same log₂-µs bucketing as the query histogram
+    publish_buckets: Counter = field(default_factory=Counter)
 
     def observe_query(self, seconds: float) -> None:
         self.queries_served += 1
         self.query_seconds += seconds
-        micros = seconds * 1e6
-        bucket = 0
-        while micros >= 1.0:
-            micros /= 2.0
-            bucket += 1
-        self.latency_buckets[bucket] += 1
+        self.latency_buckets[_log2_bucket(seconds)] += 1
+
+    def observe_publish(self, seconds: float) -> None:
+        self.publish_seconds += seconds
+        self.publish_buckets[_log2_bucket(seconds)] += 1
 
     @property
     def active_subscriptions(self) -> int:
@@ -83,9 +143,11 @@ class ServingStats:
             f"epochs published        {self.epochs_published} "
             f"({self.messages_published} event message(s))",
             f"subscriptions           {self.active_subscriptions} active / "
-            f"{self.subscriptions_opened} opened",
+            f"{self.subscriptions_opened} opened / "
+            f"{self.subscriptions_evicted} evicted",
             f"notifications           {self.notifications_delivered} delivered / "
             f"{self.notifications_dropped} dropped",
+            f"pattern evaluations     {self.pattern_evaluations}",
             f"one-shot queries        {self.queries_served} "
             f"(mean {mean_us:.1f} µs)",
         ]
@@ -95,10 +157,39 @@ class ServingStats:
         return lines
 
 
-class Subscription:
-    """One standing query: a pattern plus its bounded delivery queue."""
+class SharedRuntime:
+    """One pattern evaluator shared by every subscriber to that pattern.
 
-    __slots__ = ("sub_id", "pattern", "queue", "max_queue", "delivered", "dropped")
+    The fan-out tree's interior node: holds the (stateful) pattern
+    instance, the member subscriptions broadcast to, and the evaluation
+    counter that the equivalence bench uses to prove evaluations per
+    epoch are independent of the duplicate-subscriber count.
+    """
+
+    __slots__ = ("key", "pattern", "canonical", "members", "evaluations")
+
+    def __init__(self, key: tuple, pattern: Pattern, canonical: str) -> None:
+        self.key = key
+        self.pattern = pattern
+        self.canonical = canonical
+        self.members: dict[int, Subscription] = {}
+        self.evaluations = 0
+
+
+class Subscription:
+    """One standing query: a shared pattern plus its bounded delivery queue."""
+
+    __slots__ = (
+        "sub_id",
+        "pattern",
+        "queue",
+        "max_queue",
+        "delivered",
+        "dropped",
+        "runtime",
+        "durable",
+        "overflow_streak",
+    )
 
     def __init__(self, sub_id: int, pattern: Pattern, max_queue: int) -> None:
         if max_queue < 1:
@@ -109,6 +200,13 @@ class Subscription:
         self.max_queue = max_queue
         self.delivered = 0
         self.dropped = 0
+        #: the SharedRuntime this subscription fans out from (engine-set)
+        self.runtime: SharedRuntime | None = None
+        #: durable subscriptions (restored from a snapshot, awaiting their
+        #: consumer to reconnect) are exempt from slow-consumer eviction
+        self.durable = False
+        #: consecutive publishes that overflowed this queue (eviction tier)
+        self.overflow_streak = 0
 
     def push(self, notifications: list[Notification]) -> int:
         """Enqueue, dropping the oldest on overflow; returns drops."""
@@ -130,29 +228,38 @@ class Subscription:
 
 
 class StandingQueryEngine:
-    """Subscription registry + live index, fed one epoch at a time.
+    """Shared fan-out tree + live index, fed one epoch at a time.
 
     Args:
         expand_level2: Expand the published stream through the streaming
             level-2 decompressor before indexing/evaluation, so patterns
             see explicit per-object location histories.  Use it whenever
             the pump's substrate runs compression level 2 (the default).
-        quarantine: Destination for overflow warnings (a fresh
+        quarantine: Destination for overflow/eviction warnings (a fresh
             :class:`~repro.faults.warnings.Quarantine` if omitted —
             coordinator pumps typically share theirs).
+        evict_after: Evict a subscription after this many *consecutive*
+            overflowing publishes (0 disables eviction, the default —
+            drop-oldest alone then bounds memory but not enqueue work).
     """
 
     def __init__(
         self,
         expand_level2: bool = False,
         quarantine: Quarantine | None = None,
+        evict_after: int = 0,
     ) -> None:
         self.index = EventStreamIndex()
         self.quarantine = quarantine if quarantine is not None else Quarantine()
         self.stats = ServingStats()
         self.last_epoch: int | None = None
+        self.evict_after = evict_after
+        #: (sub_id, eviction notice) pairs from the most recent publish —
+        #: the server reads this to notify owners before dropping them
+        self.evicted: list[tuple[int, Notification]] = []
         self._expander = StreamingLevel2Decompressor() if expand_level2 else None
         self._subscriptions: dict[int, Subscription] = {}
+        self._runtimes: dict[tuple, SharedRuntime] = {}
         self._next_id = 1
 
     # ------------------------------------------------------------------
@@ -164,26 +271,66 @@ class StandingQueryEngine:
         """Live subscriptions by id (read-only view by convention)."""
         return self._subscriptions
 
+    @property
+    def runtimes(self) -> dict[tuple, SharedRuntime]:
+        """Shared pattern runtimes by share key (read-only by convention)."""
+        return self._runtimes
+
     def subscribe(self, pattern: Pattern, max_queue: int = 1024) -> Subscription:
         """Register a standing query; returns its subscription handle.
 
-        The pattern is primed from the live index so threshold patterns
-        count ongoing episodes from their true start, not from the
-        subscription time.
+        If an identical pattern (same :meth:`Pattern.share_key` — for
+        compiled patterns the canonical ``unparse`` source) is already
+        subscribed, the new subscription **joins its shared runtime**:
+        the pattern is evaluated once per epoch regardless of how many
+        subscribers listen, and each match is broadcast to every member
+        queue.  A late joiner shares the runtime's state from its own
+        subscribe time forward.  Otherwise the pattern is primed from
+        the live index so threshold patterns count ongoing episodes from
+        their true start.
         """
-        sub = Subscription(self._next_id, pattern, max_queue)
-        self._next_id += 1
-        pattern.prime(self.index, self.last_epoch)
-        self._subscriptions[sub.sub_id] = sub
+        return self._register(pattern, max_queue)
+
+    def _register(
+        self,
+        pattern: Pattern,
+        max_queue: int,
+        sub_id: int | None = None,
+        durable: bool = False,
+    ) -> Subscription:
+        key = pattern.share_key()
+        runtime = self._runtimes.get(key) if key is not None else None
+        if runtime is None:
+            pattern.prime(self.index, self.last_epoch)
+            rkey = key if key is not None else ("unique", self._next_id, id(pattern))
+            runtime = SharedRuntime(rkey, pattern, describe_pattern(pattern))
+            self._runtimes[rkey] = runtime
+        sid = self._next_id if sub_id is None else sub_id
+        self._next_id = max(self._next_id, sid + 1)
+        sub = Subscription(sid, runtime.pattern, max_queue)
+        sub.runtime = runtime
+        sub.durable = durable
+        runtime.members[sid] = sub
+        self._subscriptions[sid] = sub
         self.stats.subscriptions_opened += 1
         return sub
 
     def unsubscribe(self, sub_id: int) -> bool:
-        """Drop a subscription; returns whether it existed."""
-        existed = self._subscriptions.pop(sub_id, None) is not None
-        if existed:
-            self.stats.subscriptions_closed += 1
-        return existed
+        """Drop a subscription; returns whether it existed.
+
+        The last member leaving a shared runtime retires the runtime (its
+        pattern state is discarded; a fresh subscriber re-primes).
+        """
+        sub = self._subscriptions.pop(sub_id, None)
+        if sub is None:
+            return False
+        runtime = sub.runtime
+        if runtime is not None:
+            runtime.members.pop(sub_id, None)
+            if not runtime.members:
+                self._runtimes.pop(runtime.key, None)
+        self.stats.subscriptions_closed += 1
+        return True
 
     # ------------------------------------------------------------------
     # publishing
@@ -192,10 +339,13 @@ class StandingQueryEngine:
     def publish(self, epoch: int, messages: list[EventMessage]) -> int:
         """Apply one epoch's merged output; returns notifications queued.
 
-        Extends the live index, evaluates every subscription's pattern
-        against the (expanded) batch, and enqueues matches with
-        drop-oldest backpressure.
+        Extends the live index, evaluates each **shared runtime** once
+        against the (expanded) batch, and broadcasts matches to every
+        member queue with drop-oldest backpressure.  Subscriptions that
+        overflow ``evict_after`` publishes in a row are evicted (their
+        notices land in :attr:`evicted` for the server to deliver).
         """
+        start = time.perf_counter()
         if self._expander is not None:
             batch: list[EventMessage] = []
             for msg in messages:
@@ -209,23 +359,67 @@ class StandingQueryEngine:
         self.stats.messages_published += len(batch)
 
         queued = 0
-        for sub in self._subscriptions.values():
-            notes = sub.pattern.evaluate(epoch, batch, self.index)
+        self.evicted = []
+        for runtime in list(self._runtimes.values()):
+            notes = runtime.pattern.evaluate(epoch, batch, self.index)
+            runtime.evaluations += 1
+            self.stats.pattern_evaluations += 1
             if not notes:
                 continue
-            queued += len(notes)
-            dropped = sub.push(notes)
-            if dropped:
+            overflowed: list[Subscription] = []
+            for sub in runtime.members.values():
+                queued += len(notes)
+                dropped = sub.push(notes)
+                if not dropped:
+                    sub.overflow_streak = 0
+                    continue
+                sub.overflow_streak += 1
                 self.stats.notifications_dropped += dropped
                 self.quarantine.warn(
                     WarningKind.SUBSCRIPTION_OVERFLOW,
                     epoch,
                     detail=(
                         f"subscription {sub.sub_id} queue full "
-                        f"({sub.max_queue}); dropped {dropped} oldest"
+                        f"({sub.max_queue}); dropped {dropped} oldest; "
+                        f"pattern {runtime.canonical!r} "
+                        f"({len(runtime.members)} subscriber(s))"
                     ),
                 )
+                if (
+                    self.evict_after
+                    and not sub.durable
+                    and sub.overflow_streak >= self.evict_after
+                ):
+                    overflowed.append(sub)
+            for sub in overflowed:
+                self._evict(sub, epoch)
+        self.stats.observe_publish(time.perf_counter() - start)
         return queued
+
+    def _evict(self, sub: Subscription, epoch: int) -> None:
+        """Second backpressure tier: remove a persistently slow consumer."""
+        runtime = sub.runtime
+        canonical = runtime.canonical if runtime is not None else "?"
+        members = len(runtime.members) if runtime is not None else 0
+        detail = (
+            f"subscription {sub.sub_id} evicted after {sub.overflow_streak} "
+            f"consecutive overflowing epochs ({sub.dropped} dropped total); "
+            f"pattern {canonical!r} ({members} subscriber(s))"
+        )
+        self.unsubscribe(sub.sub_id)
+        self.stats.subscriptions_evicted += 1
+        self.quarantine.warn(WarningKind.SUBSCRIPTION_EVICTED, epoch, detail=detail)
+        self.evicted.append(
+            (
+                sub.sub_id,
+                Notification(
+                    kind=NOTIFY_SUBSCRIPTION_EVICTED,
+                    epoch=epoch,
+                    value=sub.dropped,
+                    detail=detail,
+                ),
+            )
+        )
 
     def drain(self, sub_id: int, limit: int | None = None) -> list[Notification]:
         """Consume queued notifications for one subscription."""
@@ -235,6 +429,72 @@ class StandingQueryEngine:
         out = sub.drain(limit)
         self.stats.notifications_delivered += len(out)
         return out
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def dump_subscriptions(self) -> bytes:
+        """Serialize the subscription registry for restart re-arming.
+
+        Compiled patterns persist as their **canonical source** (the
+        ``repro.sase.unparse`` fixpoint), legacy catalogue patterns as
+        their spec fields; either re-compiles to the same share key on
+        restore, so restored duplicates coalesce back into shared
+        runtimes.  Pattern *state* is not persisted — restored patterns
+        re-prime from the restored server's live index.
+        """
+        entries = []
+        for sub in self._subscriptions.values():
+            spec = sub.pattern.spec()
+            entry: dict = {"id": sub.sub_id, "max_queue": sub.max_queue}
+            if spec.kind == PATTERN_SASE:
+                source = getattr(sub.pattern, "canonical_source", None) or spec.source
+                if not source:
+                    continue  # unspeakable pattern (custom render); skip
+                entry["kind"] = PATTERN_SASE
+                entry["source"] = source
+            else:
+                entry["kind"] = spec.kind
+                entry["obj"] = spec.obj.key() if spec.obj is not None else 0
+                entry["place"] = spec.place
+                entry["k"] = spec.k
+            entries.append(entry)
+        doc = {"version": SUBSCRIPTIONS_VERSION, "subscriptions": entries}
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    def restore_subscriptions(self, data: bytes) -> int:
+        """Re-arm subscriptions from :meth:`dump_subscriptions` output.
+
+        Restored subscriptions keep their original ids (the id counter
+        advances past them) and are marked **durable**: they are exempt
+        from slow-consumer eviction until a consumer reconnects, since a
+        just-restarted server has no connected consumers at all.
+        Returns the number of subscriptions restored.
+        """
+        doc = json.loads(data.decode("utf-8"))
+        version = doc.get("version")
+        if version != SUBSCRIPTIONS_VERSION:
+            raise ValueError(f"unsupported subscription snapshot version {version!r}")
+        restored = 0
+        for entry in doc.get("subscriptions", []):
+            kind = entry["kind"]
+            if kind == PATTERN_SASE:
+                spec = PatternSpec(PATTERN_SASE, source=entry["source"])
+            else:
+                obj_key = entry.get("obj", 0)
+                spec = PatternSpec(
+                    kind,
+                    obj=TagId.from_key(obj_key) if obj_key else None,
+                    place=entry.get("place"),
+                    k=entry.get("k", 0),
+                )
+            pattern = pattern_from_spec(spec)
+            self._register(
+                pattern, entry["max_queue"], sub_id=entry["id"], durable=True
+            )
+            restored += 1
+        return restored
 
     # ------------------------------------------------------------------
     # one-shot queries
@@ -256,7 +516,7 @@ class StandingQueryEngine:
         """Serving counters as a :mod:`repro.obs` snapshot.
 
         Derived from :class:`ServingStats` on demand (no double
-        bookkeeping on the publish path); the latency histogram's log₂-µs
+        bookkeeping on the publish path); the latency histograms' log₂-µs
         buckets map directly onto the obs histogram's exponent keys.
         """
         s = self.stats
@@ -274,8 +534,11 @@ class StandingQueryEngine:
             counter("spire_serving_notifications_dropped_total", s.notifications_dropped),
             counter("spire_serving_subscriptions_opened_total", s.subscriptions_opened),
             counter("spire_serving_subscriptions_closed_total", s.subscriptions_closed),
+            counter("spire_serving_evictions_total", s.subscriptions_evicted),
+            counter("spire_serving_pattern_evaluations_total", s.pattern_evaluations),
             counter("spire_serving_queries_total", s.queries_served),
             gauge("spire_serving_active_subscriptions", s.active_subscriptions),
+            gauge("spire_serving_shared_runtimes", len(self._runtimes)),
             gauge(
                 "spire_serving_queued_notifications",
                 sum(len(sub.queue) for sub in self._subscriptions.values()),
@@ -288,9 +551,18 @@ class StandingQueryEngine:
                 "sum": s.query_seconds * 1e6,
                 "count": s.queries_served,
             },
+            {
+                "name": "spire_serving_publish_latency_microseconds",
+                "kind": "histogram",
+                "labels": {},
+                "buckets": {str(b): n for b, n in sorted(s.publish_buckets.items())},
+                "sum": s.publish_seconds * 1e6,
+                "count": s.epochs_published,
+            },
         ]
         # aggregate compiled-pattern (repro.sase) runtime counters across
-        # subscriptions; duck-typed so the engine never imports repro.sase
+        # shared runtimes (NOT subscriptions — members share one evaluator);
+        # duck-typed so the engine never imports repro.sase
         sase_totals = {
             "active_instances": 0,
             "partitions": 0,
@@ -300,8 +572,8 @@ class StandingQueryEngine:
             "compile_seconds": 0.0,
         }
         compiled_count = 0
-        for sub in self._subscriptions.values():
-            sase = getattr(sub.pattern, "sase_stats", None)
+        for runtime in self._runtimes.values():
+            sase = getattr(runtime.pattern, "sase_stats", None)
             if sase is None:
                 continue
             compiled_count += 1
@@ -327,11 +599,15 @@ class StandingQueryEngine:
             "spire_serving_notifications_dropped_total": "Notifications dropped by bounded queues",
             "spire_serving_subscriptions_opened_total": "Subscriptions opened",
             "spire_serving_subscriptions_closed_total": "Subscriptions closed",
+            "spire_serving_evictions_total": "Slow-consumer subscriptions evicted",
+            "spire_serving_pattern_evaluations_total": "Shared-runtime pattern evaluations",
             "spire_serving_queries_total": "One-shot queries served",
             "spire_serving_active_subscriptions": "Currently active subscriptions",
+            "spire_serving_shared_runtimes": "Distinct shared pattern runtimes",
             "spire_serving_queued_notifications": "Notifications waiting in subscription queues",
             "spire_serving_query_latency_microseconds": "One-shot query latency (log2-bucketed)",
-            "spire_sase_compiled_patterns": "Active subscriptions running compiled patterns",
+            "spire_serving_publish_latency_microseconds": "Per-epoch publish latency (log2-bucketed)",
+            "spire_sase_compiled_patterns": "Shared runtimes running compiled patterns",
             "spire_sase_active_instances": "Live partial matches across compiled patterns",
             "spire_sase_partitions": "Active instance-stack partitions across compiled patterns",
             "spire_sase_matches_total": "Pattern matches emitted by compiled patterns",

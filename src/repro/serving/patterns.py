@@ -45,6 +45,7 @@ NOTIFY_DWELL_EXCEEDED = "dwell_exceeded"
 NOTIFY_MISSING_OVERDUE = "missing_overdue"
 NOTIFY_LEFT_WITHOUT_CONTAINER = "left_without_container"
 NOTIFY_SASE_MATCH = "sase_match"
+NOTIFY_SUBSCRIPTION_EVICTED = "subscription_evicted"
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,20 @@ class Pattern:
     def spec(self) -> PatternSpec:
         """The wire description a client would send to subscribe to this."""
         raise NotImplementedError
+
+    def share_key(self) -> tuple | None:
+        """Fan-out sharing identity, or ``None`` if unshareable.
+
+        Subscriptions whose patterns answer the same share key join one
+        :class:`~repro.serving.engine.SharedRuntime` and are evaluated
+        once per epoch regardless of subscriber count.  The default key
+        is the full wire spec plus the concrete class (so a hand-coded
+        reference pattern never shares state with its compiled library
+        twin); compiled patterns override this with their canonical
+        (``unparse``-fixpoint) source.
+        """
+        spec = self.spec()
+        return ("spec", type(self).__name__, spec.kind, spec.obj, spec.place, spec.k, spec.source)
 
     def prime(self, index: EventStreamIndex, epoch: int | None) -> None:
         """Adopt pre-subscription state from the live index (optional)."""

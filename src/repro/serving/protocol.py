@@ -25,7 +25,14 @@ Ops:
   be in flight);
 * ``OP_STATS`` — serving counters as JSON (diagnostics, not hot path);
 * ``OP_METRICS`` — the merged telemetry registry rendered as Prometheus
-  text exposition (scrape-ready; see docs/OBSERVABILITY.md).
+  text exposition (scrape-ready; see docs/OBSERVABILITY.md);
+* ``OP_CONFIGURE`` — per-connection feature negotiation: the client
+  sends a flag bitmask, the server answers with the subset it accepted.
+  :data:`FLAG_BATCH_EVENTS` switches the connection's push path from
+  per-event ``FRAME_EVENT`` frames to coalesced ``FRAME_EVENT_BATCH``
+  frames (protocol v2): one frame per epoch per connection, with
+  subscribers that received the identical notification sequence sharing
+  one encoded group.
 """
 
 from __future__ import annotations
@@ -49,9 +56,14 @@ OP_UNSUBSCRIBE = 3
 OP_STATS = 4
 OP_METRICS = 5
 OP_SUBSCRIBE_PATTERN = 6  # pattern source text, compiled server-side
+OP_CONFIGURE = 7  # feature negotiation (flag bitmask)
 
 FRAME_REPLY = 64
 FRAME_EVENT = 65
+FRAME_EVENT_BATCH = 66  # one coalesced frame per epoch per connection
+
+#: OP_CONFIGURE flags
+FLAG_BATCH_EVENTS = 1
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -76,6 +88,7 @@ NOTIFY_CODES = {
     "missing_overdue": 5,
     "left_without_container": 6,
     "sase_match": 7,
+    "subscription_evicted": 8,
 }
 NOTIFY_KINDS = {code: kind for kind, code in NOTIFY_CODES.items()}
 
@@ -89,6 +102,7 @@ _NOTIFICATION = struct.Struct("<BqQqQq")  # kind, epoch, obj, place, container, 
 _I64 = struct.Struct("<q")
 _U32 = struct.Struct("<I")
 _PATH_ENTRY = struct.Struct("<qqq")  # place, vs, ve (NONE_SENTINEL = open)
+_EVENT_BATCH = struct.Struct("<BqI")  # frame type, epoch, group count
 
 
 def _pack_tag(tag: TagId | None) -> int:
@@ -174,6 +188,21 @@ def encode_unsubscribe(request_id: int, sub_id: int) -> bytes:
 def decode_unsubscribe(payload: bytes) -> int:
     (sub_id,) = _UNSUBSCRIBE.unpack_from(payload, _REQUEST.size)
     return sub_id
+
+
+def encode_configure(request_id: int, flags: int) -> bytes:
+    """Negotiate per-connection features (``FLAG_*`` bitmask).
+
+    The reply body is the accepted-flags bitmask (u32) — an older server
+    answers with an error reply instead, which clients treat as "no
+    optional features".
+    """
+    return _REQUEST.pack(OP_CONFIGURE, request_id) + _U32.pack(flags)
+
+
+def decode_configure(payload: bytes) -> int:
+    (flags,) = _U32.unpack_from(payload, _REQUEST.size)
+    return flags
 
 
 def encode_stats_request(request_id: int) -> bytes:
@@ -274,6 +303,16 @@ def decode_metrics_body(body: bytes) -> str:
     return body.decode("utf-8")
 
 
+def encode_configured(flags: int) -> bytes:
+    """Reply body of OP_CONFIGURE: the accepted-flags bitmask."""
+    return _U32.pack(flags)
+
+
+def decode_configured(body: bytes) -> int:
+    (flags,) = _U32.unpack_from(body)
+    return flags
+
+
 def encode_subscribed(sub_id: int) -> bytes:
     return _U32.pack(sub_id)
 
@@ -283,35 +322,31 @@ def decode_subscribed(body: bytes) -> int:
     return sub_id
 
 
-def encode_event(sub_id: int, note: Notification) -> bytes:
+def encode_notification(note: Notification) -> bytes:
+    """One notification body (shared by FRAME_EVENT and batch groups)."""
     code = NOTIFY_CODES.get(note.kind)
     if code is None:
         raise WireError(f"unknown notification kind {note.kind!r}")
-    detail = note.detail.encode("utf-8")
-    return (
-        _EVENT.pack(FRAME_EVENT, sub_id)
-        + _NOTIFICATION.pack(
-            code,
-            note.epoch,
-            _pack_tag(note.obj),
-            _pack_place(note.place),
-            _pack_tag(note.container),
-            note.value,
-        )
-        + detail
-    )
+    return _NOTIFICATION.pack(
+        code,
+        note.epoch,
+        _pack_tag(note.obj),
+        _pack_place(note.place),
+        _pack_tag(note.container),
+        note.value,
+    ) + note.detail.encode("utf-8")
 
 
-def decode_event(payload: bytes) -> tuple[int, Notification]:
-    _, sub_id = _EVENT.unpack_from(payload)
+def decode_notification(body: bytes, offset: int = 0, end: int | None = None) -> Notification:
+    """Inverse of :func:`encode_notification` over ``body[offset:end]``."""
     code, epoch, obj_key, place, container_key, value = _NOTIFICATION.unpack_from(
-        payload, _EVENT.size
+        body, offset
     )
     kind = NOTIFY_KINDS.get(code)
     if kind is None:
         raise WireError(f"unknown notification code {code}")
-    detail = payload[_EVENT.size + _NOTIFICATION.size :].decode("utf-8")
-    note = Notification(
+    detail = body[offset + _NOTIFICATION.size : end].decode("utf-8")
+    return Notification(
         kind=kind,
         epoch=epoch,
         obj=_unpack_tag(obj_key),
@@ -320,7 +355,65 @@ def decode_event(payload: bytes) -> tuple[int, Notification]:
         value=value,
         detail=detail,
     )
-    return sub_id, note
+
+
+def encode_event(sub_id: int, note: Notification) -> bytes:
+    return _EVENT.pack(FRAME_EVENT, sub_id) + encode_notification(note)
+
+
+def decode_event(payload: bytes) -> tuple[int, Notification]:
+    _, sub_id = _EVENT.unpack_from(payload)
+    return sub_id, decode_notification(payload, _EVENT.size)
+
+
+def encode_event_batch(
+    epoch: int, groups: list[tuple[list[int], list[Notification]]]
+) -> bytes:
+    """Coalesce one epoch's push traffic for one connection (protocol v2).
+
+    ``groups`` pairs a list of subscription ids with the notification
+    sequence each of them received — subscribers whose drained sequences
+    are identical share one encoded copy.  Layout::
+
+        type(1) | epoch(8) | n_groups(4)
+        per group:  n_subs(4) | sub_id(4)×n_subs
+                    n_notes(4) | [len(4) | notification body]×n_notes
+    """
+    parts = [_EVENT_BATCH.pack(FRAME_EVENT_BATCH, epoch, len(groups))]
+    for sub_ids, notes in groups:
+        parts.append(_U32.pack(len(sub_ids)))
+        parts.append(struct.pack(f"<{len(sub_ids)}I", *sub_ids))
+        parts.append(_U32.pack(len(notes)))
+        for note in notes:
+            body = encode_notification(note)
+            parts.append(_U32.pack(len(body)))
+            parts.append(body)
+    return b"".join(parts)
+
+
+def decode_event_batch(
+    payload: bytes,
+) -> tuple[int, list[tuple[list[int], list[Notification]]]]:
+    """Inverse of :func:`encode_event_batch`; notes are decoded once per
+    group and the same objects are shared across that group's sub ids."""
+    _, epoch, n_groups = _EVENT_BATCH.unpack_from(payload)
+    offset = _EVENT_BATCH.size
+    groups: list[tuple[list[int], list[Notification]]] = []
+    for _ in range(n_groups):
+        (n_subs,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        sub_ids = list(struct.unpack_from(f"<{n_subs}I", payload, offset))
+        offset += 4 * n_subs
+        (n_notes,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        notes = []
+        for _ in range(n_notes):
+            (length,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            notes.append(decode_notification(payload, offset, offset + length))
+            offset += length
+        groups.append((sub_ids, notes))
+    return epoch, groups
 
 
 def frame_type(payload: bytes) -> int:

@@ -14,9 +14,13 @@ one epoch at a time in the default executor, so serving composes with
 sharded execution and zone failover: whatever the substrate emits —
 including the splice messages of ``fail_zone``/``recover_zone`` — is what
 subscribers see.  After each published epoch, every subscription's queue
-is flushed to its connection; the engine's bounded queues (drop-oldest)
-are the backpressure boundary, so a stalled client costs memory
-``O(max_queue)`` and never blocks the pump.
+is flushed to its connection — on batch-negotiated connections
+(``OP_CONFIGURE`` + ``FLAG_BATCH_EVENTS``) as **one coalesced
+``FRAME_EVENT_BATCH`` frame per epoch**, with subscriptions that drained
+the identical notification sequence sharing one encoded group; the
+engine's bounded queues (drop-oldest, escalating to eviction when
+``evict_after`` is set) are the backpressure boundary, so a stalled
+client costs memory ``O(max_queue)`` and never blocks the pump.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, Iterable
 
-from repro.distributed.wire import FrameDecoder, WireError, encode_frame
+from repro.distributed.wire import FrameDecoder, WireError, encode_frame, encode_frames
 from repro.events.messages import EventMessage
 from repro.faults.warnings import Quarantine
 from repro.obs.metrics import merge_snapshots, render_prometheus
@@ -46,19 +50,26 @@ class SpireServer:
         quarantine: Quarantine | None = None,
         engine: StandingQueryEngine | None = None,
         metrics_provider: Callable[[], dict] | None = None,
+        evict_after: int = 0,
+        reuse_port: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.engine = engine if engine is not None else StandingQueryEngine(
-            expand_level2=expand_level2, quarantine=quarantine
+            expand_level2=expand_level2, quarantine=quarantine, evict_after=evict_after
         )
         #: optional callback returning a substrate obs snapshot (e.g. a
         #: coordinator's ``metrics_snapshot``) merged into ``METRICS`` replies
         self.metrics_provider = metrics_provider
+        #: bind with SO_REUSEPORT so several acceptor processes can share
+        #: the port (see repro.serving.frontend)
+        self.reuse_port = reuse_port
         self._server: asyncio.AbstractServer | None = None
         #: sub_id -> writer owning that subscription
         self._sub_owner: dict[int, asyncio.StreamWriter] = {}
         self._writers: set[asyncio.StreamWriter] = set()
+        #: writers that negotiated FLAG_BATCH_EVENTS (protocol v2 push)
+        self._batched: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
         self._lock = asyncio.Lock()
 
@@ -68,7 +79,7 @@ class SpireServer:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, reuse_port=self.reuse_port or None
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -99,11 +110,26 @@ class SpireServer:
         """Feed one epoch's merged output; flush matches to subscribers."""
         async with self._lock:
             queued = self.engine.publish(epoch, messages)
+            await self._notify_evictions()
             await self._flush_subscriptions()
         return queued
 
+    async def _notify_evictions(self) -> None:
+        """Deliver eviction notices to owners the engine just evicted."""
+        for sub_id, note in self.engine.evicted:
+            writer = self._sub_owner.pop(sub_id, None)
+            if writer is None or writer.is_closing():
+                continue
+            writer.write(encode_frame(protocol.encode_event(sub_id, note)))
+            try:
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+
     async def _flush_subscriptions(self) -> None:
         dead: list[int] = []
+        #: per-writer drained output, preserving subscription order
+        by_writer: dict[asyncio.StreamWriter, list[tuple[int, list]]] = {}
         for sub_id, writer in list(self._sub_owner.items()):
             notes = self.engine.drain(sub_id)
             if not notes:
@@ -111,12 +137,38 @@ class SpireServer:
             if writer.is_closing():
                 dead.append(sub_id)
                 continue
-            for note in notes:
-                writer.write(encode_frame(protocol.encode_event(sub_id, note)))
+            by_writer.setdefault(writer, []).append((sub_id, notes))
+        epoch = self.engine.last_epoch or 0
+        for writer, entries in by_writer.items():
+            if writer in self._batched:
+                # protocol v2: one coalesced frame per epoch per connection;
+                # subscriptions that drained the *identical* notification
+                # sequence (the common case under shared fan-out) share one
+                # encoded group, so N duplicate subscribers cost one body
+                groups: dict[tuple, list[int]] = {}
+                sequences: dict[tuple, list] = {}
+                for sub_id, notes in entries:
+                    key = tuple(map(id, notes))
+                    if key in groups:
+                        groups[key].append(sub_id)
+                    else:
+                        groups[key] = [sub_id]
+                        sequences[key] = notes
+                payload = protocol.encode_event_batch(
+                    epoch, [(groups[key], sequences[key]) for key in groups]
+                )
+                data = encode_frame(payload)
+            else:
+                data = encode_frames(
+                    protocol.encode_event(sub_id, note)
+                    for sub_id, notes in entries
+                    for note in notes
+                )
+            writer.write(data)
             try:
                 await writer.drain()
             except (ConnectionError, RuntimeError):
-                dead.append(sub_id)
+                dead.extend(sub_id for sub_id, _ in entries)
         for sub_id in dead:
             self._drop_subscription(sub_id)
 
@@ -160,6 +212,7 @@ class SpireServer:
                 for sub_id in owned:
                     self._drop_subscription(sub_id)
             self._writers.discard(writer)
+            self._batched.discard(writer)
             if task is not None:
                 self._conn_tasks.discard(task)
             writer.close()
@@ -180,6 +233,8 @@ class SpireServer:
                 return await self._handle_subscribe_pattern(request_id, payload, writer)
             if op == protocol.OP_UNSUBSCRIBE:
                 return await self._handle_unsubscribe(request_id, payload)
+            if op == protocol.OP_CONFIGURE:
+                return self._handle_configure(request_id, payload, writer)
             if op == protocol.OP_STATS:
                 return protocol.encode_reply(
                     request_id, protocol.encode_stats_body(self.stats_dict())
@@ -241,6 +296,17 @@ class SpireServer:
             self._sub_owner[sub.sub_id] = writer
         return protocol.encode_reply(request_id, protocol.encode_subscribed(sub.sub_id))
 
+    def _handle_configure(
+        self, request_id: int, payload: bytes, writer: asyncio.StreamWriter
+    ) -> bytes:
+        requested = protocol.decode_configure(payload)
+        accepted = requested & protocol.FLAG_BATCH_EVENTS
+        if accepted & protocol.FLAG_BATCH_EVENTS:
+            self._batched.add(writer)
+        else:
+            self._batched.discard(writer)
+        return protocol.encode_reply(request_id, protocol.encode_configured(accepted))
+
     async def _handle_unsubscribe(self, request_id: int, payload: bytes) -> bytes:
         sub_id = protocol.decode_unsubscribe(payload)
         async with self._lock:
@@ -261,11 +327,46 @@ class SpireServer:
             "subscriptions_opened": stats.subscriptions_opened,
             "notifications_delivered": stats.notifications_delivered,
             "notifications_dropped": stats.notifications_dropped,
+            "subscriptions_evicted": stats.subscriptions_evicted,
+            "pattern_evaluations": stats.pattern_evaluations,
+            "shared_runtimes": len(self.engine.runtimes),
             "queries_served": stats.queries_served,
             "query_seconds": stats.query_seconds,
             "latency_buckets": {str(k): v for k, v in sorted(stats.latency_buckets.items())},
             "last_epoch": self.engine.last_epoch,
         }
+
+    # ------------------------------------------------------------------
+    # subscription persistence
+    # ------------------------------------------------------------------
+
+    def save_subscriptions(self, path) -> int:
+        """Write the subscription registry next to the server's state.
+
+        Atomic (tmp + rename), mirroring the checkpoint conventions; the
+        payload is the engine's canonical-pattern-text snapshot.  Returns
+        the number of subscriptions persisted.
+        """
+        import os
+
+        data = self.engine.dump_subscriptions()
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        return len(self.engine.subscriptions)
+
+    def load_subscriptions(self, path) -> int:
+        """Re-arm persisted subscriptions (restored subs are durable —
+        exempt from eviction until their consumers reconnect).  Returns
+        the number restored; a missing file restores nothing."""
+        import os
+
+        if not os.path.exists(path):
+            return 0
+        with open(path, "rb") as fh:
+            data = fh.read()
+        return self.engine.restore_subscriptions(data)
 
     def metrics_snapshot(self) -> dict:
         """Serving-layer snapshot merged with the substrate's (if wired)."""

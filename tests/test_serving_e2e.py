@@ -269,15 +269,15 @@ class TestServerPlumbing:
             async with SpireServer() as server:
                 client = await SpireClient.connect(server.host, server.port)
                 try:
-                    sub_id = await client.subscribe(
+                    sub = await client.subscribe(
                         PatternSpec(PATTERN_PLACE, place=dock.color)
                     )
                     epochs = _anomaly_epochs(9, 13)
                     await pump_coordinator(server, coordinator, epochs[:2])
-                    assert await client.unsubscribe(sub_id)
+                    assert await sub.cancel()
                     # arrival events from epoch 0 were delivered
                     got = await client.next_notification(timeout=5)
-                    assert got[0] == sub_id
+                    assert got[0] == sub.id
                     # drain whatever was in flight before the unsubscribe
                     while not client.notifications.empty():
                         client.notifications.get_nowait()
